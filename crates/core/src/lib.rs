@@ -1,0 +1,59 @@
+//! # akg-core
+//!
+//! The paper's contribution: the lightweight hierarchical-GNN decision model
+//! over mission-specific knowledge graphs, and — the headline — **continuous
+//! KG adaptive learning on edge devices** (DATE 2025,
+//! "Continuous GNN-based Anomaly Detection on Edge using Efficient Adaptive
+//! Knowledge Graph Learning").
+//!
+//! Pipeline (paper Fig. 2):
+//!
+//! - **(A)** mission-specific KG generation — [`akg_kg`] with the synthetic
+//!   oracle,
+//! - **(B)** decision-model training — [`model`], [`loss`], [`train`],
+//! - **(C)** deployment + continuous adaptation — [`adapt`]: top-`K`
+//!   pseudo-anomalies with `K = |Δm| · N`, token-embedding-only updates, and
+//!   the Fig. 4 prune/create rule; [`retrieval`] decodes the adapted
+//!   embeddings back to words.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use akg_core::pipeline::{MissionSystem, SystemConfig};
+//! use akg_kg::AnomalyClass;
+//! use akg_tensor::nn::Module;
+//!
+//! let mut system = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
+//! let frame = akg_data::Frame { concepts: vec![("walking".into(), 1.0)], label: None };
+//! let embedding = system.embed_frame(&frame);
+//! let window = vec![embedding; system.model.config().window];
+//! system.model.set_train(false);
+//! let score = system.score_window(&window);
+//! assert!((0.0..=1.0).contains(&score));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod config;
+pub mod experiment;
+pub mod loss;
+pub mod model;
+pub mod persist;
+pub mod pipeline;
+pub mod retrieval;
+pub mod tokenize;
+pub mod train;
+
+pub use adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
+pub use config::{ModelConfig, TrainConfig};
+pub use experiment::{
+    run_retrieval_drift, run_trend_shift, RetrievalDriftParams, RetrievalDriftResult,
+    TrendShiftCurve, TrendShiftParams, TrendShiftResult,
+};
+pub use model::{DecisionModel, HierarchicalGnn, KgLayout};
+pub use persist::{load_state, load_state_json, save_state, save_state_json, SystemState};
+pub use pipeline::{MissionSystem, SystemConfig};
+pub use retrieval::{InterpretableRetrieval, RetrievedWord};
+pub use tokenize::{TokenTable, TokenizedKg};
+pub use train::{train_decision_model, TrainReport};

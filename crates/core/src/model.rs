@@ -1,0 +1,521 @@
+//! The lightweight GNN-based decision model (paper Sec. III-C): per-KG
+//! hierarchical GNN (Eqs. 1–4), concatenated reasoning embeddings, the
+//! short-term temporal transformer, and the linear+softmax decision head
+//! (Eq. 5).
+
+use crate::config::ModelConfig;
+use crate::tokenize::{TokenTable, TokenizedKg};
+use akg_kg::{NodeId, NodeKind};
+use akg_tensor::nn::attention::TransformerEncoder;
+use akg_tensor::nn::norm::BatchNorm1d;
+use akg_tensor::nn::{Linear, Module};
+use akg_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A row-indexed execution plan for one KG: node-id → row mapping and the
+/// per-level gather/scatter indices the GNN layers need. Rebuilt whenever
+/// adaptation changes the KG structure.
+#[derive(Debug, Clone)]
+pub struct KgLayout {
+    /// Row order (row index → node id).
+    pub rows: Vec<NodeId>,
+    /// Inverse mapping.
+    pub row_of: HashMap<NodeId, usize>,
+    /// Sensor node's row.
+    pub sensor_row: usize,
+    /// Embedding node's row.
+    pub embedding_row: usize,
+    /// One plan per hierarchical message-passing step (level 1..=d+1).
+    pub levels: Vec<LevelPlan>,
+}
+
+/// Gather/scatter plan for the edges into one level.
+#[derive(Debug, Clone)]
+pub struct LevelPlan {
+    /// Destination level.
+    pub level: usize,
+    /// Edge source rows.
+    pub srcs: Vec<usize>,
+    /// Edge destination rows.
+    pub dsts: Vec<usize>,
+    /// Per-row `1 / indegree` for rows at this level (0 elsewhere) — the
+    /// mean-aggregation denominator of Eq. 3.
+    pub inv_counts: Vec<f32>,
+    /// Per-row passthrough mask: 1 for rows *not* at this level (their
+    /// embeddings are preserved), 0 for receiving rows.
+    pub keep_mask: Vec<f32>,
+}
+
+impl KgLayout {
+    /// Builds the plan from a tokenized KG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KG has no sensor/embedding node (call
+    /// `attach_terminals` first).
+    pub fn new(tkg: &TokenizedKg) -> Self {
+        let kg = &tkg.kg;
+        let sensor = kg.sensor().expect("KG must have a sensor node");
+        let embedding = kg.embedding_node().expect("KG must have an embedding node");
+        let mut rows: Vec<NodeId> = kg.nodes().map(|n| n.id).collect();
+        rows.sort();
+        let row_of: HashMap<NodeId, usize> =
+            rows.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let n_rows = rows.len();
+        let mut levels = Vec::new();
+        for level in 1..=kg.depth() + 1 {
+            let edges = kg.edges_into_level(level);
+            let mut srcs = Vec::with_capacity(edges.len());
+            let mut dsts = Vec::with_capacity(edges.len());
+            let mut counts = vec![0usize; n_rows];
+            for (s, d) in edges {
+                srcs.push(row_of[&s]);
+                dsts.push(row_of[&d]);
+                counts[row_of[&d]] += 1;
+            }
+            let mut inv_counts = vec![0.0f32; n_rows];
+            let mut keep_mask = vec![1.0f32; n_rows];
+            for id in kg.node_ids_at_level(level) {
+                let r = row_of[&id];
+                keep_mask[r] = 0.0;
+                if counts[r] > 0 {
+                    inv_counts[r] = 1.0 / counts[r] as f32;
+                }
+            }
+            levels.push(LevelPlan { level, srcs, dsts, inv_counts, keep_mask });
+        }
+        KgLayout {
+            sensor_row: row_of[&sensor],
+            embedding_row: row_of[&embedding],
+            rows,
+            row_of,
+            levels,
+        }
+    }
+
+    /// Number of node rows.
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total edge count across level plans.
+    pub fn edge_count(&self) -> usize {
+        self.levels.iter().map(|l| l.srcs.len()).sum()
+    }
+}
+
+/// One hierarchical GNN layer's parameters: the dense sub-layer (Eq. 1) and
+/// batch normalization (Eq. 4). Message passing and aggregation (Eqs. 2–3)
+/// are parameter-free index operations.
+#[derive(Debug)]
+struct GnnLayer {
+    dense: Linear,
+    norm: BatchNorm1d,
+}
+
+/// The hierarchical GNN over one mission-specific KG.
+///
+/// Layer 0 refines the raw joint-space embeddings into the GNN width; layers
+/// `1..=d+1` propagate reasoning along the hierarchy — `d + 2` parametrized
+/// layers in total, as in the paper.
+#[derive(Debug)]
+pub struct HierarchicalGnn {
+    input_layer: GnnLayer,
+    message_layers: Vec<GnnLayer>,
+    gnn_dim: usize,
+}
+
+impl HierarchicalGnn {
+    /// Creates the GNN for a KG of `depth` reasoning levels.
+    ///
+    /// The per-layer BatchNorm normalizes across the graph's node rows; each
+    /// forward pass is one graph, so the layers use per-graph (instance)
+    /// statistics in eval mode too — switching to global running statistics
+    /// would change the trained function.
+    pub fn new(depth: usize, embed_dim: usize, gnn_dim: usize, rng: &mut StdRng) -> Self {
+        let make_norm = || {
+            let mut n = BatchNorm1d::new(gnn_dim);
+            n.set_track_running_stats(false);
+            n
+        };
+        let input_layer =
+            GnnLayer { dense: Linear::new(embed_dim, gnn_dim, rng), norm: make_norm() };
+        let message_layers = (0..=depth)
+            .map(|_| GnnLayer { dense: Linear::new(gnn_dim, gnn_dim, rng), norm: make_norm() })
+            .collect();
+        HierarchicalGnn { input_layer, message_layers, gnn_dim }
+    }
+
+    /// GNN width `D_l`.
+    pub fn gnn_dim(&self) -> usize {
+        self.gnn_dim
+    }
+
+    /// Number of parametrized layers (`d + 2`).
+    pub fn layer_count(&self) -> usize {
+        1 + self.message_layers.len()
+    }
+
+    /// Runs the hierarchical forward pass: `x0` is the `[|V|, embed_dim]`
+    /// node-feature matrix (sensor row = frame embedding); returns the
+    /// embedding node's final vector `[gnn_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout's level-plan count mismatches the layer count.
+    pub fn forward(&mut self, layout: &KgLayout, x0: &Tensor) -> Tensor {
+        assert_eq!(
+            layout.levels.len(),
+            self.message_layers.len(),
+            "layout depth {} != model depth {}",
+            layout.levels.len(),
+            self.message_layers.len()
+        );
+        // layer 0: dense + norm + activation on every node
+        let mut x = {
+            let h = self.input_layer.dense.forward(x0);
+            self.input_layer.norm.forward(&h).elu()
+        };
+        // layers 1..=d+1: hierarchical message passing
+        for (layer, plan) in self.message_layers.iter_mut().zip(&layout.levels) {
+            let h = layer.dense.forward(&x); // Eq. 1
+            let combined = if plan.srcs.is_empty() {
+                h
+            } else {
+                let src = h.index_select_rows(&plan.srcs);
+                let dst = h.index_select_rows(&plan.dsts);
+                let messages = src.mul(&dst); // Eq. 2: X_s ⊙ X_d
+                let summed = messages.scatter_add_rows(&plan.dsts, layout.node_count());
+                let averaged = summed.scale_rows(&plan.inv_counts); // Eq. 3 mean
+                let kept = h.scale_rows(&plan.keep_mask); // passthrough 1(d ∉ V(l))
+                kept.add(&averaged)
+            };
+            x = layer.norm.forward(&combined).elu(); // Eq. 4
+        }
+        x.slice_rows(layout.embedding_row, layout.embedding_row + 1).flatten()
+    }
+}
+
+impl Module for HierarchicalGnn {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.input_layer.dense.params();
+        p.extend(self.input_layer.norm.params());
+        for l in &self.message_layers {
+            p.extend(l.dense.params());
+            p.extend(l.norm.params());
+        }
+        p
+    }
+
+    fn set_train(&mut self, train: bool) {
+        self.input_layer.norm.set_train(train);
+        for l in &mut self.message_layers {
+            l.norm.set_train(train);
+        }
+    }
+}
+
+/// The full decision model: one hierarchical GNN per mission KG, the
+/// temporal transformer, and the decision head.
+#[derive(Debug)]
+pub struct DecisionModel {
+    gnns: Vec<HierarchicalGnn>,
+    temporal: TransformerEncoder,
+    head: Linear,
+    config: ModelConfig,
+    n_missions: usize,
+}
+
+impl DecisionModel {
+    /// Builds the model for `depths[i]`-level mission KGs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depths` is empty.
+    pub fn new(depths: &[usize], config: &ModelConfig) -> Self {
+        assert!(!depths.is_empty(), "DecisionModel: need at least one mission KG");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let gnns: Vec<HierarchicalGnn> = depths
+            .iter()
+            .map(|&d| HierarchicalGnn::new(d, config.embed_dim, config.gnn_dim, &mut rng))
+            .collect();
+        let d = depths.len() * config.gnn_dim;
+        let temporal = TransformerEncoder::new(
+            d,
+            config.temporal_inner,
+            config.heads,
+            config.temporal_layers,
+            &mut rng,
+        );
+        let head = Linear::new(d, depths.len() + 1, &mut rng);
+        DecisionModel { gnns, temporal, head, config: *config, n_missions: depths.len() }
+    }
+
+    /// Number of mission KGs `n`.
+    pub fn n_missions(&self) -> usize {
+        self.n_missions
+    }
+
+    /// Reasoning embedding width `D = n · gnn_dim`.
+    pub fn reasoning_dim(&self) -> usize {
+        self.n_missions * self.config.gnn_dim
+    }
+
+    /// Decision classes (`n + 1`: normal + one per mission anomaly).
+    pub fn n_classes(&self) -> usize {
+        self.n_missions + 1
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Builds the `[|V|, embed_dim]` node-feature matrix for one KG: the
+    /// sensor row carries the frame embedding, reasoning rows the (mean)
+    /// token embeddings, and the embedding-node row zeros.
+    pub fn node_features(
+        &self,
+        tkg: &TokenizedKg,
+        layout: &KgLayout,
+        table: &TokenTable,
+        frame_embedding: &[f32],
+    ) -> Tensor {
+        let dim = self.config.embed_dim;
+        let mut rows: Vec<Tensor> = Vec::with_capacity(layout.node_count());
+        for &id in &layout.rows {
+            let node = tkg.kg.node(id).expect("layout row refers to live node");
+            match node.kind {
+                NodeKind::Sensor => {
+                    rows.push(Tensor::from_vec(frame_embedding.to_vec(), &[1, dim]));
+                }
+                NodeKind::Embedding => {
+                    rows.push(Tensor::from_vec(tkg.mission_embedding.clone(), &[1, dim]));
+                }
+                NodeKind::Reasoning => {
+                    let tokens = tkg.tokens_of(id).expect("reasoning node tokenized");
+                    rows.push(table.node_embedding(tokens));
+                }
+            }
+        }
+        Tensor::concat_rows(&rows)
+    }
+
+    /// Computes the per-frame reasoning embedding `f_t` (concatenation of
+    /// every KG's embedding-node output) for one frame embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of KGs mismatches the model.
+    pub fn reasoning_embedding(
+        &mut self,
+        kgs: &[&TokenizedKg],
+        layouts: &[&KgLayout],
+        table: &TokenTable,
+        frame_embedding: &[f32],
+    ) -> Tensor {
+        assert_eq!(kgs.len(), self.gnns.len(), "KG count mismatch");
+        assert_eq!(layouts.len(), self.gnns.len(), "layout count mismatch");
+        let mut parts = Vec::with_capacity(self.gnns.len());
+        for i in 0..self.gnns.len() {
+            let x0 = self.node_features(kgs[i], layouts[i], table, frame_embedding);
+            parts.push(self.gnns[i].forward(layouts[i], &x0));
+        }
+        Tensor::concat_vecs(&parts)
+    }
+
+    /// Applies the temporal model to a window of per-frame reasoning
+    /// embeddings (each `[D]`), returning `f'_t` `[D]` for the last frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is empty.
+    pub fn temporal_embedding(&self, window: &[Tensor]) -> Tensor {
+        assert!(!window.is_empty(), "temporal_embedding: empty window");
+        let d = self.reasoning_dim();
+        let rows: Vec<Tensor> = window.iter().map(|f| f.reshape(&[1, d])).collect();
+        let seq = Tensor::concat_rows(&rows);
+        self.temporal.forward_last(&seq)
+    }
+
+    /// Decision logits `[1, n + 1]` from `f'_t` (Eq. 5 without the softmax;
+    /// apply [`Tensor::softmax_rows`] for probabilities).
+    pub fn logits(&self, temporal_embedding: &Tensor) -> Tensor {
+        let d = self.reasoning_dim();
+        self.head.forward(&temporal_embedding.reshape(&[1, d]))
+    }
+
+    /// Full forward for one window: probabilities `[n + 1]` for the last
+    /// frame of the window.
+    pub fn predict(
+        &mut self,
+        kgs: &[&TokenizedKg],
+        layouts: &[&KgLayout],
+        table: &TokenTable,
+        frame_window: &[Vec<f32>],
+    ) -> Vec<f32> {
+        let embeddings: Vec<Tensor> = frame_window
+            .iter()
+            .map(|f| self.reasoning_embedding(kgs, layouts, table, f))
+            .collect();
+        let temporal = self.temporal_embedding(&embeddings);
+        self.logits(&temporal).softmax_rows().to_vec()
+    }
+
+    /// The anomaly score `p_A = 1 − p_N` for one window.
+    pub fn anomaly_score(
+        &mut self,
+        kgs: &[&TokenizedKg],
+        layouts: &[&KgLayout],
+        table: &TokenTable,
+        frame_window: &[Vec<f32>],
+    ) -> f32 {
+        1.0 - self.predict(kgs, layouts, table, frame_window)[0]
+    }
+}
+
+impl Module for DecisionModel {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self.gnns.iter().flat_map(Module::params).collect();
+        p.extend(self.temporal.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    fn set_train(&mut self, train: bool) {
+        for g in &mut self.gnns {
+            g.set_train(train);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use akg_embed::{BpeTokenizer, JointSpaceBuilder};
+    use akg_kg::{generate_kg, GeneratorConfig, SyntheticOracle};
+
+    fn fixture() -> (TokenizedKg, KgLayout, TokenTable, ModelConfig) {
+        let ont = akg_kg::Ontology::new();
+        let corpus = ont.corpus();
+        let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), 600);
+        let config = ModelConfig::fast();
+        let space = JointSpaceBuilder::new(config.embed_dim, 13, 3).build();
+        let mut oracle = SyntheticOracle::perfect(1);
+        let kg = generate_kg("stealing", &GeneratorConfig::default(), &mut oracle).kg;
+        let tkg = TokenizedKg::new(kg, &tokenizer, space.embed_text("stealing"));
+        let layout = KgLayout::new(&tkg);
+        let table = TokenTable::new(&tokenizer, &space, 8);
+        (tkg, layout, table, config)
+    }
+
+    #[test]
+    fn layout_rows_cover_graph() {
+        let (tkg, layout, _, _) = fixture();
+        assert_eq!(layout.node_count(), tkg.kg.node_count());
+        assert_eq!(layout.edge_count(), tkg.kg.edge_count());
+        assert_eq!(layout.levels.len(), tkg.kg.depth() + 1);
+    }
+
+    #[test]
+    fn layout_masks_consistent() {
+        let (tkg, layout, _, _) = fixture();
+        for plan in &layout.levels {
+            for (r, (&inv, &keep)) in plan.inv_counts.iter().zip(&plan.keep_mask).enumerate() {
+                let id = layout.rows[r];
+                let at_level = tkg.kg.node(id).unwrap().level == plan.level;
+                assert_eq!(keep == 0.0, at_level, "row {r} keep mask wrong");
+                if inv > 0.0 {
+                    assert!(at_level);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gnn_layer_count_is_depth_plus_two() {
+        let (tkg, _, _, config) = fixture();
+        let mut rng = StdRng::seed_from_u64(0);
+        let gnn =
+            HierarchicalGnn::new(tkg.kg.depth(), config.embed_dim, config.gnn_dim, &mut rng);
+        assert_eq!(gnn.layer_count(), tkg.kg.depth() + 2);
+    }
+
+    #[test]
+    fn forward_produces_gnn_dim_vector() {
+        let (tkg, layout, table, config) = fixture();
+        let mut model = DecisionModel::new(&[tkg.kg.depth()], &config);
+        let frame = vec![0.1f32; config.embed_dim];
+        let r = model.reasoning_embedding(&[&tkg], &[&layout], &table, &frame);
+        assert_eq!(r.shape(), vec![config.gnn_dim]);
+    }
+
+    #[test]
+    fn predict_outputs_distribution() {
+        let (tkg, layout, table, config) = fixture();
+        let mut model = DecisionModel::new(&[tkg.kg.depth()], &config);
+        model.set_train(false);
+        let window: Vec<Vec<f32>> =
+            (0..config.window).map(|i| vec![0.05 * i as f32; config.embed_dim]).collect();
+        let probs = model.predict(&[&tkg], &[&layout], &table, &window);
+        assert_eq!(probs.len(), 2);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn gradients_flow_to_token_table_through_frozen_model() {
+        let (tkg, layout, table, config) = fixture();
+        let mut model = DecisionModel::new(&[tkg.kg.depth()], &config);
+        model.set_train(false);
+        model.set_frozen(true);
+        table.set_frozen(false);
+        let frame = vec![0.2f32; config.embed_dim];
+        let r = model.reasoning_embedding(&[&tkg], &[&layout], &table, &frame);
+        let t = model.temporal_embedding(&[r.clone(), r]);
+        let logits = model.logits(&t);
+        logits.cross_entropy(&[1]).backward();
+        assert!(table.param().grad().is_some(), "token table got no gradient");
+        for p in model.params() {
+            assert!(p.grad().is_none(), "frozen model retained gradient");
+        }
+    }
+
+    #[test]
+    fn different_frames_give_different_scores() {
+        let (tkg, layout, table, config) = fixture();
+        let mut model = DecisionModel::new(&[tkg.kg.depth()], &config);
+        model.set_train(false);
+        let w1: Vec<Vec<f32>> = vec![vec![0.5; config.embed_dim]; config.window];
+        let w2: Vec<Vec<f32>> = vec![vec![-0.5; config.embed_dim]; config.window];
+        let s1 = model.anomaly_score(&[&tkg], &[&layout], &table, &w1);
+        let s2 = model.anomaly_score(&[&tkg], &[&layout], &table, &w2);
+        assert!((s1 - s2).abs() > 1e-6, "model is constant");
+    }
+
+    #[test]
+    fn multi_kg_concatenates() {
+        let ont = akg_kg::Ontology::new();
+        let corpus = ont.corpus();
+        let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), 600);
+        let config = ModelConfig::fast();
+        let space = JointSpaceBuilder::new(config.embed_dim, 13, 3).build();
+        let table = TokenTable::new(&tokenizer, &space, 0);
+        let mut o1 = SyntheticOracle::perfect(1);
+        let mut o2 = SyntheticOracle::perfect(2);
+        let kg1 = generate_kg("stealing", &GeneratorConfig::default(), &mut o1).kg;
+        let kg2 = generate_kg("robbery", &GeneratorConfig::default(), &mut o2).kg;
+        let t1 = TokenizedKg::new(kg1, &tokenizer, space.embed_text("stealing"));
+        let t2 = TokenizedKg::new(kg2, &tokenizer, space.embed_text("robbery"));
+        let (l1, l2) = (KgLayout::new(&t1), KgLayout::new(&t2));
+        let mut model = DecisionModel::new(&[t1.kg.depth(), t2.kg.depth()], &config);
+        assert_eq!(model.reasoning_dim(), 2 * config.gnn_dim);
+        assert_eq!(model.n_classes(), 3);
+        let frame = vec![0.1f32; config.embed_dim];
+        let r = model.reasoning_embedding(&[&t1, &t2], &[&l1, &l2], &table, &frame);
+        assert_eq!(r.shape(), vec![2 * config.gnn_dim]);
+    }
+}

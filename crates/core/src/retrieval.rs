@@ -1,0 +1,177 @@
+//! Interpretable KG retrieval (paper Sec. III-E): translate adapted token
+//! embeddings back into human-readable words by nearest-neighbour search
+//! over the frozen BPE-vocabulary embedding table (CoOp-style, extended to
+//! the joint space). Euclidean distance is the default metric, as in the
+//! paper; cosine and dot product are available for the ablation.
+
+use akg_embed::{retrieve_top_k, BpeTokenizer, JointSpace, Similarity};
+use serde::{Deserialize, Serialize};
+
+/// One retrieved word with its closeness score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievedWord {
+    /// The decoded word (end-of-word marker stripped).
+    pub word: String,
+    /// Closeness under the query metric (larger = closer; Euclidean scores
+    /// are negated distances).
+    pub closeness: f32,
+}
+
+/// Nearest-word retrieval over the *initial* (pre-adaptation) token
+/// embedding space — the fixed reference vocabulary the paper decodes
+/// against.
+#[derive(Debug, Clone)]
+pub struct InterpretableRetrieval {
+    words: Vec<String>,
+    table: Vec<f32>,
+    dim: usize,
+}
+
+impl InterpretableRetrieval {
+    /// Builds the reference space from a tokenizer's vocabulary and the
+    /// joint space. Sub-word fragments are retained (the paper notes that
+    /// retrieved tokens "may not always make perfect sense"); the `<unk>`
+    /// token is excluded.
+    pub fn new(tokenizer: &BpeTokenizer, space: &JointSpace) -> Self {
+        let mut words = Vec::new();
+        let mut table = Vec::new();
+        for (_, token) in tokenizer.vocab().iter() {
+            if token == "<unk>" {
+                continue;
+            }
+            let word = token.strip_suffix(akg_embed::bpe::END_OF_WORD).unwrap_or(token);
+            words.push(word.to_string());
+            table.extend(space.token_vector(token));
+        }
+        InterpretableRetrieval { words, table, dim: space.dim() }
+    }
+
+    /// Reference-vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Retrieves the `k` nearest vocabulary words to a learned embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` mismatches the space dimensionality.
+    pub fn nearest_words(&self, query: &[f32], k: usize, metric: Similarity) -> Vec<RetrievedWord> {
+        retrieve_top_k(query, &self.table, self.dim, k, metric)
+            .into_iter()
+            .map(|hit| RetrievedWord {
+                word: self.words[hit.index].clone(),
+                closeness: hit.closeness,
+            })
+            .collect()
+    }
+
+    /// Mean Euclidean distance from `query` to the embeddings of the given
+    /// words (skipping words absent from the vocabulary). Used for the
+    /// Fig. 6 drift trajectories ("closer to the initial concept words" vs
+    /// "closer to the other concept words").
+    pub fn distance_to_words(&self, query: &[f32], words: &[&str]) -> f32 {
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for target in words {
+            if let Some(pos) = self.words.iter().position(|w| w == target) {
+                let row = &self.table[pos * self.dim..(pos + 1) * self.dim];
+                total += akg_embed::euclidean(query, row);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f32::INFINITY
+        } else {
+            total / count as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use akg_embed::JointSpaceBuilder;
+    use akg_kg::Ontology;
+
+    fn fixture() -> (BpeTokenizer, JointSpace) {
+        let corpus = Ontology::new().corpus();
+        let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), 700);
+        let space = JointSpaceBuilder::new(24, 13, 5)
+            .anchor("sneaky", 11, 0.9)
+            .anchor("firearm", 8, 0.9)
+            .build();
+        (tokenizer, space)
+    }
+
+    #[test]
+    fn retrieval_finds_own_word() {
+        let (tok, space) = fixture();
+        let retrieval = InterpretableRetrieval::new(&tok, &space);
+        let query = space.word_vector("firearm");
+        let hits = retrieval.nearest_words(&query, 3, Similarity::Euclidean);
+        assert_eq!(hits[0].word, "firearm", "{hits:?}");
+        assert!(hits[0].closeness >= -1e-4);
+    }
+
+    #[test]
+    fn interpolated_embedding_flips_nearest_word() {
+        let (tok, space) = fixture();
+        let retrieval = InterpretableRetrieval::new(&tok, &space);
+        let sneaky = space.word_vector("sneaky");
+        let firearm = space.word_vector("firearm");
+        // mostly sneaky -> retrieves sneaky; mostly firearm -> retrieves firearm
+        let mix = |a: f32| -> Vec<f32> {
+            sneaky.iter().zip(&firearm).map(|(s, f)| a * s + (1.0 - a) * f).collect()
+        };
+        let near_sneaky = retrieval.nearest_words(&mix(0.9), 1, Similarity::Euclidean);
+        let near_firearm = retrieval.nearest_words(&mix(0.1), 1, Similarity::Euclidean);
+        assert_eq!(near_sneaky[0].word, "sneaky");
+        assert_eq!(near_firearm[0].word, "firearm");
+    }
+
+    #[test]
+    fn distance_to_words_tracks_drift() {
+        let (tok, space) = fixture();
+        let retrieval = InterpretableRetrieval::new(&tok, &space);
+        let sneaky = space.word_vector("sneaky");
+        let firearm = space.word_vector("firearm");
+        let d_initial = retrieval.distance_to_words(&sneaky, &["sneaky"]);
+        let d_other = retrieval.distance_to_words(&sneaky, &["firearm"]);
+        assert!(d_initial < d_other);
+        let drifted: Vec<f32> =
+            sneaky.iter().zip(&firearm).map(|(s, f)| 0.2 * s + 0.8 * f).collect();
+        assert!(
+            retrieval.distance_to_words(&drifted, &["firearm"])
+                < retrieval.distance_to_words(&drifted, &["sneaky"])
+        );
+    }
+
+    #[test]
+    fn unknown_words_give_infinite_distance() {
+        let (tok, space) = fixture();
+        let retrieval = InterpretableRetrieval::new(&tok, &space);
+        let q = vec![0.0; retrieval.dim()];
+        assert_eq!(retrieval.distance_to_words(&q, &["zzznotaword"]), f32::INFINITY);
+    }
+
+    #[test]
+    fn metrics_all_return_k_hits() {
+        let (tok, space) = fixture();
+        let retrieval = InterpretableRetrieval::new(&tok, &space);
+        let q = space.word_vector("person");
+        for metric in [Similarity::Euclidean, Similarity::Cosine, Similarity::Dot] {
+            assert_eq!(retrieval.nearest_words(&q, 5, metric).len(), 5);
+        }
+    }
+}

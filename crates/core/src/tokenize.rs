@@ -1,0 +1,267 @@
+//! KG tokenization and the trainable token-embedding table.
+//!
+//! Every reasoning node's input embedding is the mean of its concept's BPE
+//! token embeddings. The table is the *only* parameter set the continuous
+//! adaptation phase updates; spare rows are pre-allocated so freshly created
+//! nodes can receive a random token embedding without reallocating (which
+//! would invalidate optimizer state).
+
+use akg_embed::{BpeTokenizer, JointSpace};
+use akg_kg::{KnowledgeGraph, NodeId, NodeKind};
+use akg_tensor::nn::{Embedding, Module};
+use akg_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The trainable token-embedding table: BPE vocabulary rows initialized from
+/// the joint space, plus spare rows for adaptation-created nodes.
+#[derive(Debug)]
+pub struct TokenTable {
+    emb: Embedding,
+    vocab_len: usize,
+    capacity: usize,
+    next_spare: usize,
+}
+
+impl TokenTable {
+    /// Builds the table from a tokenizer's vocabulary and the joint space,
+    /// reserving `spare_rows` rows for adaptation-created nodes.
+    pub fn new(tokenizer: &BpeTokenizer, space: &JointSpace, spare_rows: usize) -> Self {
+        let vocab = tokenizer.vocab();
+        let dim = space.dim();
+        let mut weights = space.token_table(vocab);
+        weights.extend(std::iter::repeat(0.0).take(spare_rows * dim));
+        let capacity = vocab.len() + spare_rows;
+        TokenTable {
+            emb: Embedding::from_weights(weights, capacity, dim),
+            vocab_len: vocab.len(),
+            capacity,
+            next_spare: vocab.len(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.emb.dim()
+    }
+
+    /// Rows belonging to the base BPE vocabulary.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab_len
+    }
+
+    /// Remaining spare rows.
+    pub fn spare_remaining(&self) -> usize {
+        self.capacity - self.next_spare
+    }
+
+    /// Allocates a spare row initialized with a random unit-scaled embedding
+    /// (the paper's "new node with a random token embedding"). Returns the
+    /// row index.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a message when the spare pool is exhausted.
+    pub fn allocate_random_row(&mut self, rng: &mut StdRng) -> Result<usize, String> {
+        if self.next_spare >= self.capacity {
+            return Err("token table spare rows exhausted".to_string());
+        }
+        let row = self.next_spare;
+        self.next_spare += 1;
+        let dim = self.dim();
+        let scale = 1.0 / (dim as f32).sqrt();
+        let noise: Vec<f32> = (0..dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        self.emb.weight().update_data(|data| {
+            data[row * dim..(row + 1) * dim].copy_from_slice(&noise);
+        });
+        Ok(row)
+    }
+
+    /// Differentiable mean embedding of the given rows, shape `[1, dim]`.
+    pub fn node_embedding(&self, rows: &[usize]) -> Tensor {
+        self.emb.mean_of(rows)
+    }
+
+    /// Non-differentiable snapshot of a node's mean embedding.
+    pub fn node_embedding_data(&self, rows: &[usize]) -> Vec<f32> {
+        let dim = self.dim();
+        let w = self.emb.weight().to_vec();
+        let mut out = vec![0.0f32; dim];
+        for &r in rows {
+            for c in 0..dim {
+                out[c] += w[r * dim + c];
+            }
+        }
+        for v in &mut out {
+            *v /= rows.len().max(1) as f32;
+        }
+        out
+    }
+
+    /// A raw row of the table.
+    pub fn row_data(&self, row: usize) -> Vec<f32> {
+        let dim = self.dim();
+        let w = self.emb.weight().to_vec();
+        w[row * dim..(row + 1) * dim].to_vec()
+    }
+
+    /// The single trainable parameter (the table itself).
+    pub fn param(&self) -> Tensor {
+        self.emb.weight().clone()
+    }
+
+    /// Freezes/unfreezes the table (frozen during initial decision-model
+    /// training, the *only* unfrozen parameter during adaptation).
+    pub fn set_frozen(&self, frozen: bool) {
+        self.emb.set_frozen(frozen);
+    }
+}
+
+/// A KG plus the token rows backing each node and the mission's own text
+/// embedding (held by the embedding node, so the hierarchical messages
+/// `X_s ⊙ X_d` into it compare propagated reasoning against the mission —
+/// a zero embedding node would silence Eq. 2 entirely).
+#[derive(Debug)]
+pub struct TokenizedKg {
+    /// The graph structure.
+    pub kg: KnowledgeGraph,
+    /// Token rows (into the [`TokenTable`]) per reasoning node.
+    pub node_tokens: HashMap<NodeId, Vec<usize>>,
+    /// The mission text's joint-space embedding (embedding-node input).
+    pub mission_embedding: Vec<f32>,
+}
+
+impl TokenizedKg {
+    /// Tokenizes every reasoning node's concept text. `mission_embedding`
+    /// is the joint-space embedding of the mission text (see
+    /// [`akg_embed::JointSpace::embed_text`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mission_embedding` is all zeros (it would block every
+    /// hierarchical message into the embedding node).
+    pub fn new(
+        kg: KnowledgeGraph,
+        tokenizer: &BpeTokenizer,
+        mission_embedding: Vec<f32>,
+    ) -> Self {
+        assert!(
+            mission_embedding.iter().any(|v| *v != 0.0),
+            "mission embedding must be non-zero"
+        );
+        let mut node_tokens = HashMap::new();
+        for node in kg.nodes() {
+            if node.kind == NodeKind::Reasoning {
+                let ids: Vec<usize> =
+                    tokenizer.encode(&node.concept).into_iter().map(usize::from).collect();
+                let ids = if ids.is_empty() { vec![0] } else { ids };
+                node_tokens.insert(node.id, ids);
+            }
+        }
+        TokenizedKg { kg, node_tokens, mission_embedding }
+    }
+
+    /// Registers a freshly created node backed by the given table rows.
+    pub fn register_node(&mut self, id: NodeId, rows: Vec<usize>) {
+        self.node_tokens.insert(id, rows);
+    }
+
+    /// Forgets a pruned node's token assignment.
+    pub fn unregister_node(&mut self, id: NodeId) {
+        self.node_tokens.remove(&id);
+    }
+
+    /// Token rows of a node.
+    pub fn tokens_of(&self, id: NodeId) -> Option<&[usize]> {
+        self.node_tokens.get(&id).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use akg_kg::{generate_kg, GeneratorConfig, SyntheticOracle};
+    use rand::SeedableRng;
+
+    fn fixture() -> (BpeTokenizer, JointSpace, KnowledgeGraph) {
+        let ont = akg_kg::Ontology::new();
+        let corpus = ont.corpus();
+        let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), 600);
+        let space = akg_embed::JointSpaceBuilder::new(16, 13, 3).build();
+        let mut oracle = SyntheticOracle::perfect(1);
+        let kg = generate_kg("stealing", &GeneratorConfig::default(), &mut oracle).kg;
+        (tokenizer, space, kg)
+    }
+
+    #[test]
+    fn table_dimensions() {
+        let (tok, space, _) = fixture();
+        let table = TokenTable::new(&tok, &space, 8);
+        assert_eq!(table.dim(), 16);
+        assert_eq!(table.vocab_len(), tok.vocab().len());
+        assert_eq!(table.spare_remaining(), 8);
+    }
+
+    #[test]
+    fn spare_rows_allocate_until_exhausted() {
+        let (tok, space, _) = fixture();
+        let mut table = TokenTable::new(&tok, &space, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let r1 = table.allocate_random_row(&mut rng).unwrap();
+        let r2 = table.allocate_random_row(&mut rng).unwrap();
+        assert_eq!(r2, r1 + 1);
+        assert!(table.allocate_random_row(&mut rng).is_err());
+        // allocated rows are non-zero
+        assert!(table.row_data(r1).iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn tokenized_kg_covers_all_reasoning_nodes() {
+        let (tok, space, kg) = fixture();
+        let reasoning: Vec<NodeId> = kg
+            .nodes()
+            .filter(|n| n.kind == NodeKind::Reasoning)
+            .map(|n| n.id)
+            .collect();
+        let tkg = TokenizedKg::new(kg, &tok, space.embed_text("stealing"));
+        for id in reasoning {
+            assert!(tkg.tokens_of(id).is_some(), "node {id} untokenized");
+            assert!(!tkg.tokens_of(id).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn node_embedding_matches_manual_mean() {
+        let (tok, space, _) = fixture();
+        let table = TokenTable::new(&tok, &space, 0);
+        let rows = vec![1, 2];
+        let t = table.node_embedding(&rows);
+        let manual = table.node_embedding_data(&rows);
+        for (a, b) in t.to_vec().iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_only_used_rows() {
+        let (tok, space, _) = fixture();
+        let table = TokenTable::new(&tok, &space, 0);
+        table.set_frozen(false);
+        let emb = table.node_embedding(&[3]);
+        emb.sum_all().backward();
+        let grad = table.param().grad().unwrap();
+        let dim = table.dim();
+        assert!(grad[3 * dim..4 * dim].iter().any(|g| *g != 0.0));
+        assert!(grad[..3 * dim].iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn frozen_table_retains_no_grad() {
+        let (tok, space, _) = fixture();
+        let table = TokenTable::new(&tok, &space, 0);
+        table.set_frozen(true);
+        table.node_embedding(&[0]).sum_all().backward();
+        assert!(table.param().grad().is_none());
+    }
+}

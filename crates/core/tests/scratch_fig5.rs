@@ -1,0 +1,28 @@
+use akg_core::experiment::{run_trend_shift, TrendShiftParams};
+use akg_data::{DatasetConfig, SyntheticUcfCrime};
+use akg_kg::AnomalyClass;
+
+#[test]
+#[ignore]
+fn scratch_fig5() {
+    for seed in [42u64, 43] {
+        let mut cfg = DatasetConfig::scaled(0.03)
+            .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery, AnomalyClass::Explosion])
+            .with_seed(seed);
+        cfg.test_normal = 25;
+        cfg.test_anomalous = 30;
+        let ds = SyntheticUcfCrime::generate(cfg);
+        for (name, shifted) in [("weak", AnomalyClass::Robbery), ("strong", AnomalyClass::Explosion)] {
+            let mut params = TrendShiftParams::quick(AnomalyClass::Stealing, shifted);
+            params.seed = seed;
+            params.system.seed = seed;
+            params.train = params.train.with_seed(seed);
+            let result = run_trend_shift(&ds, &params);
+            print!("== seed {seed} {name}: init {:.2} | A:", result.initial_auc);
+            for p in &result.adaptive.points { print!(" {:.2}", p.auc); }
+            print!(" | S:");
+            for p in &result.static_kg.points { print!(" {:.2}", p.auc); }
+            println!(" | post A {:.3} vs S {:.3}", result.adaptive.post_shift_mean_auc(), result.static_kg.post_shift_mean_auc());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Edge-device energy/memory model turning FLOP counts into the physical
+//! quantities Table I reports (joules, gigabytes, bandwidth).
+
+use serde::{Deserialize, Serialize};
+
+/// A simple energy/memory model of an edge device.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EdgeDevice {
+    /// Energy per FLOP in joules (Jetson-class devices sit around
+    /// 10–100 pJ/FLOP; we use a conservative 50 pJ).
+    pub joules_per_flop: f64,
+    /// Bytes of storage per model/KG parameter (f32).
+    pub bytes_per_param: u64,
+}
+
+impl Default for EdgeDevice {
+    fn default() -> Self {
+        EdgeDevice { joules_per_flop: 50e-12, bytes_per_param: 4 }
+    }
+}
+
+impl EdgeDevice {
+    /// Energy in joules for a FLOP count.
+    pub fn energy_joules(&self, flops: u64) -> f64 {
+        flops as f64 * self.joules_per_flop
+    }
+
+    /// Storage in gigabytes for a parameter count.
+    pub fn storage_gb(&self, params: u64) -> f64 {
+        (params * self.bytes_per_param) as f64 / 1e9
+    }
+}
+
+/// The paper's published constants for the cloud baseline (Table I, baseline
+/// column). These are *taken from the paper*, not measured here — our
+/// simulator has no GPT-4 to measure.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CloudBaseline {
+    /// FLOPs per KG generation with GPT-4.
+    pub kg_generation_flops: f64,
+    /// GPT-4 memory during generation (GB).
+    pub gpt4_memory_gb: f64,
+    /// Wall-clock minutes per KG generation.
+    pub kg_generation_minutes: f64,
+    /// KG updates per month in the evaluated scenario.
+    pub updates_per_month: u64,
+    /// Network bandwidth per month for KG updates (GB).
+    pub bandwidth_gb_per_month: f64,
+    /// Memory footprint of the KG itself (GB).
+    pub kg_memory_gb: f64,
+    /// Edge storage requirement (GB).
+    pub edge_storage_gb: f64,
+}
+
+impl Default for CloudBaseline {
+    /// Table I's baseline numbers.
+    fn default() -> Self {
+        CloudBaseline {
+            kg_generation_flops: 1e15,
+            gpt4_memory_gb: 200.0,
+            kg_generation_minutes: 1.0,
+            updates_per_month: 4,
+            bandwidth_gb_per_month: 2.0,
+            kg_memory_gb: 0.5,
+            edge_storage_gb: 1.0,
+        }
+    }
+}
+
+impl CloudBaseline {
+    /// Total cloud FLOPs per month.
+    pub fn monthly_flops(&self) -> f64 {
+        self.updates_per_month as f64 * self.kg_generation_flops
+    }
+
+    /// Total KG update minutes per month.
+    pub fn monthly_update_minutes(&self) -> f64 {
+        self.updates_per_month as f64 * self.kg_generation_minutes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_linearly() {
+        let dev = EdgeDevice::default();
+        assert_eq!(dev.energy_joules(2_000_000_000), 2.0 * dev.energy_joules(1_000_000_000));
+    }
+
+    #[test]
+    fn default_baseline_matches_paper() {
+        let b = CloudBaseline::default();
+        assert_eq!(b.kg_generation_flops, 1e15);
+        assert_eq!(b.gpt4_memory_gb, 200.0);
+        assert_eq!(b.updates_per_month, 4);
+        assert_eq!(b.monthly_flops(), 4e15);
+        assert_eq!(b.monthly_update_minutes(), 4.0);
+    }
+
+    #[test]
+    fn daily_adaptation_energy_is_small() {
+        // the paper reports ~5 J per adaptation; 1e9 FLOPs at 50 pJ = 0.05 J
+        // of pure compute, comfortably under that envelope.
+        let dev = EdgeDevice::default();
+        let e = dev.energy_joules(1_000_000_000);
+        assert!(e < 5.0, "edge adaptation energy {e} J");
+    }
+
+    #[test]
+    fn storage_conversion() {
+        let dev = EdgeDevice::default();
+        assert!((dev.storage_gb(250_000_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! # akg-cost
+//!
+//! The computational-cost accounting behind the paper's Table I: analytic
+//! per-component FLOP counts for the deployed model ([`flops`]), an
+//! edge-device energy/storage model and the paper's published cloud-baseline
+//! constants ([`energy`]), and the table generator itself ([`report`]).
+//!
+//! The proposed-method column of Table I is *measured* from this
+//! implementation (model dimensions → FLOPs → joules); the baseline column
+//! reuses the constants the paper reports for GPT-4 cloud regeneration,
+//! which our simulator cannot measure.
+//!
+//! ## Example
+//!
+//! ```
+//! use akg_cost::flops::{KgDims, ModelDims};
+//! let dims = ModelDims {
+//!     kgs: 1,
+//!     kg: KgDims { nodes: 20, edges: 40, levels: 5 },
+//!     embed_dim: 64,
+//!     gnn_dim: 8,
+//!     window: 8,
+//!     temporal_inner: 32,
+//!     heads: 4,
+//!     temporal_layers: 1,
+//!     classes: 2,
+//! };
+//! assert!(dims.inference_flops() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod flops;
+pub mod report;
+
+pub use energy::{CloudBaseline, EdgeDevice};
+pub use flops::{KgDims, ModelDims};
+pub use report::{BaselineMeasurement, CostReport, CostRow, EdgeMeasurement};

@@ -1,0 +1,339 @@
+//! Synthetic untrimmed surveillance videos.
+//!
+//! A frame is a sparse *concept activation*: a weighted bag of concept words
+//! drawn from the normal-activity vocabulary and (inside anomaly segments)
+//! from the anomaly class's ontology concepts. The joint embedding space
+//! turns activations into frame embeddings, so frames genuinely live near
+//! the text concepts that describe them — the property the paper's KG
+//! reasoning exploits.
+
+use akg_kg::ontology::{AnomalyClass, Ontology};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Concept words for unremarkable surveillance footage, deliberately
+/// disjoint from every anomaly class's vocabulary. The pool is broad so
+/// normal footage is directionally diverse in the joint space — one-class
+/// "anything unusual" shortcuts must not work.
+pub const NORMAL_CONCEPTS: &[&str] = &[
+    "walking", "standing", "talking", "waiting", "strolling", "commuting", "queueing",
+    "shopping", "driving", "jogging", "sitting", "passing", "entering", "exiting",
+    "reading", "cleaning", "sweeping", "delivering", "unloading", "greeting", "resting",
+    "chatting", "cycling", "skating", "stretching", "photographing", "pointing", "gathering",
+];
+
+/// Generic entities that appear in normal *and* anomalous footage (a person
+/// in frame is not evidence of crime). Sampling these into normal scenes
+/// keeps shared subject words non-discriminative, as in real surveillance
+/// video.
+pub const GENERIC_CONCEPTS: &[&str] = &["person", "street", "vehicle", "hand", "crowd", "group"];
+
+/// One video frame as a weighted concept activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Active concepts with strengths.
+    pub concepts: Vec<(String, f32)>,
+    /// Frame-level ground truth: `Some(class)` inside an anomaly segment.
+    pub label: Option<AnomalyClass>,
+}
+
+impl Frame {
+    /// Whether this frame is inside an anomaly segment.
+    pub fn is_anomalous(&self) -> bool {
+        self.label.is_some()
+    }
+
+    /// Borrowed view of the activation, for the frame encoder.
+    pub fn activation(&self) -> Vec<(&str, f32)> {
+        self.concepts.iter().map(|(c, w)| (c.as_str(), *w)).collect()
+    }
+}
+
+/// An untrimmed video: a frame sequence, possibly containing one anomaly
+/// segment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Video {
+    /// Dataset-unique id.
+    pub id: usize,
+    /// The anomaly present in this video, if any (video-level label, as in
+    /// UCF-Crime's weak supervision).
+    pub class: Option<AnomalyClass>,
+    /// The frames.
+    pub frames: Vec<Frame>,
+    /// The anomalous frame range `[start, end)`, if any.
+    pub anomaly_range: Option<(usize, usize)>,
+}
+
+impl Video {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the video has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Iterates over `(frame, is_anomalous)` pairs.
+    pub fn labelled_frames(&self) -> impl Iterator<Item = (&Frame, bool)> {
+        self.frames.iter().map(|f| (f, f.is_anomalous()))
+    }
+}
+
+/// Controls synthetic video generation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VideoConfig {
+    /// Minimum frames per video.
+    pub min_frames: usize,
+    /// Maximum frames per video.
+    pub max_frames: usize,
+    /// Fraction of an anomalous video covered by the anomaly segment.
+    pub anomaly_fraction: f32,
+    /// How many anomaly concepts activate per anomalous frame.
+    pub anomaly_concepts_per_frame: usize,
+    /// How many normal concepts activate per frame.
+    pub normal_concepts_per_frame: usize,
+    /// Strength of anomaly concept activations relative to normal ones.
+    pub anomaly_strength: f32,
+    /// Frames between resamples of the ongoing activity (temporal
+    /// coherence of the footage).
+    pub activity_period: usize,
+    /// Minimum per-video anomaly intensity multiplier (low-intensity
+    /// anomalies are genuinely ambiguous, keeping score distributions
+    /// spread out as in real footage).
+    pub min_intensity: f32,
+    /// Maximum per-video anomaly intensity multiplier.
+    pub max_intensity: f32,
+}
+
+impl Default for VideoConfig {
+    fn default() -> Self {
+        VideoConfig {
+            min_frames: 48,
+            max_frames: 96,
+            anomaly_fraction: 0.3,
+            anomaly_concepts_per_frame: 3,
+            normal_concepts_per_frame: 2,
+            anomaly_strength: 1.2,
+            activity_period: 8,
+            min_intensity: 0.5,
+            max_intensity: 1.25,
+        }
+    }
+}
+
+/// Generates one normal (anomaly-free) video.
+///
+/// Videos are *temporally coherent*, like real footage: the scene background
+/// persists for the whole video and the ongoing activity persists for
+/// [`VideoConfig::activity_period`] frames, with per-frame weight jitter.
+/// Without this coherence, anomaly segments would be the only temporally
+/// stable content and a detector could key on stability alone, defeating
+/// mission-specificity.
+pub fn generate_normal_video(id: usize, config: &VideoConfig, rng: &mut StdRng) -> Video {
+    let n = rng.gen_range(config.min_frames..=config.max_frames);
+    let background = scene_background(rng);
+    let mut activity = sample_activity(config, rng);
+    let mut frames = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && i % config.activity_period == 0 {
+            activity = sample_activity(config, rng);
+        }
+        frames.push(compose_frame(&background, &activity, &[], None, rng));
+    }
+    Video { id, class: None, frames, anomaly_range: None }
+}
+
+/// Generates one untrimmed anomalous video with a contiguous anomaly
+/// segment of `class` concepts, temporally coherent like
+/// [`generate_normal_video`].
+pub fn generate_anomalous_video(
+    id: usize,
+    class: AnomalyClass,
+    ontology: &Ontology,
+    config: &VideoConfig,
+    rng: &mut StdRng,
+) -> Video {
+    let n = rng.gen_range(config.min_frames..=config.max_frames);
+    let seg_len = ((n as f32 * config.anomaly_fraction) as usize).clamp(1, n);
+    let start = rng.gen_range(0..=n - seg_len);
+    let end = start + seg_len;
+    let vocabulary: Vec<&str> = ontology.all_concepts(class);
+    let background = scene_background(rng);
+    let mut activity = sample_activity(config, rng);
+    let mut anomaly_concepts = sample_anomaly_concepts(&vocabulary, config, rng);
+    let intensity = rng.gen_range(config.min_intensity..=config.max_intensity);
+    let ramp = ((seg_len as f32 * 0.25) as usize).max(1);
+    let mut frames = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && i % config.activity_period == 0 {
+            activity = sample_activity(config, rng);
+            anomaly_concepts = sample_anomaly_concepts(&vocabulary, config, rng);
+        }
+        if (start..end).contains(&i) {
+            // onset/offset ramps: anomalies build up and fade like real events
+            let into = (i - start + 1).min(end - i);
+            let ramp_scale = (into as f32 / ramp as f32).min(1.0);
+            let scaled: Vec<(String, f32)> = anomaly_concepts
+                .iter()
+                .map(|(c, w)| (c.clone(), w * intensity * ramp_scale))
+                .collect();
+            frames.push(compose_frame(&background, &activity, &scaled, Some(class), rng));
+        } else {
+            frames.push(compose_frame(&background, &activity, &[], None, rng));
+        }
+    }
+    Video { id, class: Some(class), frames, anomaly_range: Some((start, end)) }
+}
+
+/// The persistent normal-activity concept set of one scene stretch: normal
+/// activity words plus, usually, a generic entity (people and vehicles are
+/// everywhere in surveillance footage).
+fn sample_activity(config: &VideoConfig, rng: &mut StdRng) -> Vec<String> {
+    let mut activity: Vec<String> = (0..config.normal_concepts_per_frame)
+        .map(|_| NORMAL_CONCEPTS[rng.gen_range(0..NORMAL_CONCEPTS.len())].to_string())
+        .collect();
+    if rng.gen_bool(0.7) {
+        activity.push(GENERIC_CONCEPTS[rng.gen_range(0..GENERIC_CONCEPTS.len())].to_string());
+    }
+    activity
+}
+
+/// The persistent anomaly concept set of one segment stretch
+/// (salience-weighted picks with their base strengths).
+fn sample_anomaly_concepts(
+    vocabulary: &[&str],
+    config: &VideoConfig,
+    rng: &mut StdRng,
+) -> Vec<(String, f32)> {
+    (0..config.anomaly_concepts_per_frame)
+        .map(|_| {
+            let idx = salience_pick(vocabulary.len(), rng);
+            (vocabulary[idx].to_string(), config.anomaly_strength)
+        })
+        .collect()
+}
+
+/// One frame from the persistent scene state, with per-frame weight jitter.
+///
+/// Normal and anomalous frames are composed *identically* — same activity,
+/// generic-entity and background weights — with the anomaly concepts purely
+/// additive. Any systematic compositional difference (weaker activity,
+/// dimmer background, missing people) would hand detectors a
+/// mission-agnostic shortcut that real footage does not provide.
+fn compose_frame(
+    background: &str,
+    activity: &[String],
+    anomaly: &[(String, f32)],
+    label: Option<AnomalyClass>,
+    rng: &mut StdRng,
+) -> Frame {
+    let mut concepts = Vec::with_capacity(activity.len() + anomaly.len() + 1);
+    for a in activity {
+        concepts.push((a.clone(), rng.gen_range(0.5..1.0)));
+    }
+    for (c, strength) in anomaly {
+        concepts.push((c.clone(), strength * rng.gen_range(0.7..1.1)));
+    }
+    concepts.push((background.to_string(), 0.8 * rng.gen_range(0.75..1.25)));
+    Frame { concepts, label }
+}
+
+/// A unique scene-background pseudo-concept (hash-noise direction in the
+/// joint space): real normal footage has unbounded visual diversity, so a
+/// detector cannot memorize the finite normal vocabulary and flag
+/// "everything else" as anomalous.
+fn scene_background(rng: &mut StdRng) -> String {
+    format!("scene-{:08x}", rng.gen::<u32>())
+}
+
+/// Geometric-ish pick favouring low indices (salient concepts).
+fn salience_pick(len: usize, rng: &mut StdRng) -> usize {
+    debug_assert!(len > 0);
+    let mut idx = 0usize;
+    while idx + 1 < len && rng.gen_bool(0.55) {
+        idx += 1;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_video_has_no_labels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = generate_normal_video(0, &VideoConfig::default(), &mut rng);
+        assert!(v.class.is_none());
+        assert!(v.frames.iter().all(|f| !f.is_anomalous()));
+        assert!(v.len() >= VideoConfig::default().min_frames);
+    }
+
+    #[test]
+    fn anomalous_video_has_contiguous_segment() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ont = Ontology::new();
+        let v = generate_anomalous_video(
+            1,
+            AnomalyClass::Stealing,
+            &ont,
+            &VideoConfig::default(),
+            &mut rng,
+        );
+        let (start, end) = v.anomaly_range.unwrap();
+        assert!(start < end && end <= v.len());
+        for (i, f) in v.frames.iter().enumerate() {
+            assert_eq!(f.is_anomalous(), (start..end).contains(&i), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn anomalous_frames_use_class_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ont = Ontology::new();
+        let v = generate_anomalous_video(
+            2,
+            AnomalyClass::Explosion,
+            &ont,
+            &VideoConfig::default(),
+            &mut rng,
+        );
+        let vocab: std::collections::HashSet<&str> =
+            ont.all_concepts(AnomalyClass::Explosion).into_iter().collect();
+        let anom = v.frames.iter().find(|f| f.is_anomalous()).unwrap();
+        assert!(anom.concepts.iter().any(|(c, _)| vocab.contains(c.as_str())));
+    }
+
+    #[test]
+    fn normal_vocab_disjoint_from_anomaly_vocab() {
+        let ont = Ontology::new();
+        for class in AnomalyClass::ALL {
+            for w in ont.all_concepts(class) {
+                assert!(!NORMAL_CONCEPTS.contains(&w), "{w} is both normal and {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ont = Ontology::new();
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_anomalous_video(0, AnomalyClass::Robbery, &ont, &VideoConfig::default(), &mut rng)
+        };
+        assert_eq!(gen(9).frames, gen(9).frames);
+    }
+
+    #[test]
+    fn salience_pick_prefers_head() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks: Vec<usize> = (0..1000).map(|_| salience_pick(10, &mut rng)).collect();
+        let head = picks.iter().filter(|&&p| p == 0).count();
+        let tail = picks.iter().filter(|&&p| p == 9).count();
+        assert!(head > tail, "head {head} tail {tail}");
+    }
+}

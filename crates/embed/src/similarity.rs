@@ -1,0 +1,162 @@
+//! Similarity metrics and top-K retrieval over an embedding table.
+//!
+//! The paper's interpretable KG retrieval tested dot product, cosine and
+//! Euclidean distance, and settled on Euclidean; all three are provided so
+//! the ablation bench can compare them.
+
+use serde::{Deserialize, Serialize};
+
+/// A similarity/distance metric over embedding vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Similarity {
+    /// Euclidean (L2) distance; smaller is closer. The paper's choice.
+    Euclidean,
+    /// Cosine similarity; larger is closer.
+    Cosine,
+    /// Raw dot product; larger is closer.
+    Dot,
+}
+
+impl Default for Similarity {
+    fn default() -> Self {
+        Similarity::Euclidean
+    }
+}
+
+/// Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Cosine similarity between two equal-length vectors (0 if either is zero).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: length mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Dot product between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Similarity {
+    /// A *closeness* score where larger always means more similar, so all
+    /// three metrics can share the same retrieval code.
+    pub fn closeness(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Similarity::Euclidean => -euclidean(a, b),
+            Similarity::Cosine => cosine(a, b),
+            Similarity::Dot => dot(a, b),
+        }
+    }
+}
+
+/// One retrieval hit: a row index into the searched table and its distance
+/// or similarity under the chosen metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Row index into the table.
+    pub index: usize,
+    /// Closeness score (larger = closer), as given by
+    /// [`Similarity::closeness`].
+    pub closeness: f32,
+}
+
+/// Returns the `k` rows of `table` (row-major, `dim` columns) closest to
+/// `query` under `metric`, most similar first.
+///
+/// # Panics
+///
+/// Panics if `query.len() != dim` or `table.len()` is not a multiple of
+/// `dim`.
+pub fn retrieve_top_k(
+    query: &[f32],
+    table: &[f32],
+    dim: usize,
+    k: usize,
+    metric: Similarity,
+) -> Vec<Hit> {
+    assert_eq!(query.len(), dim, "retrieve_top_k: query dim mismatch");
+    assert_eq!(table.len() % dim, 0, "retrieve_top_k: ragged table");
+    let rows = table.len() / dim;
+    let mut hits: Vec<Hit> = (0..rows)
+        .map(|r| Hit { index: r, closeness: metric.closeness(query, &table[r * dim..(r + 1) * dim]) })
+        .collect();
+    hits.sort_by(|a, b| b.closeness.partial_cmp(&a.closeness).unwrap_or(std::cmp::Ordering::Equal));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_of_identical_is_zero() {
+        assert_eq!(euclidean(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_345() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_defined() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn retrieval_orders_by_closeness() {
+        // table rows: (0,0), (1,0), (5,0); query (0.9, 0)
+        let table = vec![0.0, 0.0, 1.0, 0.0, 5.0, 0.0];
+        let hits = retrieve_top_k(&[0.9, 0.0], &table, 2, 2, Similarity::Euclidean);
+        assert_eq!(hits[0].index, 1);
+        assert_eq!(hits[1].index, 0);
+    }
+
+    #[test]
+    fn retrieval_metrics_can_disagree() {
+        // Dot favours long vectors; Euclidean favours near ones.
+        let table = vec![0.1, 0.0, 10.0, 0.0];
+        let q = [0.2, 0.0];
+        let e = retrieve_top_k(&q, &table, 2, 1, Similarity::Euclidean);
+        let d = retrieve_top_k(&q, &table, 2, 1, Similarity::Dot);
+        assert_eq!(e[0].index, 0);
+        assert_eq!(d[0].index, 1);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let table = vec![0.0; 10];
+        let hits = retrieve_top_k(&[0.0], &table, 1, 3, Similarity::Euclidean);
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -1,0 +1,348 @@
+//! The joint text/frame embedding space — our deterministic stand-in for
+//! ImageBind-Huge.
+//!
+//! The space is organised around `n_classes` anomaly-class *centers* (random
+//! unit vectors). Domain words registered as *anchors* embed near their
+//! class centers with a configurable affinity; all other words embed at a
+//! deterministic hash-noise position. Synthetic video frames are generated
+//! from concept activations, and [`JointSpace::embed_bag`] maps an
+//! activation set into the same space — so frame embeddings land near the
+//! text concepts they depict, the one property of ImageBind the paper's
+//! mechanism actually relies on.
+
+use crate::vocab::Vocab;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Builder-configured joint embedding space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JointSpace {
+    dim: usize,
+    seed: u64,
+    class_centers: Vec<Vec<f32>>,
+    /// word -> (per-class weight, affinity)
+    anchors: HashMap<String, Anchor>,
+    noise_scale: f32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Anchor {
+    class_weights: Vec<(usize, f32)>,
+    affinity: f32,
+}
+
+/// Builder for [`JointSpace`].
+#[derive(Debug)]
+pub struct JointSpaceBuilder {
+    dim: usize,
+    n_classes: usize,
+    seed: u64,
+    anchors: HashMap<String, Anchor>,
+    noise_scale: f32,
+    correlations: Vec<(usize, usize, f32)>,
+}
+
+impl JointSpaceBuilder {
+    /// Starts a builder for a `dim`-dimensional space with `n_classes`
+    /// semantic clusters.
+    pub fn new(dim: usize, n_classes: usize, seed: u64) -> Self {
+        JointSpaceBuilder {
+            dim,
+            n_classes,
+            seed,
+            anchors: HashMap::new(),
+            noise_scale: 0.35,
+            correlations: Vec::new(),
+        }
+    }
+
+    /// Requests that two class centers have (approximately) the given cosine
+    /// similarity — semantically related anomaly classes embed nearby, as a
+    /// real joint embedding model would place them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class is out of range or `cos` is outside `[0, 1)`.
+    pub fn correlate(mut self, a: usize, b: usize, cos: f32) -> Self {
+        assert!(a < self.n_classes && b < self.n_classes, "class out of range");
+        assert!((0.0..1.0).contains(&cos), "cos must be in [0, 1)");
+        self.correlations.push((a, b, cos));
+        self
+    }
+
+    /// Registers `word` as an anchor of `class` with the given affinity in
+    /// `[0, 1]` (1 = exactly at the class center). Registering the same word
+    /// for several classes averages the centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= n_classes` or `affinity` is outside `[0, 1]`.
+    pub fn anchor(mut self, word: &str, class: usize, affinity: f32) -> Self {
+        assert!(class < self.n_classes, "class {class} out of range");
+        assert!((0.0..=1.0).contains(&affinity), "affinity must be in [0,1]");
+        let entry = self.anchors.entry(word.to_lowercase()).or_insert(Anchor {
+            class_weights: Vec::new(),
+            affinity,
+        });
+        entry.class_weights.push((class, 1.0));
+        entry.affinity = entry.affinity.max(affinity);
+        self
+    }
+
+    /// Sets the hash-noise scale mixed into every word vector.
+    pub fn noise_scale(mut self, scale: f32) -> Self {
+        self.noise_scale = scale;
+        self
+    }
+
+    /// Builds the space, sampling the class centers and applying requested
+    /// correlations (each center is mixed toward its correlated peers, then
+    /// renormalized — pairwise cosines approximate the requested values).
+    pub fn build(self) -> JointSpace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut class_centers: Vec<Vec<f32>> =
+            (0..self.n_classes).map(|_| random_unit(self.dim, &mut rng)).collect();
+        for &(a, b, cos) in &self.correlations {
+            // pull the later class toward the earlier one
+            let (keep, adjust) = if a < b { (a, b) } else { (b, a) };
+            let base = class_centers[keep].clone();
+            let residual = (1.0 - cos * cos).sqrt();
+            let adjusted: Vec<f32> = class_centers[adjust]
+                .iter()
+                .zip(&base)
+                .map(|(x, k)| cos * k + residual * x)
+                .collect();
+            class_centers[adjust] = normalize(adjusted);
+        }
+        JointSpace {
+            dim: self.dim,
+            seed: self.seed,
+            class_centers,
+            anchors: self.anchors,
+            noise_scale: self.noise_scale,
+        }
+    }
+}
+
+impl JointSpace {
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of class clusters.
+    pub fn n_classes(&self) -> usize {
+        self.class_centers.len()
+    }
+
+    /// The center of a class cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_center(&self, class: usize) -> &[f32] {
+        &self.class_centers[class]
+    }
+
+    /// Deterministic embedding of a single word. Anchored words sit near
+    /// their class centers; unknown words at hash-noise positions.
+    pub fn word_vector(&self, word: &str) -> Vec<f32> {
+        let word = word.to_lowercase();
+        let noise = hash_noise(&word, self.seed, self.dim);
+        match self.anchors.get(&word) {
+            Some(anchor) => {
+                let mut v = vec![0.0f32; self.dim];
+                let total: f32 = anchor.class_weights.iter().map(|(_, w)| w).sum();
+                for (class, w) in &anchor.class_weights {
+                    for (vi, ci) in v.iter_mut().zip(&self.class_centers[*class]) {
+                        *vi += ci * w / total;
+                    }
+                }
+                let a = anchor.affinity;
+                for (vi, ni) in v.iter_mut().zip(&noise) {
+                    *vi = a * *vi + (1.0 - a) * self.noise_scale * ni;
+                }
+                normalize(v)
+            }
+            None => normalize(noise.into_iter().map(|n| n * self.noise_scale).collect()),
+        }
+    }
+
+    /// Embedding of a token string from the BPE vocabulary: the end-of-word
+    /// marker is stripped, then the word embedding (or hash noise for
+    /// sub-word fragments) is used.
+    pub fn token_vector(&self, token: &str) -> Vec<f32> {
+        let stripped = token.strip_suffix(crate::bpe::END_OF_WORD).unwrap_or(token);
+        self.word_vector(stripped)
+    }
+
+    /// Mean embedding of whitespace-separated text (a concept phrase).
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        if words.is_empty() {
+            return vec![0.0; self.dim];
+        }
+        let mut v = vec![0.0f32; self.dim];
+        for w in &words {
+            for (vi, wi) in v.iter_mut().zip(self.word_vector(w)) {
+                *vi += wi;
+            }
+        }
+        for vi in &mut v {
+            *vi /= words.len() as f32;
+        }
+        v
+    }
+
+    /// Frame encoder: embeds a weighted bag of active concepts plus Gaussian
+    /// observation noise, normalized to unit length. This is the `E_I(F_t)`
+    /// of the paper for our synthetic frames.
+    ///
+    /// The final normalization matters: without it, frames whose concepts
+    /// cluster (anomalies) would have systematically larger norms than
+    /// frames mixing scattered concepts (normal footage), handing detectors
+    /// a mission-agnostic concentration shortcut that real video encoders do
+    /// not provide.
+    pub fn embed_bag(&self, items: &[(&str, f32)], noise_std: f32, rng: &mut StdRng) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let mut total = 0.0f32;
+        for (word, weight) in items {
+            total += weight;
+            let wv = self.embed_text(word);
+            for (vi, wi) in v.iter_mut().zip(wv) {
+                *vi += weight * wi;
+            }
+        }
+        if total > 0.0 {
+            for vi in &mut v {
+                *vi /= total;
+            }
+        }
+        for vi in &mut v {
+            *vi += noise_std * crate::gaussian(rng);
+        }
+        normalize(v)
+    }
+
+    /// The initial token-embedding table for a vocabulary, row-major
+    /// `[vocab.len() * dim]`. This is what the adaptation phase fine-tunes.
+    pub fn token_table(&self, vocab: &Vocab) -> Vec<f32> {
+        let mut table = Vec::with_capacity(vocab.len() * self.dim);
+        for (_, token) in vocab.iter() {
+            table.extend(self.token_vector(token));
+        }
+        table
+    }
+}
+
+fn normalize(mut v: Vec<f32>) -> Vec<f32> {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+fn random_unit(dim: usize, rng: &mut StdRng) -> Vec<f32> {
+    normalize((0..dim).map(|_| crate::gaussian(rng)).collect())
+}
+
+/// Deterministic pseudo-random vector for a string (FNV-1a seeded RNG).
+fn hash_noise(s: &str, seed: u64, dim: usize) -> Vec<f32> {
+    let mut h: u64 = 0xcbf29ce484222325 ^ seed;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    normalize((0..dim).map(|_| crate::gaussian(&mut rng)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{cosine, euclidean};
+
+    fn space() -> JointSpace {
+        JointSpaceBuilder::new(32, 3, 42)
+            .anchor("stealing", 0, 0.9)
+            .anchor("sneaky", 0, 0.8)
+            .anchor("robbery", 1, 0.9)
+            .anchor("firearm", 1, 0.8)
+            .anchor("explosion", 2, 0.9)
+            .anchor("person", 0, 0.4)
+            .anchor("person", 1, 0.4)
+            .build()
+    }
+
+    #[test]
+    fn word_vectors_are_deterministic() {
+        let s = space();
+        assert_eq!(s.word_vector("stealing"), s.word_vector("Stealing"));
+        assert_eq!(s.word_vector("mystery"), s.word_vector("mystery"));
+    }
+
+    #[test]
+    fn same_class_anchors_cluster() {
+        let s = space();
+        let steal = s.word_vector("stealing");
+        let sneaky = s.word_vector("sneaky");
+        let expl = s.word_vector("explosion");
+        assert!(cosine(&steal, &sneaky) > cosine(&steal, &expl));
+    }
+
+    #[test]
+    fn shared_anchor_sits_between_classes() {
+        let s = space();
+        let person = s.word_vector("person");
+        let c0 = cosine(&person, s.class_center(0));
+        let c1 = cosine(&person, s.class_center(1));
+        let c2 = cosine(&person, s.class_center(2));
+        assert!(c0 > c2 && c1 > c2, "{c0} {c1} {c2}");
+    }
+
+    #[test]
+    fn embed_bag_lands_near_active_concepts() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        let frame = s.embed_bag(&[("stealing", 1.0), ("sneaky", 0.5)], 0.01, &mut rng);
+        let steal = s.word_vector("stealing");
+        let expl = s.word_vector("explosion");
+        assert!(euclidean(&frame, &steal) < euclidean(&frame, &expl));
+    }
+
+    #[test]
+    fn token_vector_strips_end_of_word() {
+        let s = space();
+        assert_eq!(s.token_vector("stealing</w>"), s.word_vector("stealing"));
+    }
+
+    #[test]
+    fn token_table_has_right_size() {
+        let s = space();
+        let mut v = Vocab::new();
+        v.push("a".into());
+        v.push("b</w>".into());
+        assert_eq!(s.token_table(&v).len(), 2 * s.dim());
+    }
+
+    #[test]
+    fn embed_text_averages_words() {
+        let s = space();
+        let a = s.embed_text("stealing");
+        let b = s.embed_text("stealing stealing");
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_bad_class() {
+        let _ = JointSpaceBuilder::new(8, 2, 0).anchor("x", 5, 0.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Token vocabulary: a bidirectional token-string ↔ id map.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a token in a [`Vocab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TokenId(pub usize);
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<TokenId> for usize {
+    fn from(id: TokenId) -> usize {
+        id.0
+    }
+}
+
+/// An append-only token vocabulary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, TokenId>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocab::default()
+    }
+
+    /// Appends a token, returning its id. Re-adding an existing token
+    /// returns the existing id.
+    pub fn push(&mut self, token: String) -> TokenId {
+        if self.index.is_empty() && !self.tokens.is_empty() {
+            self.rebuild_index();
+        }
+        if let Some(&id) = self.index.get(&token) {
+            return id;
+        }
+        let id = TokenId(self.tokens.len());
+        self.index.insert(token.clone(), id);
+        self.tokens.push(token);
+        id
+    }
+
+    /// Rebuilds the string→id index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index =
+            self.tokens.iter().enumerate().map(|(i, t)| (t.clone(), TokenId(i))).collect();
+    }
+
+    /// Looks up a token's id.
+    pub fn id_of(&self, token: &str) -> Option<TokenId> {
+        if self.index.is_empty() && !self.tokens.is_empty() {
+            // Deserialized without index: linear fallback keeps correctness.
+            return self.tokens.iter().position(|t| t == token).map(TokenId);
+        }
+        self.index.get(token).copied()
+    }
+
+    /// The token string for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn token(&self, id: TokenId) -> &str {
+        &self.tokens[id.0]
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterates over `(id, token)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.tokens.iter().enumerate().map(|(i, t)| (TokenId(i), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut v = Vocab::new();
+        let a = v.push("alpha".into());
+        let b = v.push("beta".into());
+        assert_ne!(a, b);
+        assert_eq!(v.id_of("alpha"), Some(a));
+        assert_eq!(v.token(b), "beta");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn push_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.push("x".into());
+        let a2 = v.push("x".into());
+        assert_eq!(a, a2);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_lookup_still_works() {
+        let mut v = Vocab::new();
+        v.push("one".into());
+        v.push("two".into());
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Vocab = serde_json::from_str(&json).unwrap();
+        // index was skipped; the linear fallback must still find tokens
+        assert_eq!(back.id_of("two"), Some(TokenId(1)));
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut v = Vocab::new();
+        v.push("a".into());
+        v.push("b".into());
+        let items: Vec<_> = v.iter().map(|(i, t)| (i.0, t.to_string())).collect();
+        assert_eq!(items, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: BPE round trips, retrieval invariants, space determinism.
+
+use akg_embed::{retrieve_top_k, BpeTokenizer, JointSpaceBuilder, Similarity};
+use proptest::prelude::*;
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bpe_round_trips_any_lowercase_text(words in proptest::collection::vec(word_strategy(), 1..6)) {
+        let text = words.join(" ");
+        // Train on a corpus that includes the text so every char is known.
+        let corpus = [text.as_str(), "the quick brown fox", "abcdefghijklmnopqrstuvwxyz"];
+        let tok = BpeTokenizer::train(corpus.iter().copied(), 500);
+        let ids = tok.encode(&text);
+        prop_assert_eq!(tok.decode(&ids), text);
+    }
+
+    #[test]
+    fn encoding_never_panics_on_arbitrary_text(text in ".{0,64}") {
+        let tok = BpeTokenizer::train(["hello world"], 100);
+        let ids = tok.encode(&text);
+        let _ = tok.decode(&ids);
+    }
+
+    #[test]
+    fn word_vectors_unit_norm(word in word_strategy()) {
+        let space = JointSpaceBuilder::new(24, 4, 3).anchor("anchor", 0, 0.9).build();
+        let v = space.word_vector(&word);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
+    }
+
+    #[test]
+    fn retrieval_self_is_nearest(rows in 2usize..10, dim in 2usize..8, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table: Vec<f32> = (0..rows * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let target = 0usize;
+        let query: Vec<f32> = table[target * dim..(target + 1) * dim].to_vec();
+        let hits = retrieve_top_k(&query, &table, dim, 1, Similarity::Euclidean);
+        // the row itself must be at distance zero (ties possible but closeness equal)
+        prop_assert!(hits[0].closeness >= -1e-6);
+    }
+
+    #[test]
+    fn top_k_monotone_closeness(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 4;
+        let table: Vec<f32> = (0..20 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let query: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        for metric in [Similarity::Euclidean, Similarity::Cosine, Similarity::Dot] {
+            let hits = retrieve_top_k(&query, &table, dim, 20, metric);
+            for w in hits.windows(2) {
+                prop_assert!(w[0].closeness >= w[1].closeness);
+            }
+        }
+    }
+}

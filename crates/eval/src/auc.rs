@@ -1,0 +1,190 @@
+//! ROC-AUC with proper tie handling (Mann–Whitney U formulation), the test
+//! metric of every curve in the paper's Fig. 5 and the AUC row of Table I.
+
+/// Computes the area under the ROC curve for anomaly `scores` against
+/// boolean `labels` (`true` = anomalous).
+///
+/// Ties receive half credit (rank-average), matching the Mann–Whitney
+/// statistic. Returns 0.5 when either class is absent (undefined AUC).
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use akg_eval::auc::roc_auc;
+/// let scores = [0.9, 0.8, 0.3, 0.1];
+/// let labels = [true, true, false, false];
+/// assert_eq!(roc_auc(&scores, &labels), 1.0);
+/// ```
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f32 {
+    assert_eq!(scores.len(), labels.len(), "roc_auc: length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // rank-sum with average ranks for ties
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // ranks are 1-based: items i..=j share the average rank
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    let u = rank_sum_pos - p * (p + 1.0) / 2.0;
+    (u / (p * n)) as f32
+}
+
+/// A point on the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f32,
+    /// True-positive rate.
+    pub tpr: f32,
+    /// The threshold producing this point.
+    pub threshold: f32,
+}
+
+/// Computes the full ROC curve (one point per distinct threshold,
+/// descending).
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()`.
+pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "roc_curve: length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count().max(1) as f32;
+    let negatives = (labels.len() - labels.iter().filter(|&&l| l).count()).max(1) as f32;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f32::INFINITY }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: fp as f32 / negatives,
+            tpr: tp as f32 / positives,
+            threshold,
+        });
+    }
+    points
+}
+
+/// Average precision (area under the precision-recall curve, step-wise).
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()`.
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f32 {
+    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count();
+    if positives == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (seen, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            tp += 1;
+            ap += tp as f64 / (seen + 1) as f64;
+        }
+    }
+    (ap / positives as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]), 0.0);
+    }
+
+    #[test]
+    fn all_tied_is_half() {
+        assert_eq!(roc_auc(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]), 0.5);
+    }
+
+    #[test]
+    fn single_class_is_half() {
+        assert_eq!(roc_auc(&[0.5, 0.7], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8>0.6) 1, (0.8>0.2) 1, (0.4<0.6) 0, (0.4>0.2) 1 => 3/4
+        let auc = roc_auc(&[0.8, 0.4, 0.6, 0.2], &[true, true, false, false]);
+        assert!((auc - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tie_gets_half_credit() {
+        // pos 0.5, neg 0.5 tie -> 0.5; plus pos 0.9 > neg 0.1 -> 1
+        let auc = roc_auc(&[0.9, 0.5, 0.5, 0.1], &[true, true, false, false]);
+        assert!((auc - 0.875).abs() < 1e-6, "{auc}");
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform() {
+        let scores = [0.9f32, 0.5, 0.3, 0.7, 0.1];
+        let labels = [true, false, false, true, false];
+        let a = roc_auc(&scores, &labels);
+        let transformed: Vec<f32> = scores.iter().map(|s| (s * 3.0).exp()).collect();
+        let b = roc_auc(&transformed, &labels);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roc_curve_monotone() {
+        let scores = [0.9f32, 0.5, 0.3, 0.7, 0.1, 0.6];
+        let labels = [true, false, false, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        let last = curve.last().unwrap();
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn average_precision_perfect() {
+        let ap = average_precision(&[0.9, 0.8, 0.2], &[true, true, false]);
+        assert!((ap - 1.0).abs() < 1e-6);
+    }
+}

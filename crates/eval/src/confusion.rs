@@ -1,0 +1,139 @@
+//! Threshold-based confusion matrix and the usual derived rates.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of a binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix by thresholding scores (`score >=
+    /// threshold` predicts anomalous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != labels.len()`.
+    pub fn at_threshold(scores: &[f32], labels: &[bool], threshold: f32) -> Self {
+        assert_eq!(scores.len(), labels.len(), "Confusion: length mismatch");
+        let mut c = Confusion::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy (0 when empty).
+    pub fn accuracy(&self) -> f32 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f32 / self.total() as f32
+        }
+    }
+
+    /// Precision (0 when no positive predictions).
+    pub fn precision(&self) -> f32 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f32 / (self.tp + self.fp) as f32
+        }
+    }
+
+    /// Recall / true-positive rate (0 when no positives).
+    pub fn recall(&self) -> f32 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f32 / (self.tp + self.fn_) as f32
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// False-positive rate (0 when no negatives).
+    pub fn fpr(&self) -> f32 {
+        if self.fp + self.tn == 0 {
+            0.0
+        } else {
+            self.fp as f32 / (self.fp + self.tn) as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Confusion {
+        Confusion::at_threshold(
+            &[0.9, 0.7, 0.4, 0.2],
+            &[true, false, true, false],
+            0.5,
+        )
+    }
+
+    #[test]
+    fn counts_correct() {
+        let c = sample();
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn rates_correct() {
+        let c = sample();
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.fpr(), 0.5);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn extreme_thresholds() {
+        let scores = [0.9f32, 0.1];
+        let labels = [true, false];
+        let all_pos = Confusion::at_threshold(&scores, &labels, f32::NEG_INFINITY);
+        assert_eq!(all_pos.recall(), 1.0);
+        let all_neg = Confusion::at_threshold(&scores, &labels, f32::INFINITY);
+        assert_eq!(all_neg.recall(), 0.0);
+    }
+}

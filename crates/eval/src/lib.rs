@@ -1,0 +1,24 @@
+//! # akg-eval
+//!
+//! Evaluation metrics for the `adaptive-kg` reproduction: frame-level
+//! ROC-AUC (the paper's headline metric), score-distribution monitoring with
+//! the adaptation trigger `K = |Δm| · N`, and threshold-based confusion
+//! rates.
+//!
+//! ## Example
+//!
+//! ```
+//! use akg_eval::auc::roc_auc;
+//! let auc = roc_auc(&[0.9, 0.2, 0.8, 0.4], &[true, false, true, false]);
+//! assert_eq!(auc, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auc;
+pub mod confusion;
+pub mod stats;
+
+pub use auc::{average_precision, roc_auc, roc_curve, RocPoint};
+pub use confusion::Confusion;
+pub use stats::{MeanShiftTracker, ReferenceMode, ScoreWindow};

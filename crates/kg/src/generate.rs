@@ -1,0 +1,271 @@
+//! The mission-specific reasoning-KG generation framework (paper Fig. 3):
+//! initial nodes → per-level expansion loop (node generation, edge
+//! generation, error detection and correction) → terminal attachment.
+//!
+//! If the correction loop fails to converge within the iteration budget, the
+//! remaining problematic nodes/edges are pruned — exactly the paper's
+//! fallback.
+
+use crate::graph::KnowledgeGraph;
+use crate::oracle::{detect_errors, ConceptOracle, DraftError, LevelDraft};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunables of the generation framework.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of reasoning levels `d`.
+    pub depth: usize,
+    /// Concepts requested per level.
+    pub nodes_per_level: usize,
+    /// Maximum error-correction iterations per level before pruning.
+    pub max_correction_iters: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { depth: 3, nodes_per_level: 4, max_correction_iters: 5 }
+    }
+}
+
+/// Statistics of one generation run, for experiment logging.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Correction-loop iterations actually executed.
+    pub correction_iters: usize,
+    /// Concepts pruned because corrections never converged.
+    pub pruned_concepts: usize,
+    /// Edges pruned because corrections never converged.
+    pub pruned_edges: usize,
+    /// Errors detected per level (before any correction).
+    pub initial_errors_per_level: Vec<usize>,
+}
+
+/// The result of generating a mission-specific KG.
+#[derive(Debug, Clone)]
+pub struct GenerationReport {
+    /// The finished, terminal-attached KG.
+    pub kg: KnowledgeGraph,
+    /// Run statistics.
+    pub stats: GenerationStats,
+}
+
+/// Generates a mission-specific reasoning KG with the given oracle.
+///
+/// # Examples
+///
+/// ```
+/// use akg_kg::{generate::{generate_kg, GeneratorConfig}, synthetic::SyntheticOracle};
+/// let mut oracle = SyntheticOracle::perfect(7);
+/// let report = generate_kg("stealing", &GeneratorConfig::default(), &mut oracle);
+/// assert!(report.kg.validate().is_empty());
+/// ```
+pub fn generate_kg<O: ConceptOracle>(
+    mission: &str,
+    config: &GeneratorConfig,
+    oracle: &mut O,
+) -> GenerationReport {
+    let mut kg = KnowledgeGraph::new(mission, config.depth);
+    let mut stats = GenerationStats::default();
+    let mut previous: Vec<String> = Vec::new();
+
+    for level in 1..=config.depth {
+        // -- node generation --------------------------------------------
+        let concepts = if level == 1 {
+            oracle.initial_concepts(mission, config.nodes_per_level)
+        } else {
+            oracle.next_concepts(mission, level, &previous, config.nodes_per_level)
+        };
+        // -- edge generation ---------------------------------------------
+        let edges = if level == 1 {
+            Vec::new() // level 1 is wired from the sensor at terminal attach
+        } else {
+            oracle.propose_edges(mission, &previous, &concepts)
+        };
+        let mut draft = LevelDraft { level, concepts, edges };
+
+        // -- error detection & correction loop ----------------------------
+        let mut errors = detect_level(&draft, &previous, &kg, level);
+        stats.initial_errors_per_level.push(errors.len());
+        let mut iters = 0;
+        while !errors.is_empty() && iters < config.max_correction_iters {
+            oracle.correct(mission, &previous, &mut draft, &errors);
+            errors = detect_level(&draft, &previous, &kg, level);
+            iters += 1;
+        }
+        stats.correction_iters += iters;
+
+        // -- pruning fallback ---------------------------------------------
+        if !errors.is_empty() {
+            prune_draft(&mut draft, &errors, &mut stats);
+        }
+
+        // -- commit --------------------------------------------------------
+        let mut ids = HashMap::new();
+        for concept in &draft.concepts {
+            let id = kg.add_node(concept.clone(), level);
+            ids.insert(concept.clone(), id);
+        }
+        if level > 1 {
+            let prev_ids: HashMap<String, _> = kg
+                .node_ids_at_level(level - 1)
+                .into_iter()
+                .map(|id| (kg.node(id).expect("live node").concept.clone(), id))
+                .collect();
+            for (src, dst) in &draft.edges {
+                if let (Some(&s), Some(&d)) = (prev_ids.get(src), ids.get(dst)) {
+                    let _ = kg.add_edge(s, d);
+                }
+            }
+        }
+        previous = draft.concepts;
+    }
+
+    kg.attach_terminals();
+    // Terminal attachment can leave mid-level dead ends if pruning removed
+    // their children; sweep them so the final KG always validates.
+    sweep_disconnected(&mut kg, &mut stats);
+    GenerationReport { kg, stats }
+}
+
+fn detect_level(
+    draft: &LevelDraft,
+    previous: &[String],
+    kg: &KnowledgeGraph,
+    level: usize,
+) -> Vec<DraftError> {
+    let mut errors = detect_errors(draft, previous, |c| kg.has_concept(c));
+    if level == 1 {
+        // Level 1 has no previous reasoning level; connectivity comes from
+        // the sensor node, so UnconnectedConcept does not apply.
+        errors.retain(|e| !matches!(e, DraftError::UnconnectedConcept { .. }));
+    }
+    errors
+}
+
+/// Removes every concept/edge still implicated in an error.
+fn prune_draft(draft: &mut LevelDraft, errors: &[DraftError], stats: &mut GenerationStats) {
+    use std::collections::HashSet;
+    let mut bad_concepts: HashSet<String> = HashSet::new();
+    let mut bad_edges: HashSet<(String, String)> = HashSet::new();
+    for e in errors {
+        match e {
+            DraftError::DuplicateConcept { concept } => {
+                bad_concepts.insert(concept.clone());
+            }
+            DraftError::UnconnectedConcept { concept } => {
+                bad_concepts.insert(concept.clone());
+            }
+            DraftError::InvalidEdgeSource { src, dst } | DraftError::InvalidEdgeTarget { src, dst } => {
+                bad_edges.insert((src.clone(), dst.clone()));
+            }
+        }
+    }
+    let before_c = draft.concepts.len();
+    let before_e = draft.edges.len();
+    draft.concepts.retain(|c| !bad_concepts.contains(c));
+    draft.edges.retain(|(s, d)| {
+        !bad_edges.contains(&(s.clone(), d.clone()))
+            && !bad_concepts.contains(d)
+            && draft.concepts.contains(d)
+    });
+    stats.pruned_concepts += before_c - draft.concepts.len();
+    stats.pruned_edges += before_e - draft.edges.len();
+}
+
+/// Post-pass: prune reasoning nodes that ended up unreachable or dead-ended
+/// after draft pruning, repeating until the graph validates or nothing is
+/// left to remove.
+fn sweep_disconnected(kg: &mut KnowledgeGraph, stats: &mut GenerationStats) {
+    loop {
+        let victims: Vec<_> = kg
+            .validate()
+            .into_iter()
+            .filter_map(|e| match e {
+                crate::validate::KgError::UnreachableNode { node }
+                | crate::validate::KgError::DeadEndNode { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        for v in victims {
+            if kg.prune_node(v).is_ok() {
+                stats.pruned_concepts += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{ErrorProfile, SyntheticOracle};
+
+    #[test]
+    fn perfect_oracle_generates_valid_kg() {
+        let mut oracle = SyntheticOracle::perfect(1);
+        let report = generate_kg("stealing", &GeneratorConfig::default(), &mut oracle);
+        assert!(report.kg.validate().is_empty(), "{:?}", report.kg.validate());
+        assert_eq!(report.stats.pruned_concepts, 0);
+        assert_eq!(report.kg.depth(), 3);
+        assert!(report.kg.sensor().is_some());
+        assert!(report.kg.embedding_node().is_some());
+    }
+
+    #[test]
+    fn realistic_oracle_still_converges_to_valid_kg() {
+        for seed in 0..10 {
+            let mut oracle = SyntheticOracle::new(ErrorProfile::realistic(), seed);
+            let report = generate_kg("robbery", &GeneratorConfig::default(), &mut oracle);
+            assert!(
+                report.kg.validate().is_empty(),
+                "seed {seed}: {:?}",
+                report.kg.validate()
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_oracle_triggers_pruning() {
+        let mut pruned_any = false;
+        for seed in 0..10 {
+            let mut oracle = SyntheticOracle::new(ErrorProfile::adversarial(), seed);
+            let report = generate_kg("explosion", &GeneratorConfig::default(), &mut oracle);
+            assert!(report.kg.validate().is_empty(), "seed {seed}");
+            if report.stats.pruned_concepts > 0 || report.stats.pruned_edges > 0 {
+                pruned_any = true;
+            }
+        }
+        assert!(pruned_any, "adversarial profile never required pruning");
+    }
+
+    #[test]
+    fn depth_config_respected() {
+        let mut oracle = SyntheticOracle::perfect(2);
+        let cfg = GeneratorConfig { depth: 5, nodes_per_level: 3, max_correction_iters: 4 };
+        let report = generate_kg("shooting", &cfg, &mut oracle);
+        assert_eq!(report.kg.depth(), 5);
+        for level in 1..=5 {
+            assert!(!report.kg.node_ids_at_level(level).is_empty(), "level {level} empty");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let run = |seed| {
+            let mut oracle = SyntheticOracle::new(ErrorProfile::realistic(), seed);
+            generate_kg("stealing", &GeneratorConfig::default(), &mut oracle).kg.to_json().unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn error_history_recorded() {
+        let mut oracle = SyntheticOracle::new(ErrorProfile::adversarial(), 3);
+        let report = generate_kg("stealing", &GeneratorConfig::default(), &mut oracle);
+        assert_eq!(report.stats.initial_errors_per_level.len(), 3);
+    }
+}

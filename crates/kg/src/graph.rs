@@ -1,0 +1,411 @@
+//! The hierarchical reasoning knowledge graph: a levelled DAG with a sensor
+//! node at the bottom and an embedding node at the top, matching the paper's
+//! definition (Sec. III-B): nodes are short-text concepts pinned to a level,
+//! and edges only connect level `i` to level `i + 1`.
+
+use crate::validate::KgError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a node within one [`KnowledgeGraph`]. Ids survive
+/// pruning (slots are tombstoned, not reused), so the adaptation phase can
+/// track per-node embedding distances across structural changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Role of a node in the hierarchical KG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Receives the frame embedding `E_I(F_t)` (level 0).
+    Sensor,
+    /// A reasoning concept (levels `1..=depth`).
+    Reasoning,
+    /// Collects the final reasoning embedding (level `depth + 1`).
+    Embedding,
+}
+
+/// One node of the KG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KgNode {
+    /// Stable id.
+    pub id: NodeId,
+    /// Short-text concept. Synthetic placeholder names are used for nodes
+    /// created during on-edge adaptation.
+    pub concept: String,
+    /// Hierarchy level: 0 = sensor, `1..=depth` = reasoning,
+    /// `depth + 1` = embedding sink.
+    pub level: usize,
+    /// Node role.
+    pub kind: NodeKind,
+}
+
+/// A mission-specific hierarchical reasoning KG.
+///
+/// # Examples
+///
+/// ```
+/// use akg_kg::graph::KnowledgeGraph;
+/// let mut kg = KnowledgeGraph::new("stealing", 2);
+/// let a = kg.add_node("person", 1);
+/// let b = kg.add_node("grab", 2);
+/// kg.add_edge(a, b).unwrap();
+/// kg.attach_terminals();
+/// assert!(kg.validate().is_empty());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnowledgeGraph {
+    mission: String,
+    depth: usize,
+    nodes: Vec<Option<KgNode>>,
+    edges: Vec<(NodeId, NodeId)>,
+    sensor: Option<NodeId>,
+    embedding: Option<NodeId>,
+}
+
+impl KnowledgeGraph {
+    /// Creates an empty KG for `mission` with `depth` reasoning levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(mission: impl Into<String>, depth: usize) -> Self {
+        assert!(depth > 0, "KnowledgeGraph: depth must be >= 1");
+        KnowledgeGraph {
+            mission: mission.into(),
+            depth,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            sensor: None,
+            embedding: None,
+        }
+    }
+
+    /// The mission string this KG reasons about.
+    pub fn mission(&self) -> &str {
+        &self.mission
+    }
+
+    /// Number of reasoning levels `d`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total hierarchy levels including sensor and embedding (`d + 2`).
+    pub fn total_levels(&self) -> usize {
+        self.depth + 2
+    }
+
+    /// Adds a reasoning node at `level` (1-based), returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `1..=depth`.
+    pub fn add_node(&mut self, concept: impl Into<String>, level: usize) -> NodeId {
+        assert!(
+            (1..=self.depth).contains(&level),
+            "add_node: level {level} outside 1..={}",
+            self.depth
+        );
+        self.push_node(concept.into(), level, NodeKind::Reasoning)
+    }
+
+    fn push_node(&mut self, concept: String, level: usize, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(KgNode { id, concept, level, kind }));
+        id
+    }
+
+    /// Adds an edge, enforcing the hierarchical rule (src level + 1 == dst
+    /// level) and rejecting duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KgError::UnknownNode`] if either endpoint does not exist,
+    /// [`KgError::InvalidEdge`] if the levels are not adjacent, or
+    /// [`KgError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), KgError> {
+        let s = self.node(src).ok_or(KgError::UnknownNode { node: src })?;
+        let d = self.node(dst).ok_or(KgError::UnknownNode { node: dst })?;
+        if s.level + 1 != d.level {
+            return Err(KgError::InvalidEdge {
+                src,
+                dst,
+                src_level: s.level,
+                dst_level: d.level,
+            });
+        }
+        if self.edges.contains(&(src, dst)) {
+            return Err(KgError::DuplicateEdge { src, dst });
+        }
+        self.edges.push((src, dst));
+        Ok(())
+    }
+
+    /// Attaches the sensor node (level 0, wired to every level-1 node) and
+    /// the embedding node (level `depth + 1`, wired from every level-`depth`
+    /// node), completing the generation procedure. Idempotent for the
+    /// terminals themselves; missing wiring is (re)added.
+    pub fn attach_terminals(&mut self) {
+        let sensor = match self.sensor {
+            Some(s) => s,
+            None => {
+                let id = self.push_node("<sensor>".into(), 0, NodeKind::Sensor);
+                self.sensor = Some(id);
+                id
+            }
+        };
+        let embedding = match self.embedding {
+            Some(e) => e,
+            None => {
+                let id =
+                    self.push_node("<embedding>".into(), self.depth + 1, NodeKind::Embedding);
+                self.embedding = Some(id);
+                id
+            }
+        };
+        let level1: Vec<NodeId> = self.node_ids_at_level(1);
+        for n in level1 {
+            let _ = self.add_edge(sensor, n);
+        }
+        let last: Vec<NodeId> = self.node_ids_at_level(self.depth);
+        for n in last {
+            let _ = self.add_edge(n, embedding);
+        }
+    }
+
+    /// The sensor node id, if terminals are attached.
+    pub fn sensor(&self) -> Option<NodeId> {
+        self.sensor
+    }
+
+    /// The embedding node id, if terminals are attached.
+    pub fn embedding_node(&self) -> Option<NodeId> {
+        self.embedding
+    }
+
+    /// Looks up a live node.
+    pub fn node(&self, id: NodeId) -> Option<&KgNode> {
+        self.nodes.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Renames a node's concept (used when adaptation re-labels an altered
+    /// node after interpretable retrieval).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KgError::UnknownNode`] if the node does not exist.
+    pub fn rename_node(&mut self, id: NodeId, concept: impl Into<String>) -> Result<(), KgError> {
+        match self.nodes.get_mut(id.0).and_then(Option::as_mut) {
+            Some(n) => {
+                n.concept = concept.into();
+                Ok(())
+            }
+            None => Err(KgError::UnknownNode { node: id }),
+        }
+    }
+
+    /// Iterates over live nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &KgNode> {
+        self.nodes.iter().filter_map(Option::as_ref)
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes().count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Ids of live nodes at a hierarchy level.
+    pub fn node_ids_at_level(&self, level: usize) -> Vec<NodeId> {
+        self.nodes().filter(|n| n.level == level).map(|n| n.id).collect()
+    }
+
+    /// Edges whose destination sits at `level` (the `E(l)` of Eq. 2).
+    pub fn edges_into_level(&self, level: usize) -> Vec<(NodeId, NodeId)> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|(_, d)| self.node(*d).map(|n| n.level == level).unwrap_or(false))
+            .collect()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.edges.iter().filter(|(_, d)| *d == id).count()
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.edges.iter().filter(|(s, _)| *s == id).count()
+    }
+
+    /// Whether a concept string already appears on a live node.
+    pub fn has_concept(&self, concept: &str) -> bool {
+        self.nodes().any(|n| n.concept == concept)
+    }
+
+    /// Removes a node and every incident edge (the paper's *node pruning*).
+    /// The id is tombstoned and never reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KgError::UnknownNode`] if the node does not exist, or
+    /// [`KgError::TerminalNode`] when asked to prune the sensor/embedding
+    /// node.
+    pub fn prune_node(&mut self, id: NodeId) -> Result<KgNode, KgError> {
+        let node = self.node(id).ok_or(KgError::UnknownNode { node: id })?.clone();
+        if node.kind != NodeKind::Reasoning {
+            return Err(KgError::TerminalNode { node: id });
+        }
+        self.edges.retain(|(s, d)| *s != id && *d != id);
+        self.nodes[id.0] = None;
+        Ok(node)
+    }
+
+    /// Validates the structural invariants, returning every violation found
+    /// (empty = valid). See [`crate::validate`] for the checked rules.
+    pub fn validate(&self) -> Vec<KgError> {
+        crate::validate::validate(self)
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error message if encoding fails.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error message if decoding fails.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new("stealing", 2);
+        let a = kg.add_node("person", 1);
+        let b = kg.add_node("bag", 1);
+        let c = kg.add_node("grab", 2);
+        kg.add_edge(a, c).unwrap();
+        kg.add_edge(b, c).unwrap();
+        kg.attach_terminals();
+        kg
+    }
+
+    #[test]
+    fn build_and_count() {
+        let kg = two_level_kg();
+        assert_eq!(kg.node_count(), 5); // 3 reasoning + sensor + embedding
+        assert_eq!(kg.total_levels(), 4);
+        // sensor->2 level-1 nodes, 2 reasoning edges, 1 -> embedding
+        assert_eq!(kg.edge_count(), 2 + 2 + 1);
+    }
+
+    #[test]
+    fn edge_level_rule_enforced() {
+        let mut kg = KnowledgeGraph::new("m", 3);
+        let a = kg.add_node("x", 1);
+        let b = kg.add_node("y", 3);
+        let err = kg.add_edge(a, b).unwrap_err();
+        assert!(matches!(err, KgError::InvalidEdge { .. }));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut kg = KnowledgeGraph::new("m", 2);
+        let a = kg.add_node("x", 1);
+        let b = kg.add_node("y", 2);
+        kg.add_edge(a, b).unwrap();
+        assert!(matches!(kg.add_edge(a, b), Err(KgError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn prune_removes_node_and_edges() {
+        let mut kg = two_level_kg();
+        let grab = kg.nodes().find(|n| n.concept == "grab").unwrap().id;
+        let before = kg.edge_count();
+        let pruned = kg.prune_node(grab).unwrap();
+        assert_eq!(pruned.concept, "grab");
+        assert!(kg.node(grab).is_none());
+        assert!(kg.edge_count() < before);
+        assert!(kg.edges().iter().all(|(s, d)| *s != grab && *d != grab));
+    }
+
+    #[test]
+    fn prune_terminal_rejected() {
+        let mut kg = two_level_kg();
+        let sensor = kg.sensor().unwrap();
+        assert!(matches!(kg.prune_node(sensor), Err(KgError::TerminalNode { .. })));
+    }
+
+    #[test]
+    fn ids_stable_after_prune() {
+        let mut kg = two_level_kg();
+        let bag = kg.nodes().find(|n| n.concept == "bag").unwrap().id;
+        kg.prune_node(bag).unwrap();
+        let d = kg.add_node("wallet", 1);
+        assert_ne!(d, bag, "tombstoned id must not be reused");
+        assert_eq!(kg.node(d).unwrap().concept, "wallet");
+    }
+
+    #[test]
+    fn attach_terminals_idempotent() {
+        let mut kg = two_level_kg();
+        let nodes = kg.node_count();
+        let edges = kg.edge_count();
+        kg.attach_terminals();
+        assert_eq!(kg.node_count(), nodes);
+        assert_eq!(kg.edge_count(), edges);
+    }
+
+    #[test]
+    fn edges_into_level_filters() {
+        let kg = two_level_kg();
+        assert_eq!(kg.edges_into_level(2).len(), 2);
+        assert_eq!(kg.edges_into_level(1).len(), 2); // from sensor
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let kg = two_level_kg();
+        let json = kg.to_json().unwrap();
+        let back = KnowledgeGraph::from_json(&json).unwrap();
+        assert_eq!(back.node_count(), kg.node_count());
+        assert_eq!(back.edge_count(), kg.edge_count());
+        assert_eq!(back.mission(), kg.mission());
+        assert!(back.validate().is_empty());
+    }
+
+    #[test]
+    fn rename_node_updates_concept() {
+        let mut kg = two_level_kg();
+        let person = kg.nodes().find(|n| n.concept == "person").unwrap().id;
+        kg.rename_node(person, "figure").unwrap();
+        assert_eq!(kg.node(person).unwrap().concept, "figure");
+    }
+}

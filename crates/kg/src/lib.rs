@@ -1,0 +1,41 @@
+//! # akg-kg
+//!
+//! Hierarchical reasoning knowledge graphs for the `adaptive-kg`
+//! reproduction: the KG data structure, its structural validator, the
+//! LLM-shaped generation framework of the paper's Fig. 3, and the
+//! prune/create modification operations of Fig. 4.
+//!
+//! The paper generates its KGs with GPT-4 + ConceptNet. This crate replaces
+//! that dependency with a deterministic, error-injecting
+//! [`synthetic::SyntheticOracle`] over a built-in surveillance
+//! [`ontology::Ontology`]; the generation loop, error vocabulary and
+//! correction/pruning fallbacks are faithful to the paper and exercised for
+//! real by the injected errors.
+//!
+//! ## Example
+//!
+//! ```
+//! use akg_kg::{generate::{generate_kg, GeneratorConfig}, synthetic::SyntheticOracle};
+//!
+//! let mut oracle = SyntheticOracle::perfect(42);
+//! let report = generate_kg("stealing", &GeneratorConfig::default(), &mut oracle);
+//! assert!(report.kg.validate().is_empty());
+//! assert_eq!(report.kg.total_levels(), 3 + 2); // d reasoning + sensor + embedding
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod graph;
+pub mod modify;
+pub mod ontology;
+pub mod oracle;
+pub mod synthetic;
+pub mod validate;
+
+pub use generate::{generate_kg, GenerationReport, GenerationStats, GeneratorConfig};
+pub use graph::{KgNode, KnowledgeGraph, NodeId, NodeKind};
+pub use ontology::{AnomalyClass, Ontology, Theme};
+pub use oracle::{ConceptOracle, DraftError, LevelDraft};
+pub use synthetic::{ErrorProfile, SyntheticOracle};
+pub use validate::KgError;

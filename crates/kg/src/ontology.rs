@@ -1,0 +1,385 @@
+//! The surveillance-domain concept ontology — our deterministic stand-in for
+//! GPT-4 + ConceptNet 5 as the *source of concepts* for mission-specific KG
+//! generation.
+//!
+//! Each of the 13 UCF-Crime anomaly classes carries themed concept lists
+//! (subjects, objects, actions, indicators, contexts). Class overlap is
+//! engineered to match the paper's shift scenarios: Stealing↔Robbery share
+//! concepts (*weak* shift), Stealing↔Explosion share none (*strong* shift).
+
+use serde::{Deserialize, Serialize};
+
+/// The 13 anomaly classes of the UCF-Crime benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AnomalyClass {
+    /// Physical abuse.
+    Abuse,
+    /// Arrest in progress.
+    Arrest,
+    /// Deliberate fire-setting.
+    Arson,
+    /// Physical assault.
+    Assault,
+    /// Breaking and entering.
+    Burglary,
+    /// Explosive blast.
+    Explosion,
+    /// Physical fight.
+    Fighting,
+    /// Road accident.
+    RoadAccidents,
+    /// Armed robbery.
+    Robbery,
+    /// Gunfire.
+    Shooting,
+    /// Retail theft.
+    Shoplifting,
+    /// Stealing (non-confrontational theft).
+    Stealing,
+    /// Property vandalism.
+    Vandalism,
+}
+
+impl AnomalyClass {
+    /// All 13 classes, in a stable order.
+    pub const ALL: [AnomalyClass; 13] = [
+        AnomalyClass::Abuse,
+        AnomalyClass::Arrest,
+        AnomalyClass::Arson,
+        AnomalyClass::Assault,
+        AnomalyClass::Burglary,
+        AnomalyClass::Explosion,
+        AnomalyClass::Fighting,
+        AnomalyClass::RoadAccidents,
+        AnomalyClass::Robbery,
+        AnomalyClass::Shooting,
+        AnomalyClass::Shoplifting,
+        AnomalyClass::Stealing,
+        AnomalyClass::Vandalism,
+    ];
+
+    /// Stable index in `0..13`, usable as a cluster id for the joint
+    /// embedding space.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("class in ALL")
+    }
+
+    /// Human-readable lowercase name (the "mission" keyword).
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyClass::Abuse => "abuse",
+            AnomalyClass::Arrest => "arrest",
+            AnomalyClass::Arson => "arson",
+            AnomalyClass::Assault => "assault",
+            AnomalyClass::Burglary => "burglary",
+            AnomalyClass::Explosion => "explosion",
+            AnomalyClass::Fighting => "fighting",
+            AnomalyClass::RoadAccidents => "road accident",
+            AnomalyClass::Robbery => "robbery",
+            AnomalyClass::Shooting => "shooting",
+            AnomalyClass::Shoplifting => "shoplifting",
+            AnomalyClass::Stealing => "stealing",
+            AnomalyClass::Vandalism => "vandalism",
+        }
+    }
+
+    /// Parses a class from its [`AnomalyClass::name`].
+    pub fn from_name(name: &str) -> Option<AnomalyClass> {
+        let name = name.to_lowercase();
+        Self::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+impl std::fmt::Display for AnomalyClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Concept theme within a reasoning level. The generator cycles through the
+/// themes as the KG deepens, mirroring how MissionGNN's prompts move from
+/// entities toward evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Theme {
+    /// Who is involved.
+    Subjects,
+    /// What objects are involved.
+    Objects,
+    /// What is being done.
+    Actions,
+    /// Observable indicators / adjectives.
+    Indicators,
+    /// Where / situational context.
+    Contexts,
+}
+
+impl Theme {
+    /// Theme order used when expanding the KG level by level.
+    pub const ORDER: [Theme; 5] =
+        [Theme::Subjects, Theme::Objects, Theme::Actions, Theme::Indicators, Theme::Contexts];
+
+    /// The theme used for reasoning level `level` (1-based).
+    pub fn for_level(level: usize) -> Theme {
+        Self::ORDER[(level.saturating_sub(1)) % Self::ORDER.len()]
+    }
+}
+
+/// The concept knowledge base.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology;
+
+impl Ontology {
+    /// Creates the built-in surveillance ontology.
+    pub fn new() -> Self {
+        Ontology
+    }
+
+    /// Concept words for a class and theme. Lists are ordered by salience;
+    /// generators sample prefixes first.
+    pub fn concepts(&self, class: AnomalyClass, theme: Theme) -> &'static [&'static str] {
+        use AnomalyClass::*;
+        use Theme::*;
+        match (class, theme) {
+            (Stealing, Subjects) => &["person", "thief", "stranger", "loiterer"],
+            (Stealing, Objects) => &["bag", "wallet", "purse", "bicycle", "package"],
+            (Stealing, Actions) => &["grab", "take", "conceal", "sneak", "lurk", "snatch"],
+            (Stealing, Indicators) => &["sneaky", "hidden", "furtive", "quick", "unattended"],
+            (Stealing, Contexts) => &["parking", "hallway", "street", "porch"],
+
+            (Robbery, Subjects) => &["person", "robber", "assailant", "accomplice"],
+            (Robbery, Objects) => &["firearm", "weapon", "mask", "cash", "register"],
+            (Robbery, Actions) => &["threaten", "point", "demand", "grab", "take", "flee"],
+            (Robbery, Indicators) => &["armed", "violent", "forceful", "fear", "masked"],
+            (Robbery, Contexts) => &["store", "bank", "counter", "street"],
+
+            (Explosion, Subjects) => &["blast", "bomb", "device"],
+            (Explosion, Objects) => &["smoke", "fire", "debris", "flame", "shockwave"],
+            (Explosion, Actions) => &["explode", "burst", "ignite", "shatter", "collapse"],
+            (Explosion, Indicators) => &["loud", "sudden", "fiery", "billowing"],
+            (Explosion, Contexts) => &["building", "vehicle", "road", "plant"],
+
+            (Abuse, Subjects) => &["person", "victim", "aggressor", "child"],
+            (Abuse, Objects) => &["hand", "belt", "object"],
+            (Abuse, Actions) => &["hit", "shove", "slap", "restrain", "yell"],
+            (Abuse, Indicators) => &["repeated", "cowering", "distress", "aggressive"],
+            (Abuse, Contexts) => &["home", "room", "corridor"],
+
+            (Arrest, Subjects) => &["officer", "suspect", "person", "police"],
+            (Arrest, Objects) => &["handcuffs", "uniform", "patrol", "badge"],
+            (Arrest, Actions) => &["detain", "restrain", "escort", "kneel", "comply"],
+            (Arrest, Indicators) => &["official", "controlled", "flashing"],
+            (Arrest, Contexts) => &["street", "sidewalk", "vehicle"],
+
+            (Arson, Subjects) => &["person", "arsonist"],
+            (Arson, Objects) => &["fire", "fuel", "lighter", "smoke", "canister"],
+            (Arson, Actions) => &["ignite", "pour", "spread", "burn", "flee"],
+            (Arson, Indicators) => &["deliberate", "glowing", "smoldering"],
+            (Arson, Contexts) => &["building", "dumpster", "vehicle", "night"],
+
+            (Assault, Subjects) => &["person", "attacker", "victim"],
+            (Assault, Objects) => &["fist", "weapon", "bottle"],
+            (Assault, Actions) => &["strike", "punch", "kick", "charge", "knock"],
+            (Assault, Indicators) => &["violent", "sudden", "injured", "aggressive"],
+            (Assault, Contexts) => &["street", "bar", "alley"],
+
+            (Burglary, Subjects) => &["person", "intruder", "burglar"],
+            (Burglary, Objects) => &["window", "door", "crowbar", "lock", "valuables"],
+            (Burglary, Actions) => &["break", "enter", "pry", "climb", "ransack"],
+            (Burglary, Indicators) => &["forced", "dark", "unoccupied", "stealthy"],
+            (Burglary, Contexts) => &["house", "shop", "night", "backdoor"],
+
+            (Fighting, Subjects) => &["person", "group", "brawler"],
+            (Fighting, Objects) => &["fist", "chair", "crowd"],
+            (Fighting, Actions) => &["punch", "wrestle", "shove", "swing", "surround"],
+            (Fighting, Indicators) => &["chaotic", "aggressive", "escalating"],
+            (Fighting, Contexts) => &["street", "bar", "stadium"],
+
+            (RoadAccidents, Subjects) => &["car", "truck", "pedestrian", "cyclist"],
+            (RoadAccidents, Objects) => &["vehicle", "wreck", "glass", "barrier"],
+            (RoadAccidents, Actions) => &["collide", "crash", "swerve", "overturn", "skid"],
+            (RoadAccidents, Indicators) => &["sudden", "damaged", "stalled"],
+            (RoadAccidents, Contexts) => &["intersection", "highway", "crosswalk"],
+
+            (Shooting, Subjects) => &["person", "shooter", "gunman"],
+            (Shooting, Objects) => &["firearm", "gun", "muzzle", "casing"],
+            (Shooting, Actions) => &["shoot", "fire", "aim", "duck", "scatter"],
+            (Shooting, Indicators) => &["armed", "loud", "panicked", "flash"],
+            (Shooting, Contexts) => &["street", "lot", "entrance"],
+
+            (Shoplifting, Subjects) => &["person", "shopper", "customer"],
+            (Shoplifting, Objects) => &["merchandise", "shelf", "pocket", "bag", "tag"],
+            (Shoplifting, Actions) => &["conceal", "pocket", "take", "slip", "browse"],
+            (Shoplifting, Indicators) => &["sneaky", "nervous", "watchful", "hidden"],
+            (Shoplifting, Contexts) => &["store", "aisle", "checkout"],
+
+            (Vandalism, Subjects) => &["person", "vandal", "group"],
+            (Vandalism, Objects) => &["spray", "wall", "window", "property"],
+            (Vandalism, Actions) => &["smash", "spray", "deface", "kick", "topple"],
+            (Vandalism, Indicators) => &["deliberate", "damaged", "defaced"],
+            (Vandalism, Contexts) => &["street", "wall", "night", "lot"],
+        }
+    }
+
+    /// Every concept word of a class across all themes, deduplicated and in
+    /// theme order.
+    pub fn all_concepts(&self, class: AnomalyClass) -> Vec<&'static str> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for theme in Theme::ORDER {
+            for &c in self.concepts(class, theme) {
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Hand-curated semantic relatedness between anomaly classes, as cosine
+    /// similarity targets for the joint space's class centers. Classes that
+    /// real video encoders would embed nearby (theft-like crimes; violent
+    /// confrontations; fire events) are related; unlisted pairs are
+    /// unrelated (near-orthogonal centers).
+    pub fn related_classes(&self) -> &'static [(AnomalyClass, AnomalyClass, f32)] {
+        use AnomalyClass::*;
+        &[
+            (Stealing, Robbery, 0.45),
+            (Stealing, Shoplifting, 0.7),
+            (Stealing, Burglary, 0.5),
+            (Robbery, Shooting, 0.5),
+            (Robbery, Burglary, 0.4),
+            (Assault, Fighting, 0.6),
+            (Assault, Abuse, 0.5),
+            (Fighting, Abuse, 0.4),
+            (Arson, Explosion, 0.5),
+            (Vandalism, Arson, 0.4),
+            (RoadAccidents, Explosion, 0.3),
+        ]
+    }
+
+    /// The relatedness of a pair per [`Ontology::related_classes`] (0 when
+    /// unlisted; 1 for identical classes).
+    pub fn class_relatedness(&self, a: AnomalyClass, b: AnomalyClass) -> f32 {
+        if a == b {
+            return 1.0;
+        }
+        self.related_classes()
+            .iter()
+            .find(|(x, y, _)| (*x == a && *y == b) || (*x == b && *y == a))
+            .map(|(_, _, r)| *r)
+            .unwrap_or(0.0)
+    }
+
+    /// Jaccard overlap of two classes' concept vocabularies. Weak anomaly
+    /// shifts (Stealing→Robbery) have noticeably higher overlap than strong
+    /// shifts (Stealing→Explosion).
+    pub fn concept_overlap(&self, a: AnomalyClass, b: AnomalyClass) -> f32 {
+        use std::collections::HashSet;
+        let sa: HashSet<_> = self.all_concepts(a).into_iter().collect();
+        let sb: HashSet<_> = self.all_concepts(b).into_iter().collect();
+        let inter = sa.intersection(&sb).count();
+        let union = sa.union(&sb).count();
+        if union == 0 {
+            0.0
+        } else {
+            inter as f32 / union as f32
+        }
+    }
+
+    /// A deterministic corpus (one line per class) for BPE training: every
+    /// concept word appears with frequency proportional to its salience so
+    /// domain words merge into single tokens.
+    pub fn corpus(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for class in AnomalyClass::ALL {
+            for theme in Theme::ORDER {
+                let words = self.concepts(class, theme);
+                for (i, w) in words.iter().enumerate() {
+                    // more salient words repeat more often
+                    let reps = (words.len() - i).max(2);
+                    for _ in 0..reps {
+                        lines.push(format!("{} {}", class.name(), w));
+                    }
+                }
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_classes() {
+        assert_eq!(AnomalyClass::ALL.len(), 13);
+        for (i, c) in AnomalyClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for c in AnomalyClass::ALL {
+            assert_eq!(AnomalyClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(AnomalyClass::from_name("UNKNOWN"), None);
+    }
+
+    #[test]
+    fn every_class_theme_nonempty() {
+        let ont = Ontology::new();
+        for c in AnomalyClass::ALL {
+            for t in Theme::ORDER {
+                assert!(!ont.concepts(c, t).is_empty(), "{c:?}/{t:?} empty");
+            }
+        }
+    }
+
+    #[test]
+    fn theme_for_level_cycles() {
+        assert_eq!(Theme::for_level(1), Theme::Subjects);
+        assert_eq!(Theme::for_level(5), Theme::Contexts);
+        assert_eq!(Theme::for_level(6), Theme::Subjects);
+    }
+
+    #[test]
+    fn weak_shift_overlap_exceeds_strong() {
+        let ont = Ontology::new();
+        let weak = ont.concept_overlap(AnomalyClass::Stealing, AnomalyClass::Robbery);
+        let strong = ont.concept_overlap(AnomalyClass::Stealing, AnomalyClass::Explosion);
+        assert!(weak > strong, "weak {weak} <= strong {strong}");
+        assert_eq!(strong, 0.0, "stealing/explosion must be disjoint");
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_reflexive() {
+        let ont = Ontology::new();
+        let a = AnomalyClass::Robbery;
+        let b = AnomalyClass::Shooting;
+        assert_eq!(ont.concept_overlap(a, b), ont.concept_overlap(b, a));
+        assert_eq!(ont.concept_overlap(a, a), 1.0);
+    }
+
+    #[test]
+    fn corpus_mentions_every_concept() {
+        let ont = Ontology::new();
+        let corpus = ont.corpus().join(" ");
+        for c in AnomalyClass::ALL {
+            for w in ont.all_concepts(c) {
+                assert!(corpus.contains(w), "corpus missing {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_concepts_deduplicates() {
+        let ont = Ontology::new();
+        for c in AnomalyClass::ALL {
+            let all = ont.all_concepts(c);
+            let set: std::collections::HashSet<_> = all.iter().collect();
+            assert_eq!(all.len(), set.len(), "{c:?} has duplicate concepts");
+        }
+    }
+}

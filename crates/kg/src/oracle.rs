@@ -1,0 +1,217 @@
+//! The concept-oracle abstraction: the interface the KG generation framework
+//! (Fig. 3) uses to talk to "the LLM". Production deployments of the paper
+//! would back this with GPT-4; this reproduction backs it with
+//! [`crate::synthetic::SyntheticOracle`].
+
+use serde::{Deserialize, Serialize};
+
+/// A proposed expansion of the KG by one level: new concepts plus edges from
+/// the previous level's concepts, exactly what the LLM emits per iteration
+/// of the paper's expansion loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelDraft {
+    /// The reasoning level being drafted (1-based).
+    pub level: usize,
+    /// Proposed concept texts for this level.
+    pub concepts: Vec<String>,
+    /// Proposed edges as `(source concept, draft concept)` pairs. Sources
+    /// must name concepts of the previous level; targets must name draft
+    /// concepts.
+    pub edges: Vec<(String, String)>,
+}
+
+/// An error detected in a [`LevelDraft`] — the generation loop's error
+/// vocabulary. The first two variants are the paper's *Duplicated Concepts*
+/// and *Invalid Edges*.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DraftError {
+    /// Concept already present in the graph (any earlier level) or repeated
+    /// within the draft.
+    DuplicateConcept {
+        /// The offending concept.
+        concept: String,
+    },
+    /// Edge source does not name a previous-level concept (e.g. the LLM
+    /// hallucinated a connection from a deeper level or an unknown concept).
+    InvalidEdgeSource {
+        /// Proposed source.
+        src: String,
+        /// Proposed target.
+        dst: String,
+    },
+    /// Edge target does not name a draft concept.
+    InvalidEdgeTarget {
+        /// Proposed source.
+        src: String,
+        /// Proposed target.
+        dst: String,
+    },
+    /// A draft concept no edge reaches; it would be unreachable from the
+    /// sensor node.
+    UnconnectedConcept {
+        /// The stranded concept.
+        concept: String,
+    },
+}
+
+/// The LLM-shaped dependency of KG generation. Implementations must be
+/// deterministic given their construction-time seed for experiments to be
+/// reproducible.
+pub trait ConceptOracle {
+    /// Proposes the first reasoning level's concepts for a mission.
+    fn initial_concepts(&mut self, mission: &str, count: usize) -> Vec<String>;
+
+    /// Proposes the next level's concepts given the previous level.
+    fn next_concepts(
+        &mut self,
+        mission: &str,
+        level: usize,
+        previous: &[String],
+        count: usize,
+    ) -> Vec<String>;
+
+    /// Proposes edges between the previous level's concepts and the draft
+    /// concepts.
+    fn propose_edges(
+        &mut self,
+        mission: &str,
+        previous: &[String],
+        draft: &[String],
+    ) -> Vec<(String, String)>;
+
+    /// Attempts to repair the listed errors in place. Implementations may
+    /// fail to fix some errors or even introduce new ones; the generation
+    /// loop re-validates after every call.
+    fn correct(
+        &mut self,
+        mission: &str,
+        previous: &[String],
+        draft: &mut LevelDraft,
+        errors: &[DraftError],
+    );
+}
+
+/// Detects every [`DraftError`] in a draft, given the previous level's
+/// concepts and a predicate telling whether a concept already exists in the
+/// graph.
+pub fn detect_errors<F>(
+    draft: &LevelDraft,
+    previous: &[String],
+    concept_exists: F,
+) -> Vec<DraftError>
+where
+    F: Fn(&str) -> bool,
+{
+    let mut errors = Vec::new();
+    // duplicates: against the existing graph, or within the draft
+    let mut seen = std::collections::HashSet::new();
+    for c in &draft.concepts {
+        if concept_exists(c) || !seen.insert(c.as_str()) {
+            errors.push(DraftError::DuplicateConcept { concept: c.clone() });
+        }
+    }
+    // edge endpoint validity
+    let prev_set: std::collections::HashSet<&str> = previous.iter().map(String::as_str).collect();
+    let draft_set: std::collections::HashSet<&str> =
+        draft.concepts.iter().map(String::as_str).collect();
+    for (src, dst) in &draft.edges {
+        if !prev_set.contains(src.as_str()) {
+            errors.push(DraftError::InvalidEdgeSource { src: src.clone(), dst: dst.clone() });
+        }
+        if !draft_set.contains(dst.as_str()) {
+            errors.push(DraftError::InvalidEdgeTarget { src: src.clone(), dst: dst.clone() });
+        }
+    }
+    // connectivity: every draft concept needs at least one valid incoming edge
+    for c in &draft.concepts {
+        let connected = draft
+            .edges
+            .iter()
+            .any(|(s, d)| d == c && prev_set.contains(s.as_str()));
+        if !connected {
+            errors.push(DraftError::UnconnectedConcept { concept: c.clone() });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draft() -> LevelDraft {
+        LevelDraft {
+            level: 2,
+            concepts: vec!["grab".into(), "take".into()],
+            edges: vec![
+                ("person".into(), "grab".into()),
+                ("person".into(), "take".into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_draft_has_no_errors() {
+        let errors = detect_errors(&draft(), &["person".into()], |_| false);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn duplicate_against_graph_detected() {
+        let errors = detect_errors(&draft(), &["person".into()], |c| c == "grab");
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, DraftError::DuplicateConcept { concept } if concept == "grab")));
+    }
+
+    #[test]
+    fn duplicate_within_draft_detected() {
+        let mut d = draft();
+        d.concepts.push("grab".into());
+        d.edges.push(("person".into(), "grab".into()));
+        let errors = detect_errors(&d, &["person".into()], |_| false);
+        assert!(errors.iter().any(|e| matches!(e, DraftError::DuplicateConcept { .. })));
+    }
+
+    #[test]
+    fn invalid_edge_source_detected() {
+        let mut d = draft();
+        d.edges.push(("hallucination".into(), "grab".into()));
+        let errors = detect_errors(&d, &["person".into()], |_| false);
+        assert!(errors.iter().any(
+            |e| matches!(e, DraftError::InvalidEdgeSource { src, .. } if src == "hallucination")
+        ));
+    }
+
+    #[test]
+    fn invalid_edge_target_detected() {
+        let mut d = draft();
+        d.edges.push(("person".into(), "nonexistent".into()));
+        let errors = detect_errors(&d, &["person".into()], |_| false);
+        assert!(errors.iter().any(
+            |e| matches!(e, DraftError::InvalidEdgeTarget { dst, .. } if dst == "nonexistent")
+        ));
+    }
+
+    #[test]
+    fn unconnected_concept_detected() {
+        let mut d = draft();
+        d.concepts.push("stranded".into());
+        let errors = detect_errors(&d, &["person".into()], |_| false);
+        assert!(errors.iter().any(
+            |e| matches!(e, DraftError::UnconnectedConcept { concept } if concept == "stranded")
+        ));
+    }
+
+    #[test]
+    fn edge_from_invalid_source_does_not_count_as_connection() {
+        let d = LevelDraft {
+            level: 2,
+            concepts: vec!["x".into()],
+            edges: vec![("ghost".into(), "x".into())],
+        };
+        let errors = detect_errors(&d, &["person".into()], |_| false);
+        assert!(errors.iter().any(|e| matches!(e, DraftError::UnconnectedConcept { .. })));
+        assert!(errors.iter().any(|e| matches!(e, DraftError::InvalidEdgeSource { .. })));
+    }
+}

@@ -1,0 +1,385 @@
+//! A deterministic, seeded [`ConceptOracle`] backed by the built-in
+//! [`Ontology`] — the GPT-4/ConceptNet substitute.
+//!
+//! The oracle is intentionally imperfect: it injects duplicated concepts,
+//! invalid edges and stranded concepts at configurable rates, and repairs
+//! them with a configurable success probability, so the generation loop's
+//! error-detection / correction / pruning machinery (paper Fig. 3) is
+//! genuinely exercised rather than dead code.
+
+use crate::ontology::{AnomalyClass, Ontology, Theme};
+use crate::oracle::{ConceptOracle, DraftError, LevelDraft};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Error-injection and repair behaviour of the synthetic oracle.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ErrorProfile {
+    /// Probability that a proposed concept duplicates an earlier one.
+    pub duplicate_rate: f64,
+    /// Probability that a proposed edge has a hallucinated source.
+    pub invalid_edge_rate: f64,
+    /// Probability that a draft concept is left with no incoming edge.
+    pub missing_edge_rate: f64,
+    /// Probability that a requested correction actually fixes the error.
+    pub fix_success_rate: f64,
+}
+
+impl ErrorProfile {
+    /// A well-behaved oracle that never errs (useful in unit tests).
+    pub fn perfect() -> Self {
+        ErrorProfile {
+            duplicate_rate: 0.0,
+            invalid_edge_rate: 0.0,
+            missing_edge_rate: 0.0,
+            fix_success_rate: 1.0,
+        }
+    }
+
+    /// A GPT-4-like profile: occasional errors, corrections usually work.
+    pub fn realistic() -> Self {
+        ErrorProfile {
+            duplicate_rate: 0.08,
+            invalid_edge_rate: 0.08,
+            missing_edge_rate: 0.05,
+            fix_success_rate: 0.8,
+        }
+    }
+
+    /// A sloppy profile that stresses the correction loop and pruning path.
+    pub fn adversarial() -> Self {
+        ErrorProfile {
+            duplicate_rate: 0.35,
+            invalid_edge_rate: 0.35,
+            missing_edge_rate: 0.25,
+            fix_success_rate: 0.4,
+        }
+    }
+}
+
+impl Default for ErrorProfile {
+    fn default() -> Self {
+        ErrorProfile::realistic()
+    }
+}
+
+/// Deterministic concept oracle over the surveillance [`Ontology`].
+#[derive(Debug)]
+pub struct SyntheticOracle {
+    ontology: Ontology,
+    rng: StdRng,
+    profile: ErrorProfile,
+    fresh_counter: usize,
+}
+
+impl SyntheticOracle {
+    /// Creates an oracle with the given error profile and seed.
+    pub fn new(profile: ErrorProfile, seed: u64) -> Self {
+        SyntheticOracle {
+            ontology: Ontology::new(),
+            rng: StdRng::seed_from_u64(seed),
+            profile,
+            fresh_counter: 0,
+        }
+    }
+
+    /// A perfect oracle (no injected errors).
+    pub fn perfect(seed: u64) -> Self {
+        SyntheticOracle::new(ErrorProfile::perfect(), seed)
+    }
+
+    /// The backing ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    fn class_of(&self, mission: &str) -> AnomalyClass {
+        if let Some(c) = AnomalyClass::from_name(mission) {
+            return c;
+        }
+        // Sub-string match ("detect stealing incidents" -> Stealing), else a
+        // deterministic hash pick so arbitrary missions still work.
+        let lower = mission.to_lowercase();
+        for c in AnomalyClass::ALL {
+            if lower.contains(c.name()) {
+                return c;
+            }
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in lower.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        AnomalyClass::ALL[(h % 13) as usize]
+    }
+
+    /// Concept pool for a level: the themed list, then neighbour themes as
+    /// overflow so large levels stay distinct.
+    fn pool(&self, class: AnomalyClass, level: usize) -> Vec<String> {
+        let mut pool: Vec<String> = self
+            .ontology
+            .concepts(class, Theme::for_level(level))
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for offset in 1..Theme::ORDER.len() {
+            for &w in self.ontology.concepts(class, Theme::for_level(level + offset)) {
+                if !pool.iter().any(|p| p == w) {
+                    pool.push(w.to_string());
+                }
+            }
+        }
+        pool
+    }
+
+    fn fresh_concept(&mut self, class: AnomalyClass, level: usize, used: &[String]) -> String {
+        for candidate in self.pool(class, level) {
+            if !used.contains(&candidate) {
+                return candidate;
+            }
+        }
+        self.fresh_counter += 1;
+        format!("{}-aspect-{}", class.name().replace(' ', "-"), self.fresh_counter)
+    }
+}
+
+impl ConceptOracle for SyntheticOracle {
+    fn initial_concepts(&mut self, mission: &str, count: usize) -> Vec<String> {
+        let class = self.class_of(mission);
+        let pool = self.pool(class, 1);
+        let mut out: Vec<String> = Vec::with_capacity(count);
+        for i in 0..count {
+            let pick = pool[i % pool.len()].clone();
+            // duplicate injection (within-draft duplicate at level 1)
+            if i > 0 && self.rng.gen_bool(self.profile.duplicate_rate) {
+                out.push(out[0].clone());
+            } else {
+                out.push(pick);
+            }
+        }
+        out
+    }
+
+    fn next_concepts(
+        &mut self,
+        mission: &str,
+        level: usize,
+        previous: &[String],
+        count: usize,
+    ) -> Vec<String> {
+        let class = self.class_of(mission);
+        let pool = self.pool(class, level);
+        let mut out: Vec<String> = Vec::with_capacity(count);
+        for i in 0..count {
+            if !previous.is_empty() && self.rng.gen_bool(self.profile.duplicate_rate) {
+                // the classic LLM failure: re-emitting an earlier concept
+                let j = self.rng.gen_range(0..previous.len());
+                out.push(previous[j].clone());
+            } else {
+                out.push(pool[i % pool.len()].clone());
+            }
+        }
+        out
+    }
+
+    fn propose_edges(
+        &mut self,
+        _mission: &str,
+        previous: &[String],
+        draft: &[String],
+    ) -> Vec<(String, String)> {
+        let mut edges = Vec::new();
+        if previous.is_empty() {
+            return edges;
+        }
+        let mut used_sources = std::collections::HashSet::new();
+        for dst in draft {
+            if self.rng.gen_bool(self.profile.missing_edge_rate) {
+                continue; // leave the concept stranded
+            }
+            let fanin = 1 + self.rng.gen_range(0..2usize.min(previous.len()));
+            let mut picked = std::collections::HashSet::new();
+            for _ in 0..fanin {
+                let j = self.rng.gen_range(0..previous.len());
+                if !picked.insert(j) {
+                    continue;
+                }
+                if self.rng.gen_bool(self.profile.invalid_edge_rate) {
+                    self.fresh_counter += 1;
+                    edges.push((format!("hallucinated-{}", self.fresh_counter), dst.clone()));
+                } else {
+                    used_sources.insert(j);
+                    edges.push((previous[j].clone(), dst.clone()));
+                }
+            }
+        }
+        // Coverage pass: wire any previous-level concept that was never used
+        // as a source to a random draft concept, so no node is left unable
+        // to influence the embedding node (the generation prompt asks the
+        // LLM for full level-to-level connectivity).
+        if !draft.is_empty() {
+            for (j, src) in previous.iter().enumerate() {
+                if used_sources.contains(&j) {
+                    continue;
+                }
+                if self.rng.gen_bool(self.profile.missing_edge_rate) {
+                    continue; // injected coverage failure
+                }
+                let d = self.rng.gen_range(0..draft.len());
+                let edge = (src.clone(), draft[d].clone());
+                if !edges.contains(&edge) {
+                    edges.push(edge);
+                }
+            }
+        }
+        edges
+    }
+
+    fn correct(
+        &mut self,
+        mission: &str,
+        previous: &[String],
+        draft: &mut LevelDraft,
+        errors: &[DraftError],
+    ) {
+        let class = self.class_of(mission);
+        for error in errors {
+            if !self.rng.gen_bool(self.profile.fix_success_rate) {
+                continue; // correction attempt failed; loop will retry/prune
+            }
+            match error {
+                DraftError::DuplicateConcept { concept } => {
+                    // replace the *last* occurrence with a fresh concept and
+                    // retarget its edges
+                    if let Some(pos) = draft.concepts.iter().rposition(|c| c == concept) {
+                        let mut used = draft.concepts.clone();
+                        used.extend(previous.iter().cloned());
+                        let fresh = self.fresh_concept(class, draft.level, &used);
+                        let old = draft.concepts[pos].clone();
+                        draft.concepts[pos] = fresh.clone();
+                        let mut retargeted = false;
+                        for e in &mut draft.edges {
+                            if e.1 == old && !retargeted {
+                                e.1 = fresh.clone();
+                                retargeted = true;
+                            }
+                        }
+                        if !retargeted && !previous.is_empty() {
+                            let j = self.rng.gen_range(0..previous.len());
+                            draft.edges.push((previous[j].clone(), fresh));
+                        }
+                    }
+                }
+                DraftError::InvalidEdgeSource { src, dst } => {
+                    if let Some(e) = draft.edges.iter_mut().find(|(s, d)| s == src && d == dst) {
+                        if previous.is_empty() {
+                            continue;
+                        }
+                        let j = self.rng.gen_range(0..previous.len());
+                        e.0 = previous[j].clone();
+                    }
+                }
+                DraftError::InvalidEdgeTarget { src, dst } => {
+                    draft.edges.retain(|(s, d)| !(s == src && d == dst));
+                }
+                DraftError::UnconnectedConcept { concept } => {
+                    if previous.is_empty() {
+                        continue;
+                    }
+                    let j = self.rng.gen_range(0..previous.len());
+                    draft.edges.push((previous[j].clone(), concept.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::detect_errors;
+
+    #[test]
+    fn perfect_oracle_produces_clean_drafts() {
+        let mut oracle = SyntheticOracle::perfect(1);
+        let previous = oracle.initial_concepts("stealing", 3);
+        let concepts = oracle.next_concepts("stealing", 2, &previous, 4);
+        let edges = oracle.propose_edges("stealing", &previous, &concepts);
+        let draft = LevelDraft { level: 2, concepts, edges };
+        let errors = detect_errors(&draft, &previous, |_| false);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn adversarial_oracle_errs_eventually() {
+        let mut oracle = SyntheticOracle::new(ErrorProfile::adversarial(), 2);
+        let previous = oracle.initial_concepts("robbery", 4);
+        let mut found_error = false;
+        for _ in 0..10 {
+            let concepts = oracle.next_concepts("robbery", 2, &previous, 4);
+            let edges = oracle.propose_edges("robbery", &previous, &concepts);
+            let draft = LevelDraft { level: 2, concepts, edges };
+            if !detect_errors(&draft, &previous, |_| false).is_empty() {
+                found_error = true;
+                break;
+            }
+        }
+        assert!(found_error, "adversarial profile never injected an error");
+    }
+
+    #[test]
+    fn corrections_reduce_errors() {
+        let mut oracle = SyntheticOracle::new(
+            ErrorProfile { fix_success_rate: 1.0, ..ErrorProfile::adversarial() },
+            3,
+        );
+        let previous = vec!["person".to_string(), "bag".to_string()];
+        let mut draft = LevelDraft {
+            level: 2,
+            concepts: vec!["grab".into(), "grab".into(), "stranded".into()],
+            edges: vec![
+                ("person".into(), "grab".into()),
+                ("ghost".into(), "grab".into()),
+            ],
+        };
+        let before = detect_errors(&draft, &previous, |_| false);
+        assert!(!before.is_empty());
+        // a few correction rounds with guaranteed fix success must converge
+        for _ in 0..8 {
+            let errors = detect_errors(&draft, &previous, |_| false);
+            if errors.is_empty() {
+                break;
+            }
+            oracle.correct("stealing", &previous, &mut draft, &errors);
+        }
+        let after = detect_errors(&draft, &previous, |_| false);
+        assert!(after.len() < before.len(), "before {before:?} after {after:?}");
+    }
+
+    #[test]
+    fn mission_resolution_handles_phrases() {
+        let oracle = SyntheticOracle::perfect(4);
+        assert_eq!(oracle.class_of("detect stealing in parking lots"), AnomalyClass::Stealing);
+        assert_eq!(oracle.class_of("explosion"), AnomalyClass::Explosion);
+        // unknown missions deterministically map to some class
+        let a = oracle.class_of("watch for gremlins");
+        let b = oracle.class_of("watch for gremlins");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let mut a = SyntheticOracle::new(ErrorProfile::realistic(), 9);
+        let mut b = SyntheticOracle::new(ErrorProfile::realistic(), 9);
+        assert_eq!(a.initial_concepts("robbery", 4), b.initial_concepts("robbery", 4));
+    }
+
+    #[test]
+    fn fresh_concepts_avoid_used() {
+        let mut oracle = SyntheticOracle::perfect(5);
+        let used: Vec<String> = oracle.pool(AnomalyClass::Stealing, 1).to_vec();
+        let fresh = oracle.fresh_concept(AnomalyClass::Stealing, 1, &used);
+        assert!(!used.contains(&fresh));
+    }
+}

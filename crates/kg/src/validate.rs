@@ -1,0 +1,250 @@
+//! Structural validation of reasoning KGs — the *error detection* stage of
+//! the paper's generation loop (Fig. 3).
+//!
+//! Two error families come straight from the paper: **duplicated concepts**
+//! (a concept that already exists at another level) and **invalid edges**
+//! (edges that do not connect level `i` to `i + 1`). We additionally check
+//! referential integrity (unknown/dangling endpoints), unreachable nodes,
+//! and empty levels, which the paper's pruning step implicitly guarantees.
+
+use crate::graph::{KnowledgeGraph, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A violation of the reasoning-KG invariants.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KgError {
+    /// The same concept text appears on more than one live node.
+    DuplicateConcept {
+        /// The duplicated concept.
+        concept: String,
+        /// Nodes carrying it.
+        nodes: Vec<NodeId>,
+    },
+    /// An edge violating the `level i -> i + 1` rule.
+    InvalidEdge {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Source level.
+        src_level: usize,
+        /// Destination level.
+        dst_level: usize,
+    },
+    /// An edge that already exists.
+    DuplicateEdge {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// A referenced node does not exist (or was pruned).
+    UnknownNode {
+        /// The missing node.
+        node: NodeId,
+    },
+    /// A reasoning node with no incoming edge (unreachable from the sensor).
+    UnreachableNode {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// A reasoning node with no outgoing edge (cannot influence the
+    /// embedding node).
+    DeadEndNode {
+        /// The dead-end node.
+        node: NodeId,
+    },
+    /// A reasoning level with no live nodes.
+    EmptyLevel {
+        /// The empty level.
+        level: usize,
+    },
+    /// A structural operation touched the sensor/embedding node.
+    TerminalNode {
+        /// The terminal node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::DuplicateConcept { concept, nodes } => {
+                write!(f, "duplicated concept {concept:?} on nodes {nodes:?}")
+            }
+            KgError::InvalidEdge { src, dst, src_level, dst_level } => write!(
+                f,
+                "invalid edge {src}->{dst}: levels {src_level}->{dst_level} are not adjacent"
+            ),
+            KgError::DuplicateEdge { src, dst } => write!(f, "duplicate edge {src}->{dst}"),
+            KgError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            KgError::UnreachableNode { node } => {
+                write!(f, "node {node} has no incoming edge")
+            }
+            KgError::DeadEndNode { node } => write!(f, "node {node} has no outgoing edge"),
+            KgError::EmptyLevel { level } => write!(f, "reasoning level {level} is empty"),
+            KgError::TerminalNode { node } => {
+                write!(f, "operation not allowed on terminal node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KgError {}
+
+/// Runs every structural check, returning all violations (empty = valid).
+pub fn validate(kg: &KnowledgeGraph) -> Vec<KgError> {
+    let mut errors = Vec::new();
+
+    // Duplicate concepts among live reasoning nodes.
+    let mut by_concept: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    for n in kg.nodes() {
+        if n.kind == NodeKind::Reasoning {
+            by_concept.entry(n.concept.as_str()).or_default().push(n.id);
+        }
+    }
+    let mut dups: Vec<(&str, Vec<NodeId>)> =
+        by_concept.into_iter().filter(|(_, v)| v.len() > 1).collect();
+    dups.sort();
+    for (concept, nodes) in dups {
+        errors.push(KgError::DuplicateConcept { concept: concept.to_string(), nodes });
+    }
+
+    // Edge endpoint + level checks.
+    let mut seen_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for &(src, dst) in kg.edges() {
+        let (s, d) = (kg.node(src), kg.node(dst));
+        match (s, d) {
+            (Some(s), Some(d)) => {
+                if s.level + 1 != d.level {
+                    errors.push(KgError::InvalidEdge {
+                        src,
+                        dst,
+                        src_level: s.level,
+                        dst_level: d.level,
+                    });
+                }
+            }
+            _ => {
+                let missing = if s.is_none() { src } else { dst };
+                errors.push(KgError::UnknownNode { node: missing });
+            }
+        }
+        if !seen_edges.insert((src, dst)) {
+            errors.push(KgError::DuplicateEdge { src, dst });
+        }
+    }
+
+    // Connectivity of reasoning nodes (only meaningful once terminals are
+    // attached; before that, level-1 nodes legitimately lack parents).
+    let terminals_attached = kg.sensor().is_some() && kg.embedding_node().is_some();
+    if terminals_attached {
+        for n in kg.nodes() {
+            if n.kind != NodeKind::Reasoning {
+                continue;
+            }
+            if kg.in_degree(n.id) == 0 {
+                errors.push(KgError::UnreachableNode { node: n.id });
+            }
+            if kg.out_degree(n.id) == 0 {
+                errors.push(KgError::DeadEndNode { node: n.id });
+            }
+        }
+    }
+
+    // No empty reasoning level.
+    for level in 1..=kg.depth() {
+        if kg.node_ids_at_level(level).is_empty() {
+            errors.push(KgError::EmptyLevel { level });
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KnowledgeGraph;
+
+    fn valid_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new("m", 2);
+        let a = kg.add_node("a", 1);
+        let b = kg.add_node("b", 2);
+        kg.add_edge(a, b).unwrap();
+        kg.attach_terminals();
+        kg
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        assert!(valid_kg().validate().is_empty());
+    }
+
+    #[test]
+    fn duplicate_concept_detected() {
+        let mut kg = KnowledgeGraph::new("m", 2);
+        let a = kg.add_node("same", 1);
+        let b = kg.add_node("same", 2);
+        kg.add_edge(a, b).unwrap();
+        kg.attach_terminals();
+        let errors = kg.validate();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, KgError::DuplicateConcept { concept, .. } if concept == "same")));
+    }
+
+    #[test]
+    fn unreachable_node_detected() {
+        let mut kg = valid_kg();
+        // level-2 node with no incoming edge
+        let orphan = kg.add_node("orphan", 2);
+        // give it an outgoing edge so only unreachability fires
+        let emb = kg.embedding_node().unwrap();
+        kg.add_edge(orphan, emb).unwrap();
+        let errors = kg.validate();
+        assert!(errors.iter().any(|e| matches!(e, KgError::UnreachableNode { node } if *node == orphan)));
+    }
+
+    #[test]
+    fn dead_end_detected() {
+        let mut kg = valid_kg();
+        let dead = kg.add_node("dead", 1);
+        let sensor = kg.sensor().unwrap();
+        kg.add_edge(sensor, dead).unwrap();
+        let errors = kg.validate();
+        assert!(errors.iter().any(|e| matches!(e, KgError::DeadEndNode { node } if *node == dead)));
+    }
+
+    #[test]
+    fn empty_level_detected_after_prune() {
+        let mut kg = valid_kg();
+        let b = kg.nodes().find(|n| n.concept == "b").unwrap().id;
+        kg.prune_node(b).unwrap();
+        let errors = kg.validate();
+        assert!(errors.iter().any(|e| matches!(e, KgError::EmptyLevel { level: 2 })));
+    }
+
+    #[test]
+    fn pre_terminal_graphs_skip_connectivity() {
+        let mut kg = KnowledgeGraph::new("m", 2);
+        let a = kg.add_node("a", 1);
+        let b = kg.add_node("b", 2);
+        kg.add_edge(a, b).unwrap();
+        // no terminals yet: 'a' has no in-edge but that's fine pre-attach
+        assert!(kg.validate().is_empty());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            KgError::DuplicateConcept { concept: "x".into(), nodes: vec![NodeId(0)] },
+            KgError::InvalidEdge { src: NodeId(0), dst: NodeId(1), src_level: 0, dst_level: 2 },
+            KgError::EmptyLevel { level: 1 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

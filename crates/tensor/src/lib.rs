@@ -1,0 +1,53 @@
+//! # akg-tensor
+//!
+//! Tensor and reverse-mode autograd substrate for the `adaptive-kg`
+//! reproduction of *"Continuous GNN-based Anomaly Detection on Edge using
+//! Efficient Adaptive Knowledge Graph Learning"* (DATE 2025).
+//!
+//! There is no Rust GNN/autograd ecosystem dependency here by design: the
+//! paper's models are small (per-layer width 8, a short transformer), so this
+//! crate implements exactly the operator set they need, with finite-difference
+//! verified gradients ([`gradcheck`]).
+//!
+//! ## Layout
+//!
+//! - [`Tensor`]: row-major `f32` array with a recorded backward graph
+//! - [`ops`]: differentiable operations (arithmetic, matmul, reductions,
+//!   shape, gather/scatter, softmax/cross-entropy)
+//! - [`nn`]: layers — [`nn::Linear`], [`nn::Embedding`],
+//!   [`nn::norm::BatchNorm1d`], [`nn::norm::LayerNorm`],
+//!   [`nn::attention::TransformerEncoder`]
+//! - [`optim`]: [`optim::Sgd`] and [`optim::AdamW`] (decoupled weight decay)
+//! - [`init`]: seeded initializers
+//! - [`gradcheck`]: numerical gradient verification
+//!
+//! ## Example
+//!
+//! ```
+//! use akg_tensor::{Tensor, nn::{Linear, Module}, optim::{AdamW, Optimizer}};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let layer = Linear::new(2, 1, &mut rng);
+//! let mut opt = AdamW::with_lr(layer.params(), 1e-2);
+//! let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+//! for _ in 0..10 {
+//!     opt.zero_grad();
+//!     let loss = layer.forward(&x).square().sum_all();
+//!     loss.backward();
+//!     opt.step();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod tensor;
+
+pub mod gradcheck;
+pub mod init;
+pub mod nn;
+pub mod ops;
+pub mod optim;
+
+pub use gradcheck::{gradcheck, GradCheckReport};
+pub use tensor::Tensor;

@@ -1,0 +1,264 @@
+//! Multi-head self-attention and the transformer encoder used as the paper's
+//! short-term temporal model `T : R^{T×D} → R^D` (inner dimensionality 128,
+//! 8 heads in the paper's configuration).
+
+use crate::nn::norm::LayerNorm;
+use crate::nn::{FeedForward, Linear, Module};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Multi-head scaled-dot-product self-attention over a `[T, D]` sequence.
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    inner_dim: usize,
+    causal: bool,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block mapping `model_dim -> inner_dim ->
+    /// model_dim` with `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner_dim` is not divisible by `heads`.
+    pub fn new(model_dim: usize, inner_dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(inner_dim % heads, 0, "inner_dim {inner_dim} not divisible by heads {heads}");
+        MultiHeadAttention {
+            wq: Linear::new(model_dim, inner_dim, rng),
+            wk: Linear::new(model_dim, inner_dim, rng),
+            wv: Linear::new(model_dim, inner_dim, rng),
+            wo: Linear::new(inner_dim, model_dim, rng),
+            heads,
+            inner_dim,
+            causal: true,
+        }
+    }
+
+    /// Enables or disables the causal (lower-triangular) mask. The temporal
+    /// model is causal by default: frame `t` may not attend to the future.
+    pub fn set_causal(&mut self, causal: bool) {
+        self.causal = causal;
+    }
+
+    /// Applies self-attention to a `[T, D]` sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 2-D.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 2, "MultiHeadAttention: expected [T, D] input");
+        let t = s[0];
+        let dk = self.inner_dim / self.heads;
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mask = if self.causal { Some(causal_mask(t)) } else { None };
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let (lo, hi) = (h * dk, (h + 1) * dk);
+            let qh = q.slice_cols(lo, hi);
+            let kh = k.slice_cols(lo, hi);
+            let vh = v.slice_cols(lo, hi);
+            let mut scores = qh.matmul(&kh.transpose()).mul_scalar(scale);
+            if let Some(m) = &mask {
+                scores = scores.add_const(m);
+            }
+            let attn = scores.softmax_rows();
+            head_outputs.push(attn.matmul(&vh));
+        }
+        let joined = Tensor::concat_cols(&head_outputs);
+        self.wo.forward(&joined)
+    }
+}
+
+/// Additive causal mask: 0 on/below the diagonal, a large negative value
+/// above it.
+fn causal_mask(t: usize) -> Vec<f32> {
+    let mut mask = vec![0.0f32; t * t];
+    for r in 0..t {
+        for c in (r + 1)..t {
+            mask[r * t + c] = -1e9;
+        }
+    }
+    mask
+}
+
+impl Module for MultiHeadAttention {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.wq.params();
+        p.extend(self.wk.params());
+        p.extend(self.wv.params());
+        p.extend(self.wo.params());
+        p
+    }
+}
+
+/// One pre-norm transformer encoder layer: `x + MHA(LN(x))`, then
+/// `x + FFN(LN(x))`.
+#[derive(Debug)]
+pub struct TransformerEncoderLayer {
+    attn: MultiHeadAttention,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+}
+
+impl TransformerEncoderLayer {
+    /// Creates one encoder layer.
+    pub fn new(model_dim: usize, inner_dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+        TransformerEncoderLayer {
+            attn: MultiHeadAttention::new(model_dim, inner_dim, heads, rng),
+            ffn: FeedForward::new(model_dim, 2 * inner_dim, rng),
+            ln1: LayerNorm::new(model_dim),
+            ln2: LayerNorm::new(model_dim),
+        }
+    }
+
+    /// Applies the layer to `[T, D]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let h = x.add(&self.attn.forward(&self.ln1.forward(x)));
+        h.add(&self.ffn.forward(&self.ln2.forward(&h)))
+    }
+
+    /// Access to the attention block (e.g. to toggle causality).
+    pub fn attention_mut(&mut self) -> &mut MultiHeadAttention {
+        &mut self.attn
+    }
+}
+
+impl Module for TransformerEncoderLayer {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.attn.params();
+        p.extend(self.ffn.params());
+        p.extend(self.ln1.params());
+        p.extend(self.ln2.params());
+        p
+    }
+}
+
+/// A stack of encoder layers; [`TransformerEncoder::forward_last`] returns
+/// only the final time step's embedding, matching the paper's
+/// `f'_t = T(F_t)` which keeps the output aligned with the last input frame.
+#[derive(Debug)]
+pub struct TransformerEncoder {
+    layers: Vec<TransformerEncoderLayer>,
+    model_dim: usize,
+}
+
+impl TransformerEncoder {
+    /// Creates `n_layers` encoder layers.
+    pub fn new(
+        model_dim: usize,
+        inner_dim: usize,
+        heads: usize,
+        n_layers: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let layers =
+            (0..n_layers).map(|_| TransformerEncoderLayer::new(model_dim, inner_dim, heads, rng)).collect();
+        TransformerEncoder { layers, model_dim }
+    }
+
+    /// Full sequence output `[T, D]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// The last time step's output as a 1-D `[D]` vector.
+    pub fn forward_last(&self, x: &Tensor) -> Tensor {
+        let t = x.shape()[0];
+        self.forward(x).slice_rows(t - 1, t).flatten()
+    }
+
+    /// Model dimensionality.
+    pub fn model_dim(&self) -> usize {
+        self.model_dim
+    }
+}
+
+impl Module for TransformerEncoder {
+    fn params(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(Module::params).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(8, 16, 4, &mut rng);
+        let x = Tensor::zeros(&[5, 8]);
+        assert_eq!(mha.forward(&x).shape(), vec![5, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let m = causal_mask(3);
+        assert_eq!(m[0 * 3 + 0], 0.0);
+        assert_eq!(m[0 * 3 + 2], -1e9);
+        assert_eq!(m[2 * 3 + 0], 0.0);
+    }
+
+    #[test]
+    fn causal_attention_first_step_ignores_rest() {
+        // With a causal mask, changing later frames must not change step 0.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mha = MultiHeadAttention::new(4, 8, 2, &mut rng);
+        let a = Tensor::from_vec(vec![1.0; 8], &[2, 4]);
+        let mut b_data = vec![1.0; 8];
+        for v in b_data[4..].iter_mut() {
+            *v = 9.0;
+        }
+        let b = Tensor::from_vec(b_data, &[2, 4]);
+        let ya = mha.forward(&a).to_vec();
+        let yb = mha.forward(&b).to_vec();
+        for c in 0..4 {
+            assert!((ya[c] - yb[c]).abs() < 1e-5, "step 0 leaked future info");
+        }
+    }
+
+    #[test]
+    fn encoder_last_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = TransformerEncoder::new(8, 16, 4, 2, &mut rng);
+        let x = Tensor::zeros(&[6, 8]);
+        let last = enc.forward_last(&x);
+        assert_eq!(last.shape(), vec![8]);
+    }
+
+    #[test]
+    fn encoder_grads_flow_to_all_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = TransformerEncoder::new(4, 8, 2, 1, &mut rng);
+        let x = Tensor::from_vec((0..12).map(|i| i as f32 * 0.1).collect(), &[3, 4])
+            .requires_grad(true);
+        enc.forward_last(&x).sum_all().backward();
+        for p in enc.params() {
+            assert!(p.grad().is_some(), "param missing grad");
+        }
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    fn encoder_param_count_scales_with_layers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let e1 = TransformerEncoder::new(8, 16, 4, 1, &mut rng);
+        let e2 = TransformerEncoder::new(8, 16, 4, 2, &mut rng);
+        assert_eq!(e2.param_count(), 2 * e1.param_count());
+    }
+}

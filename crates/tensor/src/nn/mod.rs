@@ -1,0 +1,277 @@
+//! Neural-network layers built on the autograd [`Tensor`](crate::Tensor).
+//!
+//! The layer set is exactly what the paper's models need: [`Linear`] (the
+//! dense sub-layer, Eq. 1, and the decision head, Eq. 5), [`Embedding`] (the
+//! KG token-embedding table that continuous adaptation updates),
+//! [`norm::BatchNorm1d`] / [`norm::LayerNorm`], and
+//! [`attention::TransformerEncoder`] (the short-term temporal model).
+
+pub mod attention;
+pub mod norm;
+
+use crate::init;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// A trainable component exposing its parameters and a train/eval switch.
+pub trait Module {
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Tensor>;
+
+    /// Switches between training and evaluation behaviour (batch-norm
+    /// statistics, dropout). Default: no-op.
+    fn set_train(&mut self, _train: bool) {}
+
+    /// Freezes (or unfreezes) every parameter. Frozen parameters retain no
+    /// gradients and are skipped by optimizers, but gradients still flow
+    /// *through* them — exactly what the paper's adaptation phase needs when
+    /// only KG token embeddings are trainable.
+    fn set_frozen(&self, frozen: bool) {
+        for p in self.params() {
+            p.set_requires_grad(!frozen);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Tensor::numel).sum()
+    }
+}
+
+/// A fully-connected layer `y = x W + b`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let weight = init::xavier_uniform(in_features, out_features, rng).requires_grad(true);
+        let bias = Tensor::zeros(&[out_features]).requires_grad(true);
+        Linear { weight, bias: Some(bias), in_features, out_features }
+    }
+
+    /// Creates a linear layer without a bias term.
+    pub fn without_bias(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let weight = init::xavier_uniform(in_features, out_features, rng).requires_grad(true);
+        Linear { weight, bias: None, in_features, out_features }
+    }
+
+    /// Applies the layer to `[m, in_features]`, producing `[m, out_features]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's column count mismatches `in_features`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.shape()[1],
+            self.in_features,
+            "Linear: input has {} features, expected {}",
+            x.shape()[1],
+            self.in_features
+        );
+        let y = x.matmul(&self.weight);
+        match &self.bias {
+            Some(b) => y.add_bias(b),
+            None => y,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight tensor (shape `[in, out]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+/// A lookup table of trainable embeddings (the KG token-embedding table).
+#[derive(Debug)]
+pub struct Embedding {
+    weight: Tensor,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding table with N(0, 0.02) initialization.
+    pub fn new(vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let weight = init::normal(&[vocab, dim], 0.02, rng).requires_grad(true);
+        Embedding { weight, vocab, dim }
+    }
+
+    /// Creates an embedding table from pre-computed vectors (e.g. the joint
+    /// embedding model's token vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != vocab * dim`.
+    pub fn from_weights(weights: Vec<f32>, vocab: usize, dim: usize) -> Self {
+        assert_eq!(weights.len(), vocab * dim, "Embedding: weight size mismatch");
+        let weight = Tensor::from_vec(weights, &[vocab, dim]).requires_grad(true);
+        Embedding { weight, vocab, dim }
+    }
+
+    /// Looks up rows by token id, producing `[ids.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of vocabulary.
+    pub fn forward(&self, ids: &[usize]) -> Tensor {
+        self.weight.index_select_rows(ids)
+    }
+
+    /// Mean of the embeddings of `ids`, as `[1, dim]` — one node's embedding
+    /// from its tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or out of vocabulary.
+    pub fn mean_of(&self, ids: &[usize]) -> Tensor {
+        self.weight.mean_rows(ids)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The raw table (shape `[vocab, dim]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.weight.clone()]
+    }
+}
+
+/// A sequence of [`Linear`] layers with an activation between them; the
+/// transformer's feed-forward block.
+#[derive(Debug)]
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+}
+
+impl FeedForward {
+    /// Creates a two-layer GELU MLP `dim -> hidden -> dim`.
+    pub fn new(dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        FeedForward { lin1: Linear::new(dim, hidden, rng), lin2: Linear::new(hidden, dim, rng) }
+    }
+
+    /// Applies the block to `[m, dim]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.lin2.forward(&self.lin1.forward(x).gelu())
+    }
+}
+
+impl Module for FeedForward {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.lin1.params();
+        p.extend(self.lin2.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(3, 5, &mut rng);
+        let x = Tensor::zeros(&[2, 3]);
+        assert_eq!(l.forward(&x).shape(), vec![2, 5]);
+        assert_eq!(l.param_count(), 3 * 5 + 5);
+    }
+
+    #[test]
+    fn linear_learns_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(2, 2, &mut rng);
+        let mut opt = Sgd::new(l.params(), 0.1);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        for _ in 0..500 {
+            opt.zero_grad();
+            let y = l.forward(&x);
+            let loss = y.sub(&x).square().mean_all();
+            loss.backward();
+            opt.step();
+        }
+        let y = l.forward(&x);
+        let err = y.sub(&x).square().mean_all().item();
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let emb = Embedding::from_weights(vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0], 3, 2);
+        let out = emb.forward(&[2, 0]);
+        assert_eq!(out.to_vec(), vec![3.0, 3.0, 1.0, 1.0]);
+        out.sum_all().backward();
+        let g = emb.weight().grad().unwrap();
+        assert_eq!(g, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn embedding_mean_of() {
+        let emb = Embedding::from_weights(vec![0.0, 0.0, 2.0, 4.0], 2, 2);
+        let m = emb.mean_of(&[0, 1]);
+        assert_eq!(m.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn freezing_blocks_grad_retention_but_not_flow() {
+        let emb = Embedding::from_weights(vec![1.0, 2.0], 2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(1, 1, &mut rng);
+        l.set_frozen(true);
+        let y = l.forward(&emb.forward(&[0])).sum_all();
+        y.backward();
+        // frozen linear keeps no grad...
+        assert!(l.params()[0].grad().is_none());
+        // ...but the embedding upstream of it still receives one.
+        assert!(emb.weight().grad().is_some());
+    }
+
+    #[test]
+    fn feed_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ff = FeedForward::new(4, 16, &mut rng);
+        let x = Tensor::zeros(&[3, 4]);
+        assert_eq!(ff.forward(&x).shape(), vec![3, 4]);
+    }
+}

@@ -1,0 +1,139 @@
+//! 2-D matrix multiplication and transpose.
+
+use crate::tensor::Tensor;
+
+/// Plain row-major matrix product `[m,k] x [k,n] -> [m,n]` used both by the
+/// forward pass and by the backward closures.
+pub(crate) fn matmul_raw(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn transpose_raw(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let sa = self.shape();
+        let sb = other.shape();
+        assert_eq!(sa.len(), 2, "matmul: lhs must be 2-D, got {sa:?}");
+        assert_eq!(sb.len(), 2, "matmul: rhs must be 2-D, got {sb:?}");
+        assert_eq!(sa[1], sb[0], "matmul: inner dims {} vs {}", sa[1], sb[0]);
+        let (m, k, n) = (sa[0], sa[1], sb[1]);
+        let a = self.to_vec();
+        let b = other.to_vec();
+        let data = matmul_raw(&a, &b, m, k, n);
+        Tensor::from_op(
+            data,
+            &[m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                // dA = G * B^T ; dB = A^T * G
+                let bt = transpose_raw(&b, k, n);
+                let da = matmul_raw(g, &bt, m, n, k);
+                let at = transpose_raw(&a, m, k);
+                let db = matmul_raw(&at, g, k, m, n);
+                vec![da, db]
+            }),
+        )
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        let s = self.shape();
+        assert_eq!(s.len(), 2, "transpose: expected 2-D tensor, got {s:?}");
+        let (m, n) = (s[0], s[1]);
+        let data = transpose_raw(&self.to_vec(), m, n);
+        Tensor::from_op(
+            data,
+            &[n, m],
+            vec![self.clone()],
+            Box::new(move |g| vec![transpose_raw(g, n, m)]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
+        assert_eq!(a.matmul(&eye).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).requires_grad(true);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]).requires_grad(true);
+        let c = a.matmul(&b); // [1,1] = 11
+        assert_eq!(c.to_vec(), vec![11.0]);
+        c.sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![3.0, 4.0]);
+        assert_eq!(b.grad().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), vec![3, 2]);
+        assert_eq!(t.transpose().to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn transpose_gradient_transposes_back() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad(true);
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[2, 2]);
+        let y = a.transpose().mul(&mask).sum_all(); // selects a[0][0]
+        y.backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,23 @@
+//! Differentiable tensor operations.
+//!
+//! Every op builds its output via [`Tensor::from_op`], recording parents and a
+//! backward closure. Ops are grouped by kind:
+//!
+//! - [`binary`]: elementwise same-shape arithmetic
+//! - [`unary`]: elementwise maps and activations
+//! - [`broadcast`]: row/column broadcasting arithmetic
+//! - [`matmul`]: 2-D matrix products and transpose
+//! - [`reduce`]: sums and means over axes
+//! - [`shape`]: reshape, concatenation, slicing
+//! - [`gather`]: row gathers and scatter-adds (embedding lookups, message
+//!   passing)
+//! - [`softmax`]: row softmax, log-softmax and cross-entropy
+
+pub mod binary;
+pub mod broadcast;
+pub mod gather;
+pub mod matmul;
+pub mod reduce;
+pub mod shape;
+pub mod softmax;
+pub mod unary;

@@ -1,0 +1,196 @@
+//! Elementwise unary maps and activation functions.
+
+use crate::tensor::Tensor;
+
+/// Builds a unary elementwise op from a forward map and a derivative that
+/// receives the *input* value.
+fn unary_from_input<F, D>(x: &Tensor, f: F, df: D) -> Tensor
+where
+    F: Fn(f32) -> f32,
+    D: Fn(f32) -> f32 + 'static,
+{
+    let input = x.to_vec();
+    let data: Vec<f32> = input.iter().copied().map(f).collect();
+    Tensor::from_op(
+        data,
+        &x.shape(),
+        vec![x.clone()],
+        Box::new(move |g| {
+            vec![g.iter().zip(&input).map(|(gi, xi)| gi * df(*xi)).collect()]
+        }),
+    )
+}
+
+impl Tensor {
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Elementwise natural exponent.
+    pub fn exp(&self) -> Tensor {
+        unary_from_input(self, |x| x.exp(), |x| x.exp())
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        unary_from_input(self, |x| x.ln(), |x| 1.0 / x)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        unary_from_input(self, |x| x.sqrt(), |x| 0.5 / x.sqrt())
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        unary_from_input(self, |x| x * x, |x| 2.0 * x)
+    }
+
+    /// Elementwise reciprocal `1/x`.
+    pub fn recip(&self) -> Tensor {
+        unary_from_input(self, |x| 1.0 / x, |x| -1.0 / (x * x))
+    }
+
+    /// Elementwise absolute value. The derivative at zero is taken as 0.
+    pub fn abs(&self) -> Tensor {
+        unary_from_input(self, |x| x.abs(), |x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        unary_from_input(self, |x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Exponential linear unit with `alpha = 1` (the activation used by the
+    /// paper's GNN layers, Eq. 4).
+    pub fn elu(&self) -> Tensor {
+        self.elu_with_alpha(1.0)
+    }
+
+    /// Exponential linear unit: `x` for `x > 0`, `alpha * (e^x - 1)` otherwise.
+    pub fn elu_with_alpha(&self, alpha: f32) -> Tensor {
+        unary_from_input(
+            self,
+            move |x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) },
+            move |x| if x > 0.0 { 1.0 } else { alpha * x.exp() },
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        unary_from_input(
+            self,
+            |x| 1.0 / (1.0 + (-x).exp()),
+            |x| {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            },
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        unary_from_input(self, |x| x.tanh(), |x| 1.0 - x.tanh() * x.tanh())
+    }
+
+    /// Gaussian error linear unit (tanh approximation), used by the temporal
+    /// transformer's feed-forward block.
+    pub fn gelu(&self) -> Tensor {
+        const C: f32 = 0.797_884_56; // sqrt(2/pi)
+        unary_from_input(
+            self,
+            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+            |x| {
+                let inner = C * (x + 0.044715 * x * x * x);
+                let t = inner.tanh();
+                let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
+                0.5 * (1.0 + t) + 0.5 * x * dt
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).requires_grad(true)
+    }
+
+    #[test]
+    fn exp_ln_inverse() {
+        let x = leaf(vec![0.5, 1.5]);
+        let y = x.exp().ln();
+        let out = y.to_vec();
+        assert!((out[0] - 0.5).abs() < 1e-6);
+        assert!((out[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_gradient_gates() {
+        let x = leaf(vec![-2.0, 3.0]);
+        let y = x.relu().sum_all();
+        assert_eq!(y.item(), 3.0);
+        y.backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn elu_matches_definition() {
+        let x = leaf(vec![-1.0, 2.0]);
+        let y = x.elu();
+        let out = y.to_vec();
+        assert!((out[0] - ((-1.0f32).exp() - 1.0)).abs() < 1e-6);
+        assert_eq!(out[1], 2.0);
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        assert!((g[0] - (-1.0f32).exp()).abs() < 1e-6);
+        assert_eq!(g[1], 1.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_grad() {
+        let x = leaf(vec![0.0]);
+        let y = x.sigmoid();
+        assert!((y.item() - 0.5).abs() < 1e-6);
+        y.backward();
+        assert!((x.grad().unwrap()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sqrt_grad() {
+        let x = leaf(vec![4.0]);
+        let y = x.sqrt();
+        assert_eq!(y.item(), 2.0);
+        y.backward();
+        assert!((x.grad().unwrap()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abs_grad_sign() {
+        let x = leaf(vec![-3.0, 0.0, 2.0]);
+        let y = x.abs().sum_all();
+        assert_eq!(y.item(), 5.0);
+        y.backward();
+        assert_eq!(x.grad().unwrap(), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_close_to_relu_for_large_inputs() {
+        let x = leaf(vec![10.0, -10.0]);
+        let y = x.gelu().to_vec();
+        assert!((y[0] - 10.0).abs() < 1e-3);
+        assert!(y[1].abs() < 1e-3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Optimizers: plain SGD and AdamW with decoupled weight decay
+//! (Loshchilov & Hutter), matching the paper's training recipe
+//! (lr 1e-5, weight decay 1.0, β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+
+use crate::tensor::Tensor;
+
+/// Common optimizer interface over a fixed parameter list.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated on
+    /// the parameters. Parameters without a gradient are skipped.
+    fn step(&mut self);
+    /// Clears gradients on all managed parameters.
+    fn zero_grad(&self);
+    /// The managed parameters.
+    fn params(&self) -> &[Tensor];
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Self::with_momentum(params, lr, 0.0)
+    }
+
+    /// Creates an SGD optimizer with momentum.
+    pub fn with_momentum(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        Sgd { params, lr, momentum, velocity }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(&mut self.velocity) {
+            let Some(g) = p.grad() else { continue };
+            let (lr, mu) = (self.lr, self.momentum);
+            p.update_data(|data| {
+                for i in 0..data.len() {
+                    v[i] = mu * v[i] + g[i];
+                    data[i] -= lr * v[i];
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+/// Configuration for [`AdamW`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdamWConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamWConfig {
+    /// The paper's settings: lr 1e-5, wd 1.0, β₁ 0.9, β₂ 0.999, ε 1e-8.
+    fn default() -> Self {
+        AdamWConfig { lr: 1e-5, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 1.0 }
+    }
+}
+
+/// AdamW optimizer with decoupled weight decay.
+#[derive(Debug)]
+pub struct AdamW {
+    params: Vec<Tensor>,
+    cfg: AdamWConfig,
+    step_count: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl AdamW {
+    /// Creates an AdamW optimizer over `params` with the given config.
+    pub fn new(params: Vec<Tensor>, cfg: AdamWConfig) -> Self {
+        let m = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        AdamW { params, cfg, step_count: 0, m, v }
+    }
+
+    /// Creates an AdamW optimizer with a custom learning rate and otherwise
+    /// default (paper) hyperparameters.
+    pub fn with_lr(params: Vec<Tensor>, lr: f32) -> Self {
+        AdamW::new(params, AdamWConfig { lr, ..AdamWConfig::default() })
+    }
+
+    /// Current step count (number of `step` calls so far).
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let c = self.cfg;
+        let bias1 = 1.0 - c.beta1.powf(t);
+        let bias2 = 1.0 - c.beta2.powf(t);
+        for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
+            let Some(g) = p.grad() else { continue };
+            p.update_data(|data| {
+                for i in 0..data.len() {
+                    m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * g[i];
+                    v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * g[i] * g[i];
+                    let m_hat = m[i] / bias1;
+                    let v_hat = v[i] / bias2;
+                    // Decoupled decay: applied directly to the weights, not
+                    // folded into the gradient (AdamW, not Adam+L2).
+                    data[i] -= c.lr * (m_hat / (v_hat.sqrt() + c.eps) + c.weight_decay * data[i]);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_loss(x: &Tensor) -> Tensor {
+        // (x - 3)^2 summed
+        x.add_scalar(-3.0).square().sum_all()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = Tensor::from_vec(vec![0.0], &[1]).requires_grad(true);
+        let mut opt = Sgd::new(vec![x.clone()], 0.1);
+        for _ in 0..100 {
+            opt.zero_grad();
+            quadratic_loss(&x).backward();
+            opt.step();
+        }
+        assert!((x.to_vec()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let x1 = Tensor::from_vec(vec![0.0], &[1]).requires_grad(true);
+        let x2 = Tensor::from_vec(vec![0.0], &[1]).requires_grad(true);
+        let mut plain = Sgd::new(vec![x1.clone()], 0.01);
+        let mut mom = Sgd::with_momentum(vec![x2.clone()], 0.01, 0.9);
+        for _ in 0..20 {
+            plain.zero_grad();
+            quadratic_loss(&x1).backward();
+            plain.step();
+            mom.zero_grad();
+            quadratic_loss(&x2).backward();
+            mom.step();
+        }
+        let e1 = (x1.to_vec()[0] - 3.0).abs();
+        let e2 = (x2.to_vec()[0] - 3.0).abs();
+        assert!(e2 < e1, "momentum {e2} should beat plain {e1}");
+    }
+
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        let x = Tensor::from_vec(vec![0.0], &[1]).requires_grad(true);
+        let cfg = AdamWConfig { lr: 0.1, weight_decay: 0.0, ..AdamWConfig::default() };
+        let mut opt = AdamW::new(vec![x.clone()], cfg);
+        for _ in 0..300 {
+            opt.zero_grad();
+            quadratic_loss(&x).backward();
+            opt.step();
+        }
+        assert!((x.to_vec()[0] - 3.0).abs() < 1e-2, "got {}", x.to_vec()[0]);
+    }
+
+    #[test]
+    fn adamw_weight_decay_shrinks_weights() {
+        // With zero gradient signal, decay alone must shrink the weight.
+        let x = Tensor::from_vec(vec![1.0], &[1]).requires_grad(true);
+        let cfg = AdamWConfig { lr: 0.01, weight_decay: 1.0, ..AdamWConfig::default() };
+        let mut opt = AdamW::new(vec![x.clone()], cfg);
+        for _ in 0..10 {
+            opt.zero_grad();
+            // loss independent of x would not push grads to x at all; use
+            // x*0 so grad is exactly zero but present in graph.
+            x.mul_scalar(0.0).sum_all().backward();
+            opt.step();
+        }
+        assert!(x.to_vec()[0] < 1.0);
+    }
+
+    #[test]
+    fn params_without_grad_are_skipped() {
+        let x = Tensor::from_vec(vec![5.0], &[1]).requires_grad(true);
+        let mut opt = AdamW::with_lr(vec![x.clone()], 0.1);
+        opt.step(); // no backward happened
+        assert_eq!(x.to_vec(), vec![5.0]);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = AdamWConfig::default();
+        assert_eq!(cfg.lr, 1e-5);
+        assert_eq!(cfg.weight_decay, 1.0);
+        assert_eq!(cfg.beta1, 0.9);
+        assert_eq!(cfg.beta2, 0.999);
+        assert_eq!(cfg.eps, 1e-8);
+    }
+}

@@ -1,0 +1,16 @@
+//! # adaptive-kg
+//!
+//! Facade crate of the `adaptive-kg` workspace: a Rust reproduction of
+//! *"Continuous GNN-based Anomaly Detection on Edge using Efficient Adaptive
+//! Knowledge Graph Learning"* (DATE 2025).
+//!
+//! Re-exports the member crates under stable names; see [`core`] for the
+//! paper's contribution and the README for the experiment harness.
+
+pub use akg_core as core;
+pub use akg_cost as cost;
+pub use akg_data as data;
+pub use akg_embed as embed;
+pub use akg_eval as eval;
+pub use akg_kg as kg;
+pub use akg_tensor as tensor;
