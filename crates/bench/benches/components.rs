@@ -5,10 +5,10 @@
 
 use akg_core::adapt::{AdaptConfig, ContinuousAdapter};
 use akg_core::pipeline::{MissionSystem, SystemConfig};
-use akg_tensor::nn::Module;
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_embed::BpeTokenizer;
 use akg_kg::{generate_kg, AnomalyClass, GeneratorConfig, Ontology, SyntheticOracle};
+use akg_tensor::nn::Module;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -48,8 +48,7 @@ fn bench_kg_generation(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let mut oracle =
-                SyntheticOracle::new(akg_kg::ErrorProfile::realistic(), seed);
+            let mut oracle = SyntheticOracle::new(akg_kg::ErrorProfile::realistic(), seed);
             black_box(generate_kg("stealing", &GeneratorConfig::default(), &mut oracle))
         })
     });

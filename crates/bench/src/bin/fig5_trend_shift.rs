@@ -12,18 +12,43 @@ use akg_kg::AnomalyClass;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seeds = flag_value(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(3u64);
+    // at least one seed: `--seeds 0` would leave every panel empty
+    let seeds = flag_value(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(3u64).max(1);
     let scenario = flag_value(&args, "--scenario").unwrap_or_else(|| "all".to_string());
     let seed_list: Vec<u64> = (42..42 + seeds).collect();
 
     let panels: Vec<(&str, AnomalyClass, AnomalyClass)> = match scenario.as_str() {
-        "weak" => vec![("Fig. 5(A) weak shift: Stealing -> Robbery", AnomalyClass::Stealing, AnomalyClass::Robbery)],
-        "weak-rev" => vec![("Fig. 5(A) weak shift: Robbery -> Stealing", AnomalyClass::Robbery, AnomalyClass::Stealing)],
-        "strong" => vec![("Fig. 5(B) strong shift: Stealing -> Explosion", AnomalyClass::Stealing, AnomalyClass::Explosion)],
+        "weak" => vec![(
+            "Fig. 5(A) weak shift: Stealing -> Robbery",
+            AnomalyClass::Stealing,
+            AnomalyClass::Robbery,
+        )],
+        "weak-rev" => vec![(
+            "Fig. 5(A) weak shift: Robbery -> Stealing",
+            AnomalyClass::Robbery,
+            AnomalyClass::Stealing,
+        )],
+        "strong" => vec![(
+            "Fig. 5(B) strong shift: Stealing -> Explosion",
+            AnomalyClass::Stealing,
+            AnomalyClass::Explosion,
+        )],
         _ => vec![
-            ("Fig. 5(A) weak shift: Stealing -> Robbery", AnomalyClass::Stealing, AnomalyClass::Robbery),
-            ("Fig. 5(A) weak shift: Robbery -> Stealing", AnomalyClass::Robbery, AnomalyClass::Stealing),
-            ("Fig. 5(B) strong shift: Stealing -> Explosion", AnomalyClass::Stealing, AnomalyClass::Explosion),
+            (
+                "Fig. 5(A) weak shift: Stealing -> Robbery",
+                AnomalyClass::Stealing,
+                AnomalyClass::Robbery,
+            ),
+            (
+                "Fig. 5(A) weak shift: Robbery -> Stealing",
+                AnomalyClass::Robbery,
+                AnomalyClass::Stealing,
+            ),
+            (
+                "Fig. 5(B) strong shift: Stealing -> Explosion",
+                AnomalyClass::Stealing,
+                AnomalyClass::Explosion,
+            ),
         ],
     };
 
@@ -35,8 +60,7 @@ fn main() {
         let static_kg = mean_curve(&results, false);
         let shift_at = results[0].adaptive.points.iter().position(|p| p.after_shift).unwrap_or(0);
         println!("{}", render_panel(title, &adaptive, &static_kg, shift_at));
-        let init: f32 =
-            results.iter().map(|r| r.initial_auc).sum::<f32>() / results.len() as f32;
+        let init: f32 = results.iter().map(|r| r.initial_auc).sum::<f32>() / results.len() as f32;
         let post_a: f32 = results.iter().map(|r| r.adaptive.post_shift_mean_auc()).sum::<f32>()
             / results.len() as f32;
         let post_s: f32 = results.iter().map(|r| r.static_kg.post_shift_mean_auc()).sum::<f32>()

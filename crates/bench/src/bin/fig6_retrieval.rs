@@ -5,8 +5,8 @@
 //!
 //! Usage: `fig6_retrieval [--seed N]`
 
-use akg_core::experiment::{run_retrieval_drift, RetrievalDriftParams, TrendShiftParams};
 use akg_bench::experiment_dataset;
+use akg_core::experiment::{run_retrieval_drift, RetrievalDriftParams, TrendShiftParams};
 use akg_embed::Similarity;
 use akg_kg::{AnomalyClass, Ontology};
 
@@ -37,8 +37,13 @@ fn main() {
         metric: Similarity::Euclidean,
     };
 
-    println!("Fig. 6 reproduction — interpretable KG retrieval during Stealing -> Robbery adaptation");
-    println!("(Euclidean retrieval over the BPE vocabulary, snapshot every {} frames)\n", params.snapshot_every);
+    println!(
+        "Fig. 6 reproduction — interpretable KG retrieval during Stealing -> Robbery adaptation"
+    );
+    println!(
+        "(Euclidean retrieval over the BPE vocabulary, snapshot every {} frames)\n",
+        params.snapshot_every
+    );
     println!("iteration | dist(initial concepts) | dist(new concepts) | sample retrieved words");
     let result = run_retrieval_drift(&ds, &params);
     for snap in &result.snapshots {

@@ -50,11 +50,8 @@ fn main() {
 
     // --- measured: FLOPs of one daily adaptation loop -----------------------
     let mut sys = MissionSystem::build(&[initial], &params.system);
-    let train_videos: Vec<&akg_data::Video> = ds
-        .train
-        .iter()
-        .filter(|v| v.class.is_none() || v.class == Some(initial))
-        .collect();
+    let train_videos: Vec<&akg_data::Video> =
+        ds.train.iter().filter(|v| v.class.is_none() || v.class == Some(initial)).collect();
     train_decision_model(&mut sys, &train_videos, &params.train);
     let dims_like = sys.cost_dims();
     let dims = ModelDims {

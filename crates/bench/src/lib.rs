@@ -11,6 +11,28 @@
 //!   cost accounting with measured edge numbers.
 //! - Criterion micro-benches (`benches/`) — component latencies and the
 //!   ablations called out in DESIGN.md.
+//!
+//! ## Reproducing the paper's evaluation
+//!
+//! ```sh
+//! cargo run --release --bin fig5_trend_shift -- --seeds 3 --scenario all
+//! cargo run --release --bin fig6_retrieval -- --seed 43
+//! cargo run --release --bin table1_cost -- --seed 43
+//! cargo bench --bench components   # Table I "Low (Real-time)" latencies
+//! cargo bench --bench ablations    # design-choice ablations + AUC printouts
+//! ```
+//!
+//! Every run is seeded and deterministic: the binaries accept `--seed`
+//! (or `--seeds N` for multi-seed averaging in Fig. 5) so that reported
+//! curves can be regenerated exactly.
+//!
+//! The library part of this crate holds the small amount of shared harness
+//! code: the experiment-scale dataset ([`experiment_dataset`]), multi-seed
+//! scenario running ([`run_scenario_seeds`]), per-step curve averaging
+//! ([`mean_curve`]), and the ASCII panel renderer ([`render_panel`]) used
+//! for Fig. 5 output.
+
+#![warn(missing_docs)]
 
 use akg_core::experiment::{run_trend_shift, TrendShiftParams, TrendShiftResult};
 use akg_data::{DatasetConfig, SyntheticUcfCrime};

@@ -9,8 +9,8 @@
 //! *increasing* are diverging and get pruned and replaced by a fresh node
 //! with a random token embedding and random edges at the same level.
 
-use crate::pipeline::MissionSystem;
 use crate::loss::decision_loss_smoothed;
+use crate::pipeline::MissionSystem;
 use akg_eval::MeanShiftTracker;
 use akg_kg::modify::{create_node, repair_connectivity, CreateConfig};
 use akg_kg::NodeId;
@@ -135,7 +135,12 @@ impl ContinuousAdapter {
     /// Creates the adapter for a deployed system. Puts the system into
     /// adaptation mode (model frozen, token table trainable) and snapshots
     /// every node's current embedding for drift tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.interval == 0` (the adaptation check would never run).
     pub fn new(sys: &mut MissionSystem, cfg: AdaptConfig) -> Self {
+        assert!(cfg.interval > 0, "AdaptConfig::interval must be positive");
         sys.set_adaptation_mode(true);
         // Plain SGD, deliberately: scale-free optimizers (Adam family) move
         // noise coordinates exactly as fast as signal coordinates, so
@@ -219,7 +224,7 @@ impl ContinuousAdapter {
         let score = sys.score_window(&window);
         self.tracker.push(score);
         self.observed += 1;
-        if self.observed % self.cfg.interval == 0 {
+        if self.observed.is_multiple_of(self.cfg.interval) {
             self.adapt_now(sys);
         }
         score
@@ -229,8 +234,7 @@ impl ContinuousAdapter {
     fn current_window(&self, sys: &MissionSystem, end: usize) -> Vec<Vec<f32>> {
         let window_len = sys.model.config().window;
         let start = end.saturating_sub(window_len - 1);
-        let mut out: Vec<Vec<f32>> =
-            (start..=end).map(|i| self.buffer[i].clone()).collect();
+        let mut out: Vec<Vec<f32>> = (start..=end).map(|i| self.buffer[i].clone()).collect();
         while out.len() < window_len {
             out.insert(0, out[0].clone());
         }
@@ -276,8 +280,7 @@ impl ContinuousAdapter {
         }
         // Twice as many pseudo-normals as pseudo-anomalies: contaminated
         // positive selections otherwise inflate normal scores in lockstep.
-        let normals: Vec<usize> =
-            order.iter().rev().copied().take(2 * anomalies.len()).collect();
+        let normals: Vec<usize> = order.iter().rev().copied().take(2 * anomalies.len()).collect();
 
         let mut logit_rows: Vec<Tensor> = Vec::with_capacity(2 * k);
         let mut targets: Vec<usize> = Vec::with_capacity(2 * k);
@@ -316,8 +319,7 @@ impl ContinuousAdapter {
             let logits = if epoch == 0 {
                 Tensor::concat_rows(&logit_rows)
             } else {
-                let rows: Vec<Tensor> =
-                    windows.iter().map(|w| sys.window_logits(w)).collect();
+                let rows: Vec<Tensor> = windows.iter().map(|w| sys.window_logits(w)).collect();
                 Tensor::concat_rows(&rows)
             };
             let loss = decision_loss_smoothed(
@@ -367,7 +369,7 @@ impl ContinuousAdapter {
         // Replace at most one node per adaptation cycle (the most divergent
         // one): mass replacements would destroy the KG's learned reasoning
         // in a single step.
-        to_replace.sort_by(|a, b| b.2.cmp(&a.2));
+        to_replace.sort_by_key(|&(_, _, streak)| std::cmp::Reverse(streak));
         if let Some(&(ki, id, _)) = to_replace.first() {
             if self.replacements < self.cfg.max_replacements && sys.table.spare_remaining() > 0 {
                 self.replace_node(sys, ki, id);
@@ -389,9 +391,13 @@ impl ContinuousAdapter {
         self.drift.remove(&(ki, id));
         self.adapted_node_counter += 1;
         let concept = format!("<adapted-{}>", self.adapted_node_counter);
-        let Ok(new_id) =
-            create_node(&mut sys.kgs[ki].kg, concept.clone(), node.level, &self.cfg.create, &mut self.rng)
-        else {
+        let Ok(new_id) = create_node(
+            &mut sys.kgs[ki].kg,
+            concept.clone(),
+            node.level,
+            &self.cfg.create,
+            &mut self.rng,
+        ) else {
             sys.rebuild_layout(ki);
             return;
         };
@@ -494,8 +500,7 @@ mod tests {
         let (mut sys, ds) = setup();
         let mut adapter = ContinuousAdapter::new(&mut sys, small_cfg());
         use akg_tensor::nn::Module;
-        let model_before: Vec<Vec<f32>> =
-            sys.model.params().iter().map(|p| p.to_vec()).collect();
+        let model_before: Vec<Vec<f32>> = sys.model.params().iter().map(|p| p.to_vec()).collect();
         let table_before = sys.table.param().to_vec();
         // feed high-score anomalous frames then normals to force a mean drop
         let mut stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 1.0, 2);
@@ -521,8 +526,7 @@ mod tests {
         };
         let k = adapter.adapt_now(&mut sys);
         assert!(k >= 1, "adaptation did not trigger");
-        let model_after: Vec<Vec<f32>> =
-            sys.model.params().iter().map(|p| p.to_vec()).collect();
+        let model_after: Vec<Vec<f32>> = sys.model.params().iter().map(|p| p.to_vec()).collect();
         assert_eq!(model_before, model_after, "frozen model changed");
         assert_ne!(table_before, sys.table.param().to_vec(), "token table unchanged");
     }
@@ -558,10 +562,7 @@ mod tests {
         assert!(sys.kgs[0].kg.node(victim_id).is_none(), "victim not pruned");
         assert_eq!(sys.kgs[0].kg.node_count(), node_count_before);
         assert!(sys.kgs[0].kg.validate().is_empty(), "{:?}", sys.kgs[0].kg.validate());
-        assert!(adapter
-            .events()
-            .iter()
-            .any(|e| matches!(e, AdaptEvent::NodeReplaced { .. })));
+        assert!(adapter.events().iter().any(|e| matches!(e, AdaptEvent::NodeReplaced { .. })));
     }
 
     #[test]

@@ -86,8 +86,7 @@ pub struct TrendShiftCurve {
 impl TrendShiftCurve {
     /// Mean AUC over the post-shift steps.
     pub fn post_shift_mean_auc(&self) -> f32 {
-        let post: Vec<f32> =
-            self.points.iter().filter(|p| p.after_shift).map(|p| p.auc).collect();
+        let post: Vec<f32> = self.points.iter().filter(|p| p.after_shift).map(|p| p.auc).collect();
         if post.is_empty() {
             return 0.0;
         }
@@ -126,11 +125,7 @@ pub struct TrendShiftResult {
 pub fn run_trend_shift(dataset: &SyntheticUcfCrime, params: &TrendShiftParams) -> TrendShiftResult {
     let adaptive = run_single(dataset, params, true);
     let static_kg = run_single(dataset, params, false);
-    TrendShiftResult {
-        initial_auc: adaptive.0,
-        adaptive: adaptive.1,
-        static_kg: static_kg.1,
-    }
+    TrendShiftResult { initial_auc: adaptive.0, adaptive: adaptive.1, static_kg: static_kg.1 }
 }
 
 fn run_single(
@@ -169,11 +164,10 @@ fn run_single(
             if adaptive {
                 adapter.observe(&mut sys, &frame);
             } else {
-                // static run still scores frames (the deployed system keeps
-                // operating), but never adapts
-                let emb = sys.embed_frame(&frame);
-                let window = vec![emb; sys.model.config().window.min(1).max(1)];
-                let _ = window;
+                // static run keeps consuming the stream (embedding advances
+                // the same frame RNG as the adaptive run) but never adapts;
+                // its AUC comes from evaluate_auc on the test subset below
+                let _ = sys.embed_frame(&frame);
             }
         }
         let active = if after_shift { params.shifted } else { params.initial };
@@ -250,11 +244,8 @@ pub fn run_retrieval_drift(
 ) -> RetrievalDriftResult {
     let sp = &params.shift;
     let mut sys = MissionSystem::build(&[sp.initial], &sp.system);
-    let train_videos: Vec<&akg_data::Video> = dataset
-        .train
-        .iter()
-        .filter(|v| v.class.is_none() || v.class == Some(sp.initial))
-        .collect();
+    let train_videos: Vec<&akg_data::Video> =
+        dataset.train.iter().filter(|v| v.class.is_none() || v.class == Some(sp.initial)).collect();
     train_decision_model(&mut sys, &train_videos, &sp.train);
     let retrieval = InterpretableRetrieval::new(&sys.tokenizer, &sys.space);
     let mut adapter = ContinuousAdapter::new(&mut sys, sp.adapt);

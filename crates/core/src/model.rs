@@ -356,10 +356,8 @@ impl DecisionModel {
         table: &TokenTable,
         frame_window: &[Vec<f32>],
     ) -> Vec<f32> {
-        let embeddings: Vec<Tensor> = frame_window
-            .iter()
-            .map(|f| self.reasoning_embedding(kgs, layouts, table, f))
-            .collect();
+        let embeddings: Vec<Tensor> =
+            frame_window.iter().map(|f| self.reasoning_embedding(kgs, layouts, table, f)).collect();
         let temporal = self.temporal_embedding(&embeddings);
         self.logits(&temporal).softmax_rows().to_vec()
     }
@@ -438,8 +436,7 @@ mod tests {
     fn gnn_layer_count_is_depth_plus_two() {
         let (tkg, _, _, config) = fixture();
         let mut rng = StdRng::seed_from_u64(0);
-        let gnn =
-            HierarchicalGnn::new(tkg.kg.depth(), config.embed_dim, config.gnn_dim, &mut rng);
+        let gnn = HierarchicalGnn::new(tkg.kg.depth(), config.embed_dim, config.gnn_dim, &mut rng);
         assert_eq!(gnn.layer_count(), tkg.kg.depth() + 2);
     }
 

@@ -35,11 +35,7 @@ pub struct SystemState {
 pub fn save_state(sys: &MissionSystem) -> SystemState {
     SystemState {
         missions: sys.missions.iter().map(|m| m.name().to_string()).collect(),
-        kgs: sys
-            .kgs
-            .iter()
-            .map(|t| t.kg.to_json().expect("KG serializes"))
-            .collect(),
+        kgs: sys.kgs.iter().map(|t| t.kg.to_json().expect("KG serializes")).collect(),
         node_tokens: sys
             .kgs
             .iter()
@@ -69,10 +65,7 @@ pub fn save_state_json(sys: &MissionSystem) -> Result<String, String> {
 pub fn load_state(sys: &mut MissionSystem, state: &SystemState) -> Result<(), String> {
     let missions: Vec<String> = sys.missions.iter().map(|m| m.name().to_string()).collect();
     if missions != state.missions {
-        return Err(format!(
-            "mission mismatch: system {missions:?} vs state {:?}",
-            state.missions
-        ));
+        return Err(format!("mission mismatch: system {missions:?} vs state {:?}", state.missions));
     }
     if sys.table.param().numel() != state.token_table.len() {
         return Err(format!(
@@ -106,10 +99,8 @@ pub fn load_state(sys: &mut MissionSystem, state: &SystemState) -> Result<(), St
             return Err(format!("restored KG {i} invalid: {errors:?}"));
         }
         sys.kgs[i].kg = kg;
-        sys.kgs[i].node_tokens = state.node_tokens[i]
-            .iter()
-            .map(|(id, rows)| (NodeId(*id), rows.clone()))
-            .collect();
+        sys.kgs[i].node_tokens =
+            state.node_tokens[i].iter().map(|(id, rows)| (NodeId(*id), rows.clone())).collect();
         sys.kgs[i].mission_embedding = state.mission_embeddings[i].clone();
         sys.rebuild_layout(i);
     }

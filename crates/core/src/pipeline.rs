@@ -311,9 +311,7 @@ mod tests {
         let mut sys = system();
         sys.model.set_train(false);
         let ds = SyntheticUcfCrime::generate(
-            DatasetConfig::scaled(0.01)
-                .with_classes(&[AnomalyClass::Stealing])
-                .with_seed(1),
+            DatasetConfig::scaled(0.01).with_classes(&[AnomalyClass::Stealing]).with_seed(1),
         );
         let video = ds.train_videos_of(AnomalyClass::Stealing)[0];
         let (scores, labels) = sys.score_video(video);
@@ -339,9 +337,7 @@ mod tests {
         let mut sys = system();
         sys.model.set_train(false);
         let ds = SyntheticUcfCrime::generate(
-            DatasetConfig::scaled(0.01)
-                .with_classes(&[AnomalyClass::Stealing])
-                .with_seed(2),
+            DatasetConfig::scaled(0.01).with_classes(&[AnomalyClass::Stealing]).with_seed(2),
         );
         let subset = ds.test_subset(AnomalyClass::Stealing);
         let auc = sys.evaluate_auc(&subset);

@@ -31,7 +31,7 @@ impl TokenTable {
         let vocab = tokenizer.vocab();
         let dim = space.dim();
         let mut weights = space.token_table(vocab);
-        weights.extend(std::iter::repeat(0.0).take(spare_rows * dim));
+        weights.extend(std::iter::repeat_n(0.0, spare_rows * dim));
         let capacity = vocab.len() + spare_rows;
         TokenTable {
             emb: Embedding::from_weights(weights, capacity, dim),
@@ -141,15 +141,8 @@ impl TokenizedKg {
     ///
     /// Panics if `mission_embedding` is all zeros (it would block every
     /// hierarchical message into the embedding node).
-    pub fn new(
-        kg: KnowledgeGraph,
-        tokenizer: &BpeTokenizer,
-        mission_embedding: Vec<f32>,
-    ) -> Self {
-        assert!(
-            mission_embedding.iter().any(|v| *v != 0.0),
-            "mission embedding must be non-zero"
-        );
+    pub fn new(kg: KnowledgeGraph, tokenizer: &BpeTokenizer, mission_embedding: Vec<f32>) -> Self {
+        assert!(mission_embedding.iter().any(|v| *v != 0.0), "mission embedding must be non-zero");
         let mut node_tokens = HashMap::new();
         for node in kg.nodes() {
             if node.kind == NodeKind::Reasoning {
@@ -219,11 +212,8 @@ mod tests {
     #[test]
     fn tokenized_kg_covers_all_reasoning_nodes() {
         let (tok, space, kg) = fixture();
-        let reasoning: Vec<NodeId> = kg
-            .nodes()
-            .filter(|n| n.kind == NodeKind::Reasoning)
-            .map(|n| n.id)
-            .collect();
+        let reasoning: Vec<NodeId> =
+            kg.nodes().filter(|n| n.kind == NodeKind::Reasoning).map(|n| n.id).collect();
         let tkg = TokenizedKg::new(kg, &tok, space.embed_text("stealing"));
         for id in reasoning {
             assert!(tkg.tokens_of(id).is_some(), "node {id} untokenized");

@@ -232,8 +232,7 @@ mod tests {
     #[should_panic(expected = "requires normal videos")]
     fn training_rejects_missing_normals() {
         let (mut sys, ds) = quick_setup();
-        let videos: Vec<&Video> =
-            ds.train.iter().filter(|v| v.class.is_some()).collect();
+        let videos: Vec<&Video> = ds.train.iter().filter(|v| v.class.is_some()).collect();
         train_decision_model(&mut sys, &videos, &TrainConfig::fast());
     }
 }

@@ -12,17 +12,27 @@ fn scratch_fig5() {
         cfg.test_normal = 25;
         cfg.test_anomalous = 30;
         let ds = SyntheticUcfCrime::generate(cfg);
-        for (name, shifted) in [("weak", AnomalyClass::Robbery), ("strong", AnomalyClass::Explosion)] {
+        for (name, shifted) in
+            [("weak", AnomalyClass::Robbery), ("strong", AnomalyClass::Explosion)]
+        {
             let mut params = TrendShiftParams::quick(AnomalyClass::Stealing, shifted);
             params.seed = seed;
             params.system.seed = seed;
             params.train = params.train.with_seed(seed);
             let result = run_trend_shift(&ds, &params);
             print!("== seed {seed} {name}: init {:.2} | A:", result.initial_auc);
-            for p in &result.adaptive.points { print!(" {:.2}", p.auc); }
+            for p in &result.adaptive.points {
+                print!(" {:.2}", p.auc);
+            }
             print!(" | S:");
-            for p in &result.static_kg.points { print!(" {:.2}", p.auc); }
-            println!(" | post A {:.3} vs S {:.3}", result.adaptive.post_shift_mean_auc(), result.static_kg.post_shift_mean_auc());
+            for p in &result.static_kg.points {
+                print!(" {:.2}", p.auc);
+            }
+            println!(
+                " | post A {:.3} vs S {:.3}",
+                result.adaptive.post_shift_mean_auc(),
+                result.static_kg.post_shift_mean_auc()
+            );
         }
     }
 }

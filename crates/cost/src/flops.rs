@@ -80,8 +80,7 @@ impl ModelDims {
     /// `levels - 1` layers map `gnn_dim -> gnn_dim`.
     pub fn gnn_forward_flops(&self) -> u64 {
         let first = self.gnn_layer_flops(self.embed_dim);
-        let rest = (self.kg.levels.saturating_sub(1)) as u64
-            * self.gnn_layer_flops(self.gnn_dim);
+        let rest = (self.kg.levels.saturating_sub(1)) as u64 * self.gnn_layer_flops(self.gnn_dim);
         (first + rest) * self.kgs as u64
     }
 

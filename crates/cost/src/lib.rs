@@ -10,6 +10,25 @@
 //! reuses the constants the paper reports for GPT-4 cloud regeneration,
 //! which our simulator cannot measure.
 //!
+//! ## Modules
+//!
+//! - [`flops`] — [`ModelDims`] captures every dimension of a deployed
+//!   mission system (KG sizes, embedding widths, attention shape) and
+//!   derives per-inference and per-adaptation FLOP counts analytically,
+//!   component by component (GNN message passing, temporal attention,
+//!   classifier head, token updates).
+//! - [`energy`] — [`EdgeDevice`] converts FLOPs into joules and watts for a
+//!   Jetson-class device, and [`CloudBaseline`] carries the paper's
+//!   published GPT-4-in-the-cloud constants (update cadence, memory,
+//!   bandwidth).
+//! - [`report`] — [`CostReport`] assembles both columns into the Table I
+//!   layout rendered by the `table1_cost` binary in `akg-bench`, keeping
+//!   "published constant" and "measured here" entries visibly distinct.
+//!
+//! The cost model is monotone in every size dimension — growing the KG,
+//! window, or number of missions never reports fewer FLOPs — which the
+//! workspace's property tests assert.
+//!
 //! ## Example
 //!
 //! ```

@@ -184,9 +184,7 @@ impl CostReport {
         let mut out = String::new();
         out.push_str(&format!(
             "{:width_metric$} | {:width_base$} | {}\n",
-            "Metric",
-            "Baseline (Cloud KG Updates)",
-            "Proposed (Edge KG Adaptation)",
+            "Metric", "Baseline (Cloud KG Updates)", "Proposed (Edge KG Adaptation)",
         ));
         out.push_str(&format!(
             "{} | {} | {}\n",

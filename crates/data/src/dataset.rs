@@ -130,10 +130,7 @@ impl SyntheticUcfCrime {
     /// anomalous videos of `class` (the per-mission test protocol used for
     /// the paper's AUC curves).
     pub fn test_subset(&self, class: AnomalyClass) -> Vec<&Video> {
-        self.test
-            .iter()
-            .filter(|v| v.class.is_none() || v.class == Some(class))
-            .collect()
+        self.test.iter().filter(|v| v.class.is_none() || v.class == Some(class)).collect()
     }
 
     /// Flattens a video list into `(frame, is_anomalous)` pairs.
@@ -194,10 +191,7 @@ mod tests {
     fn classes_round_robin_covers_all() {
         let ds = SyntheticUcfCrime::generate(DatasetConfig::scaled(0.05).with_seed(1));
         for class in AnomalyClass::ALL {
-            assert!(
-                !ds.train_videos_of(class).is_empty(),
-                "no training videos for {class:?}"
-            );
+            assert!(!ds.train_videos_of(class).is_empty(), "no training videos for {class:?}");
         }
     }
 
@@ -213,8 +207,7 @@ mod tests {
     #[test]
     fn unique_video_ids() {
         let ds = small();
-        let mut ids: Vec<usize> =
-            ds.train.iter().chain(ds.test.iter()).map(|v| v.id).collect();
+        let mut ids: Vec<usize> = ds.train.iter().chain(ds.test.iter()).map(|v| v.id).collect();
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();

@@ -17,10 +17,34 @@ use serde::{Deserialize, Serialize};
 /// normal footage is directionally diverse in the joint space — one-class
 /// "anything unusual" shortcuts must not work.
 pub const NORMAL_CONCEPTS: &[&str] = &[
-    "walking", "standing", "talking", "waiting", "strolling", "commuting", "queueing",
-    "shopping", "driving", "jogging", "sitting", "passing", "entering", "exiting",
-    "reading", "cleaning", "sweeping", "delivering", "unloading", "greeting", "resting",
-    "chatting", "cycling", "skating", "stretching", "photographing", "pointing", "gathering",
+    "walking",
+    "standing",
+    "talking",
+    "waiting",
+    "strolling",
+    "commuting",
+    "queueing",
+    "shopping",
+    "driving",
+    "jogging",
+    "sitting",
+    "passing",
+    "entering",
+    "exiting",
+    "reading",
+    "cleaning",
+    "sweeping",
+    "delivering",
+    "unloading",
+    "greeting",
+    "resting",
+    "chatting",
+    "cycling",
+    "skating",
+    "stretching",
+    "photographing",
+    "pointing",
+    "gathering",
 ];
 
 /// Generic entities that appear in normal *and* anomalous footage (a person
@@ -323,7 +347,13 @@ mod tests {
         let ont = Ontology::new();
         let gen = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            generate_anomalous_video(0, AnomalyClass::Robbery, &ont, &VideoConfig::default(), &mut rng)
+            generate_anomalous_video(
+                0,
+                AnomalyClass::Robbery,
+                &ont,
+                &VideoConfig::default(),
+                &mut rng,
+            )
         };
         assert_eq!(gen(9).frames, gen(9).frames);
     }

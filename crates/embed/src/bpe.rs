@@ -103,8 +103,7 @@ impl BpeTokenizer {
 
     /// Rebuilds the internal merge-rank index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.merge_ranks =
-            self.merges.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
+        self.merge_ranks = self.merges.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
     }
 
     /// Encodes text into token ids. Unknown symbols map to `<unk>` (id 0).
@@ -116,10 +115,8 @@ impl BpeTokenizer {
             loop {
                 let mut best: Option<(usize, usize)> = None; // (rank, pos)
                 for (pos, pair) in symbols.windows(2).enumerate() {
-                    if let Some(&rank) =
-                        self.merge_ranks.get(&(pair[0].clone(), pair[1].clone()))
-                    {
-                        if best.map_or(true, |(r, _)| rank < r) {
+                    if let Some(&rank) = self.merge_ranks.get(&(pair[0].clone(), pair[1].clone())) {
+                        if best.is_none_or(|(r, _)| rank < r) {
                             best = Some((rank, pos));
                         }
                     }

@@ -7,20 +7,15 @@
 use serde::{Deserialize, Serialize};
 
 /// A similarity/distance metric over embedding vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Similarity {
     /// Euclidean (L2) distance; smaller is closer. The paper's choice.
+    #[default]
     Euclidean,
     /// Cosine similarity; larger is closer.
     Cosine,
     /// Raw dot product; larger is closer.
     Dot,
-}
-
-impl Default for Similarity {
-    fn default() -> Self {
-        Similarity::Euclidean
-    }
 }
 
 /// Euclidean distance between two equal-length vectors.
@@ -101,7 +96,10 @@ pub fn retrieve_top_k(
     assert_eq!(table.len() % dim, 0, "retrieve_top_k: ragged table");
     let rows = table.len() / dim;
     let mut hits: Vec<Hit> = (0..rows)
-        .map(|r| Hit { index: r, closeness: metric.closeness(query, &table[r * dim..(r + 1) * dim]) })
+        .map(|r| Hit {
+            index: r,
+            closeness: metric.closeness(query, &table[r * dim..(r + 1) * dim]),
+        })
         .collect();
     hits.sort_by(|a, b| b.closeness.partial_cmp(&a.closeness).unwrap_or(std::cmp::Ordering::Equal));
     hits.truncate(k);

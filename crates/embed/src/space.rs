@@ -82,10 +82,10 @@ impl JointSpaceBuilder {
     pub fn anchor(mut self, word: &str, class: usize, affinity: f32) -> Self {
         assert!(class < self.n_classes, "class {class} out of range");
         assert!((0.0..=1.0).contains(&affinity), "affinity must be in [0,1]");
-        let entry = self.anchors.entry(word.to_lowercase()).or_insert(Anchor {
-            class_weights: Vec::new(),
-            affinity,
-        });
+        let entry = self
+            .anchors
+            .entry(word.to_lowercase())
+            .or_insert(Anchor { class_weights: Vec::new(), affinity });
         entry.class_weights.push((class, 1.0));
         entry.affinity = entry.affinity.max(affinity);
         self

@@ -51,8 +51,7 @@ impl Vocab {
 
     /// Rebuilds the string→id index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.tokens.iter().enumerate().map(|(i, t)| (t.clone(), TokenId(i))).collect();
+        self.index = self.tokens.iter().enumerate().map(|(i, t)| (t.clone(), TokenId(i))).collect();
     }
 
     /// Looks up a token's id.

@@ -87,11 +87,7 @@ pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<RocPoint> {
             }
             i += 1;
         }
-        points.push(RocPoint {
-            fpr: fp as f32 / negatives,
-            tpr: tp as f32 / positives,
-            threshold,
-        });
+        points.push(RocPoint { fpr: fp as f32 / negatives, tpr: tp as f32 / positives, threshold });
     }
     points
 }

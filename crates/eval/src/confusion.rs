@@ -94,11 +94,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Confusion {
-        Confusion::at_threshold(
-            &[0.9, 0.7, 0.4, 0.2],
-            &[true, false, true, false],
-            0.5,
-        )
+        Confusion::at_threshold(&[0.9, 0.7, 0.4, 0.2], &[true, false, true, false], 0.5)
     }
 
     #[test]

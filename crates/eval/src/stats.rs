@@ -70,11 +70,7 @@ impl ScoreWindow {
             return 0.0;
         }
         let mean = self.mean() as f64;
-        let var = self
-            .scores
-            .iter()
-            .map(|&s| (s as f64 - mean) * (s as f64 - mean))
-            .sum::<f64>()
+        let var = self.scores.iter().map(|&s| (s as f64 - mean) * (s as f64 - mean)).sum::<f64>()
             / self.scores.len() as f64;
         var.sqrt() as f32
     }
@@ -82,8 +78,7 @@ impl ScoreWindow {
     /// Indices (into the window, oldest = 0) of the `k` highest scores,
     /// highest first.
     pub fn top_k_indices(&self, k: usize) -> Vec<usize> {
-        let mut indexed: Vec<(usize, f32)> =
-            self.scores.iter().copied().enumerate().collect();
+        let mut indexed: Vec<(usize, f32)> = self.scores.iter().copied().enumerate().collect();
         indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         indexed.into_iter().take(k).map(|(i, _)| i).collect()
     }

@@ -156,7 +156,8 @@ fn prune_draft(draft: &mut LevelDraft, errors: &[DraftError], stats: &mut Genera
             DraftError::UnconnectedConcept { concept } => {
                 bad_concepts.insert(concept.clone());
             }
-            DraftError::InvalidEdgeSource { src, dst } | DraftError::InvalidEdgeTarget { src, dst } => {
+            DraftError::InvalidEdgeSource { src, dst }
+            | DraftError::InvalidEdgeTarget { src, dst } => {
                 bad_edges.insert((src.clone(), dst.clone()));
             }
         }
@@ -219,11 +220,7 @@ mod tests {
         for seed in 0..10 {
             let mut oracle = SyntheticOracle::new(ErrorProfile::realistic(), seed);
             let report = generate_kg("robbery", &GeneratorConfig::default(), &mut oracle);
-            assert!(
-                report.kg.validate().is_empty(),
-                "seed {seed}: {:?}",
-                report.kg.validate()
-            );
+            assert!(report.kg.validate().is_empty(), "seed {seed}: {:?}", report.kg.validate());
         }
     }
 

@@ -133,12 +133,7 @@ impl KnowledgeGraph {
         let s = self.node(src).ok_or(KgError::UnknownNode { node: src })?;
         let d = self.node(dst).ok_or(KgError::UnknownNode { node: dst })?;
         if s.level + 1 != d.level {
-            return Err(KgError::InvalidEdge {
-                src,
-                dst,
-                src_level: s.level,
-                dst_level: d.level,
-            });
+            return Err(KgError::InvalidEdge { src, dst, src_level: s.level, dst_level: d.level });
         }
         if self.edges.contains(&(src, dst)) {
             return Err(KgError::DuplicateEdge { src, dst });
@@ -163,8 +158,7 @@ impl KnowledgeGraph {
         let embedding = match self.embedding {
             Some(e) => e,
             None => {
-                let id =
-                    self.push_node("<embedding>".into(), self.depth + 1, NodeKind::Embedding);
+                let id = self.push_node("<embedding>".into(), self.depth + 1, NodeKind::Embedding);
                 self.embedding = Some(id);
                 id
             }

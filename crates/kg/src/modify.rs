@@ -180,9 +180,14 @@ mod tests {
         let mut kg = sample_kg();
         let mut rng = StdRng::seed_from_u64(0);
         for level in 1..=kg.depth() {
-            let id =
-                create_node(&mut kg, format!("adapted-{level}"), level, &CreateConfig::default(), &mut rng)
-                    .unwrap();
+            let id = create_node(
+                &mut kg,
+                format!("adapted-{level}"),
+                level,
+                &CreateConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
             assert_eq!(kg.node(id).unwrap().level, level);
             assert!(kg.in_degree(id) >= 1);
             assert!(kg.out_degree(id) >= 1);
@@ -195,8 +200,9 @@ mod tests {
         let mut kg = sample_kg();
         let mut rng = StdRng::seed_from_u64(1);
         let victim = kg.node_ids_at_level(2)[0];
-        let new_id = replace_node(&mut kg, victim, "replacement", &CreateConfig::default(), &mut rng)
-            .unwrap();
+        let new_id =
+            replace_node(&mut kg, victim, "replacement", &CreateConfig::default(), &mut rng)
+                .unwrap();
         assert!(kg.node(victim).is_none());
         assert_eq!(kg.node(new_id).unwrap().concept, "replacement");
         // replacement may leave other nodes dangling only if the victim was

@@ -124,10 +124,7 @@ where
     }
     // connectivity: every draft concept needs at least one valid incoming edge
     for c in &draft.concepts {
-        let connected = draft
-            .edges
-            .iter()
-            .any(|(s, d)| d == c && prev_set.contains(s.as_str()));
+        let connected = draft.edges.iter().any(|(s, d)| d == c && prev_set.contains(s.as_str()));
         if !connected {
             errors.push(DraftError::UnconnectedConcept { concept: c.clone() });
         }
@@ -143,10 +140,7 @@ mod tests {
         LevelDraft {
             level: 2,
             concepts: vec!["grab".into(), "take".into()],
-            edges: vec![
-                ("person".into(), "grab".into()),
-                ("person".into(), "take".into()),
-            ],
+            edges: vec![("person".into(), "grab".into()), ("person".into(), "take".into())],
         }
     }
 

@@ -338,10 +338,7 @@ mod tests {
         let mut draft = LevelDraft {
             level: 2,
             concepts: vec!["grab".into(), "grab".into(), "stranded".into()],
-            edges: vec![
-                ("person".into(), "grab".into()),
-                ("ghost".into(), "grab".into()),
-            ],
+            edges: vec![("person".into(), "grab".into()), ("ghost".into(), "grab".into())],
         };
         let before = detect_errors(&draft, &previous, |_| false);
         assert!(!before.is_empty());

@@ -205,7 +205,9 @@ mod tests {
         let emb = kg.embedding_node().unwrap();
         kg.add_edge(orphan, emb).unwrap();
         let errors = kg.validate();
-        assert!(errors.iter().any(|e| matches!(e, KgError::UnreachableNode { node } if *node == orphan)));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, KgError::UnreachableNode { node } if *node == orphan)));
     }
 
     #[test]

@@ -38,16 +38,13 @@ where
     let loss = f(leaves);
     assert_eq!(loss.numel(), 1, "gradcheck: loss must be scalar");
     loss.backward();
-    let analytical: Vec<Vec<f32>> = leaves
-        .iter()
-        .map(|l| l.grad().unwrap_or_else(|| vec![0.0; l.numel()]))
-        .collect();
+    let analytical: Vec<Vec<f32>> =
+        leaves.iter().map(|l| l.grad().unwrap_or_else(|| vec![0.0; l.numel()])).collect();
 
     let mut max_rel = 0.0f32;
     let mut checked = 0usize;
     for (li, leaf) in leaves.iter().enumerate() {
-        let n = leaf.numel();
-        for i in 0..n {
+        for (i, &a) in analytical[li].iter().enumerate() {
             let orig = leaf.to_vec()[i];
             set_at(leaf, i, orig + eps);
             let plus = f(leaves).item();
@@ -55,7 +52,6 @@ where
             let minus = f(leaves).item();
             set_at(leaf, i, orig);
             let numerical = (plus - minus) / (2.0 * eps);
-            let a = analytical[li][i];
             // The 0.1 floor makes the comparison absolute for small
             // gradients, which is what f32 finite differences can resolve.
             let denom = a.abs().max(numerical.abs()).max(0.1);
@@ -80,11 +76,8 @@ mod tests {
     #[test]
     fn passes_on_polynomial() {
         let x = Tensor::from_vec(vec![0.5, -1.2, 2.0], &[3]).requires_grad(true);
-        let report = gradcheck(
-            &[x],
-            |ls| ls[0].square().mul_scalar(3.0).add_scalar(1.0).sum_all(),
-            1e-3,
-        );
+        let report =
+            gradcheck(&[x], |ls| ls[0].square().mul_scalar(3.0).add_scalar(1.0).sum_all(), 1e-3);
         assert!(report.passes(1e-2), "max rel error {}", report.max_rel_error);
         assert_eq!(report.checked, 3);
     }
@@ -93,11 +86,7 @@ mod tests {
     fn passes_on_matmul_softmax_chain() {
         let w = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4], &[2, 2]).requires_grad(true);
         let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
-        let report = gradcheck(
-            &[w],
-            |ls| x.matmul(&ls[0]).softmax_rows().square().sum_all(),
-            1e-3,
-        );
+        let report = gradcheck(&[w], |ls| x.matmul(&ls[0]).softmax_rows().square().sum_all(), 1e-3);
         assert!(report.passes(1e-2), "max rel error {}", report.max_rel_error);
     }
 

@@ -70,7 +70,8 @@ mod tests {
         let t = normal(&[10_000], 2.0, &mut rng);
         let data = t.to_vec();
         let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
-        let var: f32 = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
+        let var: f32 =
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -161,8 +161,9 @@ impl TransformerEncoder {
         n_layers: usize,
         rng: &mut StdRng,
     ) -> Self {
-        let layers =
-            (0..n_layers).map(|_| TransformerEncoderLayer::new(model_dim, inner_dim, heads, rng)).collect();
+        let layers = (0..n_layers)
+            .map(|_| TransformerEncoderLayer::new(model_dim, inner_dim, heads, rng))
+            .collect();
         TransformerEncoder { layers, model_dim }
     }
 
@@ -207,6 +208,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // row * cols + col index arithmetic
     fn causal_mask_blocks_future() {
         let m = causal_mask(3);
         assert_eq!(m[0 * 3 + 0], 0.0);

@@ -72,16 +72,14 @@ impl BatchNorm1d {
             for i in 0..self.features {
                 self.running_mean[i] =
                     (1.0 - self.momentum) * self.running_mean[i] + self.momentum * mean_v[i];
-                self.running_var[i] = (1.0 - self.momentum) * self.running_var[i]
-                    + self.momentum * var_v[i] * unbias;
+                self.running_var[i] =
+                    (1.0 - self.momentum) * self.running_var[i] + self.momentum * var_v[i] * unbias;
             }
             let inv_std = var.add_scalar(self.eps).sqrt().recip();
             centered.mul_bias(&inv_std).mul_bias(&self.gamma).add_bias(&self.beta)
         } else {
-            let neg_mean = Tensor::from_vec(
-                self.running_mean.iter().map(|v| -v).collect(),
-                &[self.features],
-            );
+            let neg_mean =
+                Tensor::from_vec(self.running_mean.iter().map(|v| -v).collect(), &[self.features]);
             let inv_std: Vec<f32> =
                 self.running_var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
             let inv_std = Tensor::from_vec(inv_std, &[self.features]);

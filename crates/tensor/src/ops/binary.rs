@@ -3,13 +3,7 @@
 use crate::tensor::Tensor;
 
 fn assert_same_shape(a: &Tensor, b: &Tensor, op: &str) {
-    assert_eq!(
-        a.shape(),
-        b.shape(),
-        "{op}: shape mismatch {:?} vs {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.shape(), b.shape(), "{op}: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
 }
 
 impl Tensor {

@@ -7,12 +7,7 @@ impl Tensor {
     pub fn sum_all(&self) -> Tensor {
         let n = self.numel();
         let s: f32 = self.to_vec().iter().sum();
-        Tensor::from_op(
-            vec![s],
-            &[1],
-            vec![self.clone()],
-            Box::new(move |g| vec![vec![g[0]; n]]),
-        )
+        Tensor::from_op(vec![s], &[1], vec![self.clone()], Box::new(move |g| vec![vec![g[0]; n]]))
     }
 
     /// Mean of all elements, returned as a scalar tensor.

@@ -67,8 +67,8 @@ impl Tensor {
             let row = &a[r * n..(r + 1) * n];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
-            for c in 0..n {
-                sum += (row[c] - max).exp();
+            for &v in row {
+                sum += (v - max).exp();
             }
             let log_sum = sum.ln() + max;
             for c in 0..n {

@@ -15,9 +15,7 @@ where
         data,
         &x.shape(),
         vec![x.clone()],
-        Box::new(move |g| {
-            vec![g.iter().zip(&input).map(|(gi, xi)| gi * df(*xi)).collect()]
-        }),
+        Box::new(move |g| vec![g.iter().zip(&input).map(|(gi, xi)| gi * df(*xi)).collect()]),
     )
 }
 
@@ -54,15 +52,19 @@ impl Tensor {
 
     /// Elementwise absolute value. The derivative at zero is taken as 0.
     pub fn abs(&self) -> Tensor {
-        unary_from_input(self, |x| x.abs(), |x| {
-            if x > 0.0 {
-                1.0
-            } else if x < 0.0 {
-                -1.0
-            } else {
-                0.0
-            }
-        })
+        unary_from_input(
+            self,
+            |x| x.abs(),
+            |x| {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     /// Rectified linear unit.
@@ -105,7 +107,7 @@ impl Tensor {
     /// Gaussian error linear unit (tanh approximation), used by the temporal
     /// transformer's feed-forward block.
     pub fn gelu(&self) -> Tensor {
-        const C: f32 = 0.797_884_56; // sqrt(2/pi)
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
         unary_from_input(
             self,
             |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),

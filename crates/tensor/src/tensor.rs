@@ -326,7 +326,7 @@ impl Tensor {
         }
         self.accumulate_grad(seed);
         for node in topo.iter().rev() {
-            let (grad_out, backward, parents) = {
+            let (grad_out, parents) = {
                 let inner = node.inner.borrow();
                 let grad = match &inner.grad {
                     Some(g) => g.clone(),
@@ -335,9 +335,8 @@ impl Tensor {
                 if inner.backward.is_none() {
                     continue;
                 }
-                (grad, (), inner.parents.clone())
+                (grad, inner.parents.clone())
             };
-            let _ = backward;
             // Call the closure without holding the borrow (the closure only
             // captures copied data, never the node itself).
             let contributions = {
@@ -357,6 +356,24 @@ impl Tensor {
                 inner.grad = None;
             }
         }
+    }
+}
+
+impl Tensor {
+    /// Rescales the accumulated gradient so its L2 norm is at most
+    /// `max_norm` (no-op when there is no gradient or it is already small).
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
+        let mut inner = self.inner.borrow_mut();
+        let Some(grad) = &mut inner.grad else { return 0.0 };
+        let norm = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for g in grad.iter_mut() {
+                *g *= scale;
+            }
+        }
+        norm
     }
 }
 
@@ -432,23 +449,5 @@ mod tests {
     fn backward_requires_scalar() {
         let x = Tensor::ones(&[2]).requires_grad(true);
         x.backward();
-    }
-}
-
-impl Tensor {
-    /// Rescales the accumulated gradient so its L2 norm is at most
-    /// `max_norm` (no-op when there is no gradient or it is already small).
-    /// Returns the pre-clip norm.
-    pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
-        let mut inner = self.inner.borrow_mut();
-        let Some(grad) = &mut inner.grad else { return 0.0 };
-        let norm = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
-        if norm > max_norm && norm > 0.0 {
-            let scale = max_norm / norm;
-            for g in grad.iter_mut() {
-                *g *= scale;
-            }
-        }
-        norm
     }
 }

@@ -47,14 +47,10 @@ fn main() {
 
     // 3. Metric comparison (the paper tested dot product and cosine too).
     println!("\nmetric comparison for the halfway embedding:");
-    let halfway: Vec<f32> =
-        sneaky.iter().zip(&firearm).map(|(s, f)| 0.5 * s + 0.5 * f).collect();
+    let halfway: Vec<f32> = sneaky.iter().zip(&firearm).map(|(s, f)| 0.5 * s + 0.5 * f).collect();
     for metric in [Similarity::Euclidean, Similarity::Cosine, Similarity::Dot] {
-        let words: Vec<String> = retrieval
-            .nearest_words(&halfway, 3, metric)
-            .into_iter()
-            .map(|h| h.word)
-            .collect();
+        let words: Vec<String> =
+            retrieval.nearest_words(&halfway, 3, metric).into_iter().map(|h| h.word).collect();
         println!("  {:?}: {}", metric, words.join(", "));
     }
 }

@@ -7,6 +7,8 @@
 //! Re-exports the member crates under stable names; see [`core`] for the
 //! paper's contribution and the README for the experiment harness.
 
+#![warn(missing_docs)]
+
 pub use akg_core as core;
 pub use akg_cost as cost;
 pub use akg_data as data;

@@ -51,10 +51,7 @@ fn strong_shift_drops_static_auc() {
     let result = run_trend_shift(&ds, &params);
     let pre = result.static_kg.points[0].auc;
     let post = result.static_kg.points[1].auc;
-    assert!(
-        post < pre - 0.1,
-        "static KG should drop on a strong shift: {pre} -> {post}"
-    );
+    assert!(post < pre - 0.1, "static KG should drop on a strong shift: {pre} -> {post}");
 }
 
 #[test]

@@ -15,10 +15,8 @@ fn small_dataset(classes: &[AnomalyClass], seed: u64) -> SyntheticUcfCrime {
 }
 
 fn quick_train(mission: AnomalyClass, seed: u64) -> (MissionSystem, SyntheticUcfCrime) {
-    let mut sys = MissionSystem::build(
-        &[mission],
-        &SystemConfig { seed, ..SystemConfig::default() },
-    );
+    let mut sys =
+        MissionSystem::build(&[mission], &SystemConfig { seed, ..SystemConfig::default() });
     let ds = small_dataset(&[mission, AnomalyClass::Robbery], seed);
     let videos: Vec<&akg_data::Video> = ds.train.iter().collect();
     let cfg = TrainConfig { steps: 80, batch_size: 12, ..TrainConfig::fast() }.with_seed(seed);
@@ -107,18 +105,9 @@ fn anomaly_scores_separate_after_training() {
     sys.model.set_train(false);
     let videos = ds.train_videos_of(AnomalyClass::Stealing);
     let (scores, labels) = sys.score_video(videos[0]);
-    let anom: Vec<f32> = scores
-        .iter()
-        .zip(&labels)
-        .filter(|(_, l)| **l)
-        .map(|(s, _)| *s)
-        .collect();
-    let norm: Vec<f32> = scores
-        .iter()
-        .zip(&labels)
-        .filter(|(_, l)| !**l)
-        .map(|(s, _)| *s)
-        .collect();
+    let anom: Vec<f32> = scores.iter().zip(&labels).filter(|(_, l)| **l).map(|(s, _)| *s).collect();
+    let norm: Vec<f32> =
+        scores.iter().zip(&labels).filter(|(_, l)| !**l).map(|(s, _)| *s).collect();
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
     assert!(
         mean(&anom) > mean(&norm),

@@ -1,0 +1,189 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small API its benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros (both the `name/config/targets` form and the simple list form).
+//!
+//! Measurement is deliberately simple: each benchmark runs a calibration
+//! pass to pick an iteration count, then `sample_size` timed samples, and
+//! prints min/mean/max per-iteration wall-clock. No outlier analysis,
+//! plots, or baselines — enough to watch a hot path move, not to publish.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock per measured sample.
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, target_sample_time: Duration::from_millis(20) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            sample_size: self.sample_size,
+            target_sample_time: self.target_sample_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    sample_size: usize,
+    target_sample_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing per-iteration nanoseconds samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // calibration: find an iteration count filling ~target_sample_time
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample_time || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (self.target_sample_time.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        self.iters = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples.push(nanos);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{name:<40} [{} {} {}]  ({} samples x {} iters)",
+            format_nanos(min),
+            format_nanos(mean),
+            format_nanos(max),
+            self.samples.len(),
+            self.iters
+        );
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms:
+///
+/// ```ignore
+/// criterion_group!(name = group; config = Criterion::default(); targets = a, b);
+/// criterion_group!(group, a, b);
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        // keep the calibration short for the test
+        c.target_sample_time = Duration::from_micros(200);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_nanos_scales() {
+        assert!(format_nanos(12.0).ends_with("ns"));
+        assert!(format_nanos(12_000.0).ends_with("µs"));
+        assert!(format_nanos(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API subset its property tests use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, [`prop_assert!`] /
+//! [`prop_assert_eq!`], [`Strategy`] implementations for numeric ranges,
+//! tuples of strategies, a small regex-subset for `&str` literals, and
+//! [`collection::vec`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **no shrinking** — a failing case reports its inputs (via the assertion
+//!   message) but is not minimized;
+//! - **deterministic seeding** — cases derive from a fixed seed mixed with
+//!   the case index, so CI runs are reproducible;
+//! - `&str` strategies support the regex subset actually used in this
+//!   workspace: concatenations of `[a-z]`-style classes, `.`, and literal
+//!   characters, each with an optional `{m,n}` repetition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Error type carried by a failing property-test case.
+pub type TestCaseError = String;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The random source handed to strategies.
+pub type TestRng = StdRng;
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+// ---------------------------------------------------------------------------
+// string strategies (regex subset)
+// ---------------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// One atom of the supported regex subset.
+enum Atom {
+    /// `.` — an arbitrary printable char (plus occasional non-ASCII).
+    Any,
+    /// `[a-zXY]` — a char class of ranges and singletons.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+impl Atom {
+    fn draw(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Any => {
+                // mostly printable ASCII, with some multibyte chars mixed in
+                // so "never panics on arbitrary text" tests earn their name
+                match rng.gen_range(0u32..20) {
+                    0 => 'é',
+                    1 => '✓',
+                    2 => '字',
+                    _ => char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap_or('x'),
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let mut pick = rng.gen_range(0u32..total.max(1));
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+                    }
+                    pick -= span;
+                }
+                ranges.first().map(|(lo, _)| *lo).unwrap_or('x')
+            }
+            Atom::Literal(c) => *c,
+        }
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                while let Some(class_char) = chars.next() {
+                    if class_char == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(']') => {
+                                // trailing literal dash, as in `[a-z-]`
+                                ranges.push((class_char, class_char));
+                                ranges.push(('-', '-'));
+                                break;
+                            }
+                            Some(hi) => ranges.push((class_char, hi)),
+                            None => ranges.push((class_char, class_char)),
+                        }
+                    } else {
+                        ranges.push((class_char, class_char));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            other => Atom::Literal(other),
+        };
+        // optional {m,n} / {n} repetition
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for rep_char in chars.by_ref() {
+                if rep_char == '}' {
+                    break;
+                }
+                spec.push(rep_char);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().unwrap_or(0), hi.trim().parse().unwrap_or(8)),
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1usize, 1usize)
+        };
+        let count = if min >= max { min } else { rng.gen_range(min..=max) };
+        for _ in 0..count {
+            out.push(atom.draw(rng));
+        }
+    }
+    out
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Acceptable length arguments for [`vec`]: a fixed `usize` or a range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `len` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `cases` iterations of a property body. Used by [`proptest!`]; not
+/// public API upstream, public here so the macro can reach it.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng, u32) -> Result<(), TestCaseError>,
+{
+    // deterministic but per-test seed: hash the test name
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case_index in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ ((case_index as u64) << 32));
+        if let Err(msg) = case(&mut rng, case_index) {
+            panic!("property {:?} failed at case {}/{}: {}", name, case_index, config.cases, msg);
+        }
+    }
+}
+
+/// The test-definition macro. Supports the upstream form used here:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0f32..1.0, 4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &config, |rng, _case| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)*
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the enclosing property case if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} — {} ({}:{})",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case if the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_class_repetition() {
+        let mut rng = crate::TestRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = crate::generate_from_pattern("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_any_repetition() {
+        let mut rng = crate::TestRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let s = crate::generate_from_pattern(".{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(pair in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair <= 8);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0i32..100, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(v.iter().filter(|x| **x >= 100).count(), 0);
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro` token
+//! streams (the build environment has no crates.io access, so `syn`/`quote`
+//! are unavailable).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//!
+//! - structs with named fields (plus `#[serde(skip)]` fields, which are
+//!   omitted on serialize and `Default`-filled on deserialize),
+//! - tuple structs (newtypes serialize transparently, larger ones as arrays),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants, encoded externally tagged
+//!   like upstream serde (`"Variant"` / `{"Variant": ...}`).
+//!
+//! Generics and other `#[serde(...)]` attributes are rejected with a
+//! `compile_error!` rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives the vendored `serde::Serialize` (lowering to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` (rebuilding from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed).parse().expect("serde_derive: generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    fn peek_punct(&self) -> Option<char> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) => Some(p.as_char()),
+            _ => None,
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("serde_derive: expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a run of outer attributes, reporting whether any was
+    /// `#[serde(skip)]`. Any other `#[serde(...)]` content is an error.
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut skip = false;
+        while self.peek_punct() == Some('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = Cursor::new(g.stream());
+                if inner.peek_ident().as_deref() == Some("serde") {
+                    inner.next();
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        let text = args.stream().to_string();
+                        if text.trim() == "skip" {
+                            skip = true;
+                        } else {
+                            return Err(format!(
+                                "serde_derive: unsupported attribute #[serde({text})] \
+                                 (vendored shim supports only #[serde(skip)])"
+                            ));
+                        }
+                    }
+                }
+            } else {
+                return Err("serde_derive: malformed attribute".to_string());
+            }
+        }
+        Ok(skip)
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if self.peek_ident().as_deref() == Some("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consumes a type (or expression) up to a top-level `,`, tracking
+    /// angle-bracket depth so `HashMap<K, V>` stays a single item.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                }
+                if c == '>' {
+                    angle_depth -= 1;
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs()?;
+    cur.skip_visibility();
+    let keyword = cur.expect_ident()?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("serde_derive: expected struct or enum, found `{other}`")),
+    };
+    let name = cur.expect_ident()?;
+    if cur.peek_punct() == Some('<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored shim"
+        ));
+    }
+
+    let kind = if is_enum {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(Cursor::new(g.stream()))?)
+            }
+            _ => return Err(format!("serde_derive: expected enum body for `{name}`")),
+        }
+    } else {
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                Kind::NamedStruct(parse_named_fields(Cursor::new(g))?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                let (arity, any_skip) = parse_tuple_fields(Cursor::new(g))?;
+                if any_skip {
+                    return Err(format!(
+                        "serde_derive: #[serde(skip)] on tuple-struct `{name}` fields is \
+                         not supported"
+                    ));
+                }
+                Kind::TupleStruct { arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            None => Kind::UnitStruct,
+            other => return Err(format!("serde_derive: unexpected token {other:?} in `{name}`")),
+        }
+    };
+    Ok(Input { name, kind })
+}
+
+fn parse_named_fields(mut cur: Cursor) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident()?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!("serde_derive: expected `:` after `{name}`, found {other:?}"))
+            }
+        }
+        cur.skip_until_top_level_comma();
+        cur.next(); // the comma, if present
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(mut cur: Cursor) -> Result<(usize, bool), String> {
+    let mut arity = 0usize;
+    let mut any_skip = false;
+    while !cur.at_end() {
+        any_skip |= cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        cur.skip_until_top_level_comma();
+        cur.next();
+        arity += 1;
+    }
+    Ok((arity, any_skip))
+}
+
+fn parse_variants(mut cur: Cursor) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.next();
+                VariantShape::Struct(parse_named_fields(Cursor::new(g))?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.next();
+                let (arity, any_skip) = parse_tuple_fields(Cursor::new(g))?;
+                if any_skip {
+                    return Err(format!(
+                        "serde_derive: #[serde(skip)] in tuple variant `{name}` is not supported"
+                    ));
+                }
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        if cur.peek_punct() == Some('=') {
+            // explicit discriminant — irrelevant to the external tagging
+            cur.skip_until_top_level_comma();
+        }
+        if cur.peek_punct() == Some(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut out = String::from(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "entries.push((::std::string::String::from({fname:?}), \
+                     ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(entries)");
+            out
+        }
+        Kind::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct { arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::String(::std::string::String::from({vname:?})),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from({vname:?}), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({:?}), \
+                                     ::serde::Serialize::to_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from({vname:?}), \
+                             ::serde::Value::Object(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn named_fields_ctor(path: &str, fields: &[Field], entries_var: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else {
+            inits.push_str(&format!(
+                "{fname}: match ::serde::get_field({entries_var}, {fname:?}) {{\n\
+                     ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                         ::serde::Error::custom(concat!(\"missing field `\", {fname:?}, \"` in {path}\"))),\n\
+                 }},\n"
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let ctor = named_fields_ctor(name, fields, "entries");
+            format!(
+                "let entries = value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"{name}: expected object, found {{}}\", value.kind())))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Kind::TupleStruct { arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"{name}: expected array, found {{}}\", value.kind())))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"{name}: expected {arity} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"{name}::{vname}: expected array\"))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"{name}::{vname}: wrong tuple arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let ctor =
+                            named_fields_ctor(&format!("{name}::{vname}"), fields, "entries");
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let entries = inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                                 ::std::result::Result::Ok({ctor})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"{name}: expected variant string or map, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
