@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the `akg-tensor` hot-path kernels: the
+//! naive reference vs the seed's `ikj` ordering vs the blocked/threaded
+//! kernel (the acceptance gate for the hot-path overhaul is blocked ≥ 3× the
+//! naive kernel at 256×256×256), plus the fused softmax/layernorm entry
+//! points against their composed-op equivalents.
+
+use akg_tensor::ops::kernels::{matmul_blocked, matmul_ikj, matmul_naive};
+use akg_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn filled(len: usize, salt: usize) -> Vec<f32> {
+    (0..len).map(|i| (((i * 31 + salt * 17) % 29) as f32 - 14.0) * 0.05).collect()
+}
+
+fn bench_matmul_kernels(c: &mut Criterion) {
+    for dim in [64usize, 128, 256] {
+        let a = filled(dim * dim, 1);
+        let b = filled(dim * dim, 2);
+        c.bench_function(&format!("matmul_naive_{dim}"), |bch| {
+            bch.iter(|| black_box(matmul_naive(black_box(&a), black_box(&b), dim, dim, dim)))
+        });
+        c.bench_function(&format!("matmul_ikj_{dim}"), |bch| {
+            bch.iter(|| black_box(matmul_ikj(black_box(&a), black_box(&b), dim, dim, dim)))
+        });
+        c.bench_function(&format!("matmul_blocked_{dim}"), |bch| {
+            bch.iter(|| black_box(matmul_blocked(black_box(&a), black_box(&b), dim, dim, dim)))
+        });
+    }
+}
+
+fn bench_matmul_backward(c: &mut Criterion) {
+    let dim = 128;
+    let a = Tensor::from_vec(filled(dim * dim, 3), &[dim, dim]).requires_grad(true);
+    let b = Tensor::from_vec(filled(dim * dim, 4), &[dim, dim]).requires_grad(true);
+    c.bench_function("matmul_forward_backward_128", |bch| {
+        bch.iter(|| {
+            a.zero_grad();
+            b.zero_grad();
+            a.matmul(&b).sum_all().backward();
+            black_box(a.grad().map(|g| g[0]))
+        })
+    });
+}
+
+fn bench_fused_softmax(c: &mut Criterion) {
+    let (t, n) = (64, 64);
+    let x = Tensor::from_vec(filled(t * n, 5), &[t, n]);
+    let mask: Vec<f32> = (0..t * n).map(|i| if i % n > i / n { -1e9 } else { 0.0 }).collect();
+    let scale = 0.125;
+    c.bench_function("softmax_composed_scale_mask", |bch| {
+        bch.iter(|| black_box(x.mul_scalar(scale).add_const(&mask).softmax_rows().to_vec()))
+    });
+    c.bench_function("softmax_fused_scale_mask", |bch| {
+        bch.iter(|| black_box(x.softmax_rows_scaled_masked(scale, Some(&mask)).to_vec()))
+    });
+}
+
+fn bench_fused_layernorm(c: &mut Criterion) {
+    let (m, n) = (64, 128);
+    let x = Tensor::from_vec(filled(m * n, 6), &[m, n]).requires_grad(true);
+    let gamma = Tensor::ones(&[n]).requires_grad(true);
+    let beta = Tensor::zeros(&[n]).requires_grad(true);
+    c.bench_function("layernorm_composed_fwd_bwd", |bch| {
+        bch.iter(|| {
+            x.zero_grad();
+            let mean = x.mean_axis1();
+            let centered = x.add_col(&mean.neg());
+            let var = centered.square().mean_axis1();
+            let inv_std = var.add_scalar(1e-5).sqrt().recip();
+            centered.mul_col(&inv_std).mul_bias(&gamma).add_bias(&beta).sum_all().backward();
+            black_box(x.grad().map(|g| g[0]))
+        })
+    });
+    c.bench_function("layernorm_fused_fwd_bwd", |bch| {
+        bch.iter(|| {
+            x.zero_grad();
+            x.layer_norm(&gamma, &beta, 1e-5).sum_all().backward();
+            black_box(x.grad().map(|g| g[0]))
+        })
+    });
+}
+
+criterion_group!(
+    name = tensor_ops;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul_kernels, bench_matmul_backward, bench_fused_softmax, bench_fused_layernorm
+);
+criterion_main!(tensor_ops);

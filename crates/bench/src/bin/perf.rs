@@ -1,0 +1,282 @@
+//! The perf trajectory harness: times the `akg-tensor` hot-path kernels and
+//! an end-to-end adaptation stream, then emits `BENCH_tensor.json` — the
+//! machine-readable record every PR's numbers are compared against (see
+//! `docs/PERFORMANCE.md` for how to read it).
+//!
+//! Usage: `perf [--smoke] [--threads N] [--out PATH]`
+//!
+//! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
+//!   the full measurement sizes. Smoke output is for validating the harness
+//!   and the JSON schema, **not** for cross-PR comparison.
+//! - `--threads N`: pin the kernel thread pool (default: auto).
+//! - `--out PATH`: where to write the JSON (default `BENCH_tensor.json`).
+
+use akg_core::adapt::{AdaptConfig, ContinuousAdapter};
+use akg_core::pipeline::{MissionSystem, SystemConfig};
+use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
+use akg_kg::AnomalyClass;
+use akg_tensor::nn::Module;
+use akg_tensor::ops::kernels::{matmul_blocked, matmul_ikj, matmul_naive, matmul_nt};
+use akg_tensor::par::{effective_threads, set_parallelism, Parallelism};
+use akg_tensor::Tensor;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One op-level measurement: median wall time per call.
+#[derive(Debug, Serialize)]
+struct OpResult {
+    /// Kernel + problem-size label, e.g. `matmul_blocked_256`.
+    name: String,
+    /// Median nanoseconds per call.
+    ns_per_op: f64,
+    /// Calls measured (median over this many).
+    reps: usize,
+}
+
+/// End-to-end timings through the deployed system.
+#[derive(Debug, Serialize)]
+struct EndToEnd {
+    /// `MissionSystem::build` wall time (tokenizer + joint space + token
+    /// table + KG generation + model init), milliseconds.
+    build_ms: f64,
+    /// Frames scored in eval mode.
+    score_frames: usize,
+    /// Eval-mode scoring throughput (frames per second).
+    score_frames_per_sec: f64,
+    /// Frames pushed through the continuous-adaptation loop across a trend
+    /// shift (includes trigger checks and token-table backprop).
+    adapt_frames: usize,
+    /// Adaptation-loop throughput (frames per second).
+    adapt_frames_per_sec: f64,
+}
+
+/// Headline ratios pulled out of `ops` so trajectory diffs are one-liners.
+#[derive(Debug, Serialize)]
+struct Derived {
+    /// `matmul_naive / matmul_blocked` at the largest measured size.
+    blocked_speedup_vs_naive: f64,
+    /// `matmul_ikj / matmul_blocked` at the largest measured size.
+    blocked_speedup_vs_ikj: f64,
+    /// The matmul size the speedups were measured at.
+    at_size: usize,
+}
+
+/// The full `BENCH_tensor.json` document.
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Schema version of this document.
+    schema_version: u32,
+    /// `"full"` or `"smoke"` — smoke numbers are harness-validation only.
+    mode: String,
+    /// Worker threads the kernels used.
+    threads: usize,
+    /// Op-level medians.
+    ops: Vec<OpResult>,
+    /// End-to-end system timings.
+    end_to_end: EndToEnd,
+    /// Headline ratios.
+    derived: Derived,
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn filled(len: usize, salt: usize) -> Vec<f32> {
+    (0..len).map(|i| (((i * 31 + salt * 17) % 29) as f32 - 14.0) * 0.05).collect()
+}
+
+/// Median wall time of `reps` calls, in nanoseconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_matmuls(sizes: &[usize], reps: usize, ops: &mut Vec<OpResult>) {
+    for &dim in sizes {
+        let a = filled(dim * dim, 1);
+        let b = filled(dim * dim, 2);
+        for (kernel, f) in [
+            ("matmul_naive", matmul_naive as fn(&[f32], &[f32], usize, usize, usize) -> Vec<f32>),
+            ("matmul_ikj", matmul_ikj),
+            ("matmul_blocked", matmul_blocked),
+            ("matmul_nt", matmul_nt),
+        ] {
+            let ns = time_median(reps, || {
+                black_box(f(black_box(&a), black_box(&b), dim, dim, dim));
+            });
+            ops.push(OpResult { name: format!("{kernel}_{dim}"), ns_per_op: ns, reps });
+        }
+    }
+}
+
+fn bench_fused(rows: usize, cols: usize, reps: usize, ops: &mut Vec<OpResult>) {
+    let x = Tensor::from_vec(filled(rows * cols, 3), &[rows, cols]);
+    let mask: Vec<f32> =
+        (0..rows * cols).map(|i| if i % cols > i / cols { -1e9 } else { 0.0 }).collect();
+    let ns = time_median(reps, || {
+        black_box(x.mul_scalar(0.125).add_const(&mask).softmax_rows().to_vec());
+    });
+    ops.push(OpResult { name: format!("softmax_composed_{rows}x{cols}"), ns_per_op: ns, reps });
+    let ns = time_median(reps, || {
+        black_box(x.softmax_rows_scaled_masked(0.125, Some(&mask)).to_vec());
+    });
+    ops.push(OpResult { name: format!("softmax_fused_{rows}x{cols}"), ns_per_op: ns, reps });
+
+    let xg = Tensor::from_vec(filled(rows * cols, 4), &[rows, cols]).requires_grad(true);
+    let gamma = Tensor::ones(&[cols]).requires_grad(true);
+    let beta = Tensor::zeros(&[cols]).requires_grad(true);
+    let ns = time_median(reps, || {
+        xg.zero_grad();
+        gamma.zero_grad();
+        beta.zero_grad();
+        let mean = xg.mean_axis1();
+        let centered = xg.add_col(&mean.neg());
+        let var = centered.square().mean_axis1();
+        let inv_std = var.add_scalar(1e-5).sqrt().recip();
+        centered.mul_col(&inv_std).mul_bias(&gamma).add_bias(&beta).sum_all().backward();
+        black_box(xg.grad().map(|g| g[0]));
+    });
+    ops.push(OpResult {
+        name: format!("layernorm_composed_fwd_bwd_{rows}x{cols}"),
+        ns_per_op: ns,
+        reps,
+    });
+    let ns = time_median(reps, || {
+        xg.zero_grad();
+        gamma.zero_grad();
+        beta.zero_grad();
+        xg.layer_norm(&gamma, &beta, 1e-5).sum_all().backward();
+        black_box(xg.grad().map(|g| g[0]));
+    });
+    ops.push(OpResult {
+        name: format!("layernorm_fused_fwd_bwd_{rows}x{cols}"),
+        ns_per_op: ns,
+        reps,
+    });
+}
+
+fn bench_end_to_end(smoke: bool, parallelism: Parallelism) -> EndToEnd {
+    let scale = if smoke { 0.004 } else { 0.02 };
+    let ds = SyntheticUcfCrime::generate(
+        DatasetConfig::scaled(scale)
+            .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
+            .with_seed(42),
+    );
+
+    // Carry the CLI thread policy into the system build: `build` applies its
+    // config's parallelism process-wide, so defaulting here would silently
+    // undo `--threads`.
+    let config = SystemConfig { parallelism, ..SystemConfig::default() };
+    let t0 = Instant::now();
+    let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &config);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sys.model.set_train(false);
+
+    // Eval-mode scoring throughput over the test subset.
+    let subset = ds.test_subset(AnomalyClass::Stealing);
+    let score_frames: usize = subset.iter().map(|v| v.len()).sum();
+    let t0 = Instant::now();
+    for v in &subset {
+        black_box(sys.score_video(v));
+    }
+    let score_secs = t0.elapsed().as_secs_f64();
+
+    // Adaptation-loop throughput across a trend shift: frames stream through
+    // `ContinuousAdapter::observe` (embed + score + trigger checks + any
+    // token-table backprop), shifting Stealing → Robbery halfway.
+    let mut adapter = ContinuousAdapter::new(&mut sys, AdaptConfig::default());
+    let adapt_frames = if smoke { 60 } else { 600 };
+    let mut stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.3, 42);
+    let t0 = Instant::now();
+    for i in 0..adapt_frames {
+        if i == adapt_frames / 2 {
+            stream.shift_to(AnomalyClass::Robbery);
+        }
+        let (frame, _) = stream.next_frame();
+        black_box(adapter.observe(&mut sys, &frame));
+    }
+    let adapt_secs = t0.elapsed().as_secs_f64();
+
+    EndToEnd {
+        build_ms,
+        score_frames,
+        score_frames_per_sec: score_frames as f64 / score_secs.max(1e-9),
+        adapt_frames,
+        adapt_frames_per_sec: adapt_frames as f64 / adapt_secs.max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = flag(&args, "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_tensor.json".to_string());
+    let parallelism = match flag_value(&args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => Parallelism::Threads(n),
+        None => Parallelism::Auto,
+    };
+    set_parallelism(parallelism);
+
+    let (sizes, reps): (&[usize], usize) =
+        if smoke { (&[32, 48], 3) } else { (&[64, 128, 256], 7) };
+    let mut ops = Vec::new();
+    println!(
+        "perf: mode={} threads={} sizes={sizes:?}",
+        if smoke { "smoke" } else { "full" },
+        effective_threads()
+    );
+
+    bench_matmuls(sizes, reps, &mut ops);
+    let (rows, cols) = if smoke { (16, 16) } else { (64, 128) };
+    bench_fused(rows, cols, reps.max(5), &mut ops);
+    let end_to_end = bench_end_to_end(smoke, parallelism);
+
+    let largest = *sizes.last().expect("at least one size");
+    let ns_of = |name: &str| {
+        ops.iter()
+            .find(|o| o.name == format!("{name}_{largest}"))
+            .map(|o| o.ns_per_op)
+            .expect("kernel measured")
+    };
+    let derived = Derived {
+        blocked_speedup_vs_naive: ns_of("matmul_naive") / ns_of("matmul_blocked"),
+        blocked_speedup_vs_ikj: ns_of("matmul_ikj") / ns_of("matmul_blocked"),
+        at_size: largest,
+    };
+
+    for op in &ops {
+        println!("  {:<36} {:>14.0} ns/op", op.name, op.ns_per_op);
+    }
+    println!(
+        "  end-to-end: build {:.0} ms | score {:.0} frames/s | adapt {:.0} frames/s",
+        end_to_end.build_ms, end_to_end.score_frames_per_sec, end_to_end.adapt_frames_per_sec
+    );
+    println!(
+        "  blocked vs naive at {}^3: {:.2}x (vs ikj: {:.2}x)",
+        derived.at_size, derived.blocked_speedup_vs_naive, derived.blocked_speedup_vs_ikj
+    );
+
+    let report = Report {
+        schema_version: 1,
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        threads: effective_threads(),
+        ops,
+        end_to_end,
+        derived,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("perf: wrote {out}");
+}

@@ -9,6 +9,9 @@
 //!   the adapted token embeddings.
 //! - `table1_cost` (binary) — Table I: cloud-baseline vs edge-adaptation
 //!   cost accounting with measured edge numbers.
+//! - `perf` (binary) — the perf trajectory harness: hot-path kernel timings
+//!   plus end-to-end scoring/adaptation throughput, emitted as
+//!   `BENCH_tensor.json` (see `docs/PERFORMANCE.md`).
 //! - Criterion micro-benches (`benches/`) — component latencies and the
 //!   ablations called out in DESIGN.md.
 //!
@@ -20,6 +23,8 @@
 //! cargo run --release --bin table1_cost -- --seed 43
 //! cargo bench --bench components   # Table I "Low (Real-time)" latencies
 //! cargo bench --bench ablations    # design-choice ablations + AUC printouts
+//! cargo bench --bench tensor_ops   # hot-path kernels: naive vs ikj vs blocked
+//! cargo run --release --bin perf   # perf trajectory -> BENCH_tensor.json
 //! ```
 //!
 //! Every run is seeded and deterministic: the binaries accept `--seed`

@@ -52,6 +52,13 @@ pub struct SystemConfig {
     pub vocab_budget: usize,
     /// Spare token-table rows reserved for adaptation-created nodes.
     pub spare_rows: usize,
+    /// Kernel thread-pool policy. Applied process-wide when the system is
+    /// built (tensors are `Rc`-based, so parallelism lives inside the raw
+    /// kernels — see [`akg_tensor::par`]); every matmul in the training,
+    /// scoring, and adaptation loops, and every batched embedding lookup,
+    /// runs under this setting. Results are bit-for-bit identical at any
+    /// thread count.
+    pub parallelism: akg_tensor::Parallelism,
     /// Master seed.
     pub seed: u64,
 }
@@ -64,6 +71,7 @@ impl Default for SystemConfig {
             oracle: akg_kg::ErrorProfile::realistic(),
             vocab_budget: 700,
             spare_rows: 32,
+            parallelism: akg_tensor::Parallelism::Auto,
             seed: 0,
         }
     }
@@ -76,6 +84,7 @@ impl MissionSystem {
     /// mission-specific KG per mission, tokenizes them, and initializes the
     /// decision model.
     pub fn build(missions: &[AnomalyClass], config: &SystemConfig) -> Self {
+        akg_tensor::par::set_parallelism(config.parallelism);
         let ontology = Ontology::new();
         let corpus = ontology.corpus();
         let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), config.vocab_budget);

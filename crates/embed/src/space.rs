@@ -228,11 +228,26 @@ impl JointSpace {
 
     /// The initial token-embedding table for a vocabulary, row-major
     /// `[vocab.len() * dim]`. This is what the adaptation phase fine-tunes.
+    ///
+    /// Rows are independent deterministic lookups, so the batch is split
+    /// across the configured [`akg_tensor::Parallelism`] worker threads —
+    /// the result is identical at any thread count.
     pub fn token_table(&self, vocab: &Vocab) -> Vec<f32> {
-        let mut table = Vec::with_capacity(vocab.len() * self.dim);
-        for (_, token) in vocab.iter() {
-            table.extend(self.token_vector(token));
-        }
+        let tokens: Vec<&str> = vocab.iter().map(|(_, token)| token).collect();
+        let mut table = vec![0.0f32; tokens.len() * self.dim];
+        // ≥ 64 rows per thread: one row is a few µs of hashing + mixing, so
+        // smaller batches don't amortize the scoped-thread spawn.
+        akg_tensor::par::for_each_row_chunk(
+            &mut table,
+            tokens.len(),
+            self.dim,
+            64,
+            |first, chunk| {
+                for (i, row) in chunk.chunks_mut(self.dim).enumerate() {
+                    row.copy_from_slice(&self.token_vector(tokens[first + i]));
+                }
+            },
+        );
         table
     }
 }

@@ -13,7 +13,10 @@
 //!
 //! - [`Tensor`]: row-major `f32` array with a recorded backward graph
 //! - [`ops`]: differentiable operations (arithmetic, matmul, reductions,
-//!   shape, gather/scatter, softmax/cross-entropy)
+//!   shape, gather/scatter, softmax/cross-entropy), with the raw
+//!   blocked/threaded matmul kernels exposed in [`ops::kernels`]
+//! - [`par`]: the [`Parallelism`] configuration and the scoped-thread worker
+//!   pool the kernels use
 //! - [`nn`]: layers — [`nn::Linear`], [`nn::Embedding`],
 //!   [`nn::norm::BatchNorm1d`], [`nn::norm::LayerNorm`],
 //!   [`nn::attention::TransformerEncoder`]
@@ -48,6 +51,8 @@ pub mod init;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod par;
 
 pub use gradcheck::{gradcheck, GradCheckReport};
+pub use par::Parallelism;
 pub use tensor::Tensor;

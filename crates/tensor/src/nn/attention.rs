@@ -47,6 +47,13 @@ impl MultiHeadAttention {
 
     /// Applies self-attention to a `[T, D]` sequence.
     ///
+    /// Per head, `Q·Kᵀ` runs through the transposed-input fast path
+    /// ([`Tensor::matmul_t`], no `Kᵀ` materialized) and the
+    /// scale-mask-normalize sequence is the single fused
+    /// [`Tensor::softmax_rows_scaled_masked`] node — together four fewer
+    /// graph nodes and four fewer `[T, T]`/`[T, d_k]` allocations per head
+    /// per forward than the composed formulation.
+    ///
     /// # Panics
     ///
     /// Panics if the input is not 2-D.
@@ -66,11 +73,7 @@ impl MultiHeadAttention {
             let qh = q.slice_cols(lo, hi);
             let kh = k.slice_cols(lo, hi);
             let vh = v.slice_cols(lo, hi);
-            let mut scores = qh.matmul(&kh.transpose()).mul_scalar(scale);
-            if let Some(m) = &mask {
-                scores = scores.add_const(m);
-            }
-            let attn = scores.softmax_rows();
+            let attn = qh.matmul_t(&kh).softmax_rows_scaled_masked(scale, mask.as_deref());
             head_outputs.push(attn.matmul(&vh));
         }
         let joined = Tensor::concat_cols(&head_outputs);

@@ -133,7 +133,9 @@ impl LayerNorm {
         }
     }
 
-    /// Applies normalization to `[m, n]`.
+    /// Applies normalization to `[m, n]` via the fused
+    /// [`Tensor::layer_norm`] kernel (one graph node instead of nine, no
+    /// intermediate `[m, n]` allocations).
     ///
     /// # Panics
     ///
@@ -142,11 +144,7 @@ impl LayerNorm {
         let s = x.shape();
         assert_eq!(s.len(), 2, "LayerNorm: expected 2-D input");
         assert_eq!(s[1], self.features, "LayerNorm: feature mismatch");
-        let mean = x.mean_axis1();
-        let centered = x.add_col(&mean.neg());
-        let var = centered.square().mean_axis1();
-        let inv_std = var.add_scalar(self.eps).sqrt().recip();
-        centered.mul_col(&inv_std).mul_bias(&self.gamma).add_bias(&self.beta)
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
     }
 }
 

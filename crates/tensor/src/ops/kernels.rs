@@ -1,0 +1,407 @@
+//! Raw matrix-multiplication kernels: the naive reference, the seed's
+//! cache-aware loop ordering, and the cache-blocked, panel-packed,
+//! multi-threaded kernel that [`Tensor::matmul`](crate::Tensor::matmul)
+//! dispatches to for large operands.
+//!
+//! All kernels are plain safe Rust over `&[f32]` slices. There are no SIMD
+//! intrinsics: the hot inner loops are written as slice-to-slice SAXPY
+//! updates (`out[j] += a_ip * b[j]`), which LLVM auto-vectorizes for the
+//! target's widest available vector unit — see `docs/PERFORMANCE.md` for the
+//! measured effect and for why explicit intrinsics are deliberately left for
+//! a later PR.
+//!
+//! ## Determinism and accuracy
+//!
+//! Each output element is accumulated by exactly one thread with a fixed
+//! arithmetic order, so every kernel here is bit-for-bit deterministic
+//! across runs *and* across thread counts. [`matmul_blocked`] accumulates
+//! the `k` dimension in the same ascending order as the reference kernels,
+//! so it agrees with [`matmul_naive`] to within a few ULPs (the dot-product
+//! kernels [`matmul_nt`] / [`matmul_tn`] use unrolled partial sums, which
+//! reorders the reduction deterministically; agreement stays well inside
+//! 1e-5 for normalized network activations — property-tested in
+//! `tests/proptest_kernels.rs`).
+//!
+//! All kernels assume *finite* inputs. The SAXPY-shaped kernels
+//! ([`matmul_ikj`], [`matmul_blocked`], [`matmul_tn`]) skip zero-coefficient
+//! updates — the seed kernel's convention, kept so forward results are
+//! identical on both sides of the dispatch threshold — which drops `0·Inf`
+//! / `0·NaN` terms; the dot-product path [`matmul_nt`] includes every term
+//! (skipping inside the unrolled dot would break its four FMA chains), so
+//! only it propagates NaN from such products.
+
+use crate::par::for_each_row_chunk;
+
+/// Rows per k-dimension panel: 128 rows × 4 B × NC cols keeps one packed
+/// panel (≤ 96 KiB) inside a typical 256 KiB-per-core L2 slice with room
+/// for the A rows and output rows streaming through.
+const KC: usize = 128;
+/// Columns per packed panel (192 cols × 4 B = 768 B per panel row — three
+/// quarters of a 1 KiB stride, chosen so panel rows never alias the same L1
+/// set as the output row being accumulated).
+const NC: usize = 192;
+/// Minimum output rows per worker thread; below this the ~10 µs scoped
+/// thread spawn costs more than the arithmetic it parallelizes.
+const MIN_ROWS_PER_THREAD: usize = 16;
+
+/// Flop-count threshold (`m·k·n`) above which [`crate::Tensor::matmul`]
+/// switches from the in-order reference kernel to the blocked, threaded
+/// kernel. `64³` sits safely above every matmul the paper's (deliberately
+/// tiny) decision model performs, so small-model numerics are bit-identical
+/// to the seed implementation while large workloads get the fast path.
+pub const BLOCKED_DISPATCH_THRESHOLD: usize = 64 * 64 * 64;
+
+pub(crate) fn check_dims(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, who: &str) {
+    assert_eq!(a.len(), m * k, "{who}: lhs has {} elements, expected m*k = {}", a.len(), m * k);
+    assert_eq!(b.len(), k * n, "{who}: rhs has {} elements, expected k*n = {}", b.len(), k * n);
+}
+
+/// Textbook triple-loop matrix product `[m,k] × [k,n] → [m,n]`: one dot
+/// product per output element, walking a column of `b` with stride `n`.
+///
+/// This is the *reference* kernel — the baseline every optimized kernel is
+/// benchmarked against and property-tested to match. Its strided access to
+/// `b` misses cache on every inner-loop iteration once `b` outgrows L1,
+/// which is exactly what [`matmul_blocked`] fixes.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::ops::kernels::matmul_naive;
+/// let c = matmul_naive(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+/// assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    check_dims(a, b, m, k, n, "matmul_naive");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// The seed repository's kernel: `i, p, j` loop order, accumulating
+/// `a[i][p] × row_p(b)` into `row_i(out)` as a SAXPY. Streams `b` row-major
+/// (cache-friendly, auto-vectorizable) but re-reads all of `b` for every
+/// output row, so it degrades once `b` exceeds L2.
+///
+/// Kept public as a measurement baseline: `BENCH_tensor.json` records all
+/// three kernels so the trajectory from naive → ikj → blocked stays visible.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::ops::kernels::{matmul_ikj, matmul_naive};
+/// let (a, b) = ([1.0, -2.0, 0.5, 3.0], [2.0, 1.0, -1.0, 4.0]);
+/// assert_eq!(matmul_ikj(&a, &b, 2, 2, 2), matmul_naive(&a, &b, 2, 2, 2));
+/// ```
+pub fn matmul_ikj(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    check_dims(a, b, m, k, n, "matmul_ikj");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Cache-blocked, panel-packed, row-parallel matrix product
+/// `[m,k] × [k,n] → [m,n]` — the hot-path kernel behind
+/// [`Tensor::matmul`](crate::Tensor::matmul) for large operands.
+///
+/// For each `KC × NC` block of `b`, the block is packed into a contiguous
+/// per-thread panel once and then reused across a whole strip of output
+/// rows, turning the inner loop into a SAXPY over two L1-resident slices.
+/// Output rows are split into contiguous strips across the configured
+/// [`Parallelism`](crate::par::Parallelism) worker threads; each element is
+/// accumulated over `k` in ascending order by exactly one thread, so the
+/// result is bit-for-bit deterministic at any thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::ops::kernels::{matmul_blocked, matmul_naive};
+/// let a: Vec<f32> = (0..6).map(|v| v as f32 * 0.25).collect();
+/// let b: Vec<f32> = (0..12).map(|v| 1.0 - v as f32 * 0.125).collect();
+/// let fast = matmul_blocked(&a, &b, 2, 3, 4);
+/// let slow = matmul_naive(&a, &b, 2, 3, 4);
+/// for (f, s) in fast.iter().zip(&slow) {
+///     assert!((f - s).abs() < 1e-6);
+/// }
+/// ```
+pub fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    check_dims(a, b, m, k, n, "matmul_blocked");
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    for_each_row_chunk(&mut out, m, n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        let rows = chunk.len() / n;
+        let mut panel = vec![0.0f32; KC.min(k) * NC.min(n)];
+        // k-blocks ascending on the outside keeps the per-element
+        // accumulation order identical to the reference kernels.
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                // Pack the KC×NC block of b into a contiguous panel.
+                for p in 0..kc {
+                    let src = &b[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+                    panel[p * nc..(p + 1) * nc].copy_from_slice(src);
+                }
+                for ii in 0..rows {
+                    let arow = &a[(row0 + ii) * k + pc..(row0 + ii) * k + pc + kc];
+                    let orow = &mut chunk[ii * n + jc..ii * n + jc + nc];
+                    for (p, &aip) in arow.iter().enumerate() {
+                        // Zero-coefficient SAXPYs are skipped, matching
+                        // `matmul_ikj` exactly — the forward result must not
+                        // change when a product crosses the dispatch
+                        // threshold (the skip is also where they differ on
+                        // non-finite inputs: 0·Inf terms are dropped).
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let prow = &panel[p * nc..(p + 1) * nc];
+                        for (o, bv) in orow.iter_mut().zip(prow) {
+                            *o += aip * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Unrolled dot product with four deterministic partial accumulators
+/// (combined low-to-high), letting LLVM keep four independent FMA chains in
+/// flight.
+#[inline]
+fn dot_unrolled(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let xs = &x[c * 4..c * 4 + 4];
+        let ys = &y[c * 4..c * 4 + 4];
+        for l in 0..4 {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (xv, yv) in x[chunks * 4..].iter().zip(&y[chunks * 4..]) {
+        tail += xv * yv;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// Transposed-input fast path `A[m,k] × Bᵀ → [m,n]` where `b` holds `B`
+/// row-major with shape `[n, k]` — every output element is a dot product of
+/// two *contiguous* rows, so no transpose is ever materialized.
+///
+/// This is the backward pass's `dA = G × Bᵀ` (and attention's `Q × Kᵀ`)
+/// without the `transpose_raw` copy the seed performed. Row-parallel and
+/// deterministic like [`matmul_blocked`].
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k` or `b.len() != n*k`.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::ops::kernels::{matmul_naive, matmul_nt};
+/// // B = [[1, 2], [3, 4]] stored row-major; B^T = [[1, 3], [2, 4]].
+/// let c = matmul_nt(&[1.0, 0.0, 0.0, 1.0], &[1.0, 2.0, 3.0, 4.0], 2, 2, 2);
+/// assert_eq!(c, matmul_naive(&[1.0, 0.0, 0.0, 1.0], &[1.0, 3.0, 2.0, 4.0], 2, 2, 2));
+/// ```
+pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul_nt: lhs has {} elements, expected m*k = {}", a.len(), m * k);
+    assert_eq!(b.len(), n * k, "matmul_nt: rhs has {} elements, expected n*k = {}", b.len(), n * k);
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    for_each_row_chunk(&mut out, m, n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        let rows = chunk.len() / n;
+        for ii in 0..rows {
+            let arow = &a[(row0 + ii) * k..(row0 + ii + 1) * k];
+            let orow = &mut chunk[ii * n..(ii + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot_unrolled(arow, &b[j * k..(j + 1) * k]);
+            }
+        }
+    });
+    out
+}
+
+/// Transposed-input fast path `Aᵀ × B → [k,n]` where `a` is `[m,k]` and `b`
+/// is `[m,n]`, both row-major — the backward pass's `dB = Aᵀ × G` without
+/// materializing `Aᵀ`.
+///
+/// Row `p` of the output accumulates `a[i][p] · row_i(b)` over `i` in
+/// ascending order; work is split across threads by output rows, so the
+/// result is deterministic at any thread count.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k` or `b.len() != m*n`.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::ops::kernels::{matmul_naive, matmul_tn};
+/// // A = [[1, 2]], so A^T = [[1], [2]].
+/// let c = matmul_tn(&[1.0, 2.0], &[3.0, 4.0], 1, 2, 2);
+/// assert_eq!(c, matmul_naive(&[1.0, 2.0], &[3.0, 4.0], 2, 1, 2));
+/// ```
+pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul_tn: lhs has {} elements, expected m*k = {}", a.len(), m * k);
+    assert_eq!(b.len(), m * n, "matmul_tn: rhs has {} elements, expected m*n = {}", b.len(), m * n);
+    let mut out = vec![0.0f32; k * n];
+    if k == 0 || n == 0 {
+        return out;
+    }
+    for_each_row_chunk(&mut out, k, n, MIN_ROWS_PER_THREAD, |p0, chunk| {
+        let prows = chunk.len() / n;
+        for i in 0..m {
+            // a[i][p0..p0+prows] is a contiguous row segment of A.
+            let aseg = &a[i * k + p0..i * k + p0 + prows];
+            let brow = &b[i * n..(i + 1) * n];
+            for (pp, &aip) in aseg.iter().enumerate() {
+                if aip == 0.0 {
+                    continue;
+                }
+                let orow = &mut chunk[pp * n..(pp + 1) * n];
+                for (o, bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..len).map(f).collect()
+    }
+
+    fn assert_close(x: &[f32], y: &[f32], tol: f32) {
+        assert_eq!(x.len(), y.len());
+        for (i, (a, b)) in x.iter().zip(y).enumerate() {
+            assert!((a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0), "[{i}] {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree_on_odd_sizes() {
+        // Deliberately awkward dims: not multiples of any block size.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (17, 33, 9), (65, 130, 195), (2, 200, 3)] {
+            let a = filled(m * k, |i| ((i * 37 % 19) as f32 - 9.0) * 0.11);
+            let b = filled(k * n, |i| ((i * 23 % 17) as f32 - 8.0) * 0.13);
+            let reference = matmul_naive(&a, &b, m, k, n);
+            assert_close(&matmul_ikj(&a, &b, m, k, n), &reference, 1e-6);
+            assert_close(&matmul_blocked(&a, &b, m, k, n), &reference, 1e-6);
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive_on_pretransposed_input() {
+        let (m, k, n) = (9, 31, 14);
+        let a = filled(m * k, |i| (i as f32).sin());
+        let bt = filled(n * k, |i| (i as f32 * 0.3).cos());
+        // Build B = (Bᵀ)ᵀ explicitly for the reference.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        assert_close(&matmul_nt(&a, &bt, m, k, n), &matmul_naive(&a, &b, m, k, n), 1e-5);
+    }
+
+    #[test]
+    fn tn_matches_naive_on_pretransposed_input() {
+        let (m, k, n) = (13, 8, 21);
+        let a = filled(m * k, |i| (i as f32 * 0.7).sin());
+        let g = filled(m * n, |i| (i as f32 * 0.2).cos());
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        assert_close(&matmul_tn(&a, &g, m, k, n), &matmul_naive(&at, &g, k, m, n), 1e-5);
+    }
+
+    #[test]
+    fn blocked_is_deterministic_across_thread_counts() {
+        use crate::par::{set_parallelism, Parallelism};
+        let (m, k, n) = (70, 40, 50);
+        let a = filled(m * k, |i| ((i % 11) as f32 - 5.0) * 0.17);
+        let b = filled(k * n, |i| ((i % 7) as f32 - 3.0) * 0.23);
+        set_parallelism(Parallelism::Threads(1));
+        let one = matmul_blocked(&a, &b, m, k, n);
+        for t in [2, 4, 7] {
+            set_parallelism(Parallelism::Threads(t));
+            assert_eq!(one, matmul_blocked(&a, &b, m, k, n), "threads={t}");
+            assert_eq!(
+                matmul_nt(&a, &b, m, k, n),
+                matmul_nt(&a, &b, m, k, n),
+                "nt not reproducible at threads={t}"
+            );
+        }
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn zero_dims_produce_empty_or_zero() {
+        assert!(matmul_blocked(&[], &[0.0; 12], 0, 3, 4).is_empty());
+        assert_eq!(matmul_blocked(&[0.0; 6], &[], 2, 3, 0), Vec::<f32>::new());
+        // k == 0: inner dim empty, output is all zeros.
+        assert_eq!(matmul_blocked(&[], &[], 2, 0, 2), vec![0.0; 4]);
+        assert_eq!(matmul_naive(&[], &[], 2, 0, 2), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected m*k")]
+    fn blocked_rejects_bad_lhs() {
+        let _ = matmul_blocked(&[1.0; 5], &[1.0; 6], 2, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected k*n")]
+    fn naive_rejects_bad_rhs() {
+        let _ = matmul_naive(&[1.0; 6], &[1.0; 5], 2, 3, 2);
+    }
+}

@@ -1,25 +1,36 @@
 //! 2-D matrix multiplication and transpose.
+//!
+//! Forward products dispatch between the in-order reference kernel (small
+//! operands — bit-identical to the seed implementation) and the blocked,
+//! panel-packed, multi-threaded kernel in [`kernels`](super::kernels) (large
+//! operands). Backward passes never materialize a transpose: `dA = G·Bᵀ` and
+//! `dB = Aᵀ·G` run through the transposed-input kernels
+//! [`kernels::matmul_nt`](super::kernels::matmul_nt) /
+//! [`kernels::matmul_tn`](super::kernels::matmul_tn) directly on the buffers
+//! captured at forward time.
 
+use crate::ops::kernels::{
+    check_dims, matmul_blocked, matmul_ikj, matmul_nt, matmul_tn, BLOCKED_DISPATCH_THRESHOLD,
+};
 use crate::tensor::Tensor;
 
-/// Plain row-major matrix product `[m,k] x [k,n] -> [m,n]` used both by the
-/// forward pass and by the backward closures.
+/// Row-major matrix product `[m,k] x [k,n] -> [m,n]` used both by the
+/// forward pass and by the backward closures. Dispatches on problem size:
+/// below [`BLOCKED_DISPATCH_THRESHOLD`] flops the in-order `ikj` kernel
+/// runs (bit-identical to the seed), above it the blocked threaded kernel.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k` or `b.len() != k*n` — the raw boundary
+/// validates so shape bugs surface here instead of as silent garbage or an
+/// out-of-bounds index deep inside a kernel.
 pub(crate) fn matmul_raw(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let aip = a[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, bv) in orow.iter_mut().zip(brow) {
-                *o += aip * bv;
-            }
-        }
+    check_dims(a, b, m, k, n, "matmul_raw");
+    if m * k * n >= BLOCKED_DISPATCH_THRESHOLD {
+        matmul_blocked(a, b, m, k, n)
+    } else {
+        matmul_ikj(a, b, m, k, n)
     }
-    out
 }
 
 pub(crate) fn transpose_raw(a: &[f32], m: usize, n: usize) -> Vec<f32> {
@@ -53,11 +64,56 @@ impl Tensor {
             &[m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
-                // dA = G * B^T ; dB = A^T * G
-                let bt = transpose_raw(&b, k, n);
+                // dA = G · Bᵀ and dB = Aᵀ · G via the transposed-input fast
+                // paths: b ([k,n]) and a ([m,k]) are consumed as-is, no
+                // transpose buffer is ever built.
+                let da = matmul_nt(g, &b, m, n, k);
+                let db = matmul_tn(&a, g, m, k, n);
+                vec![da, db]
+            }),
+        )
+    }
+
+    /// Matrix product with a pre-transposed right-hand side:
+    /// `self [m,k] × otherᵀ -> [m,n]` where `other` is stored `[n,k]`.
+    ///
+    /// Attention's `Q·Kᵀ` uses this to skip materializing `Kᵀ` (one fewer
+    /// graph node and one fewer `[k,n]` allocation per head per forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the `k` dimensions disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use akg_tensor::Tensor;
+    /// let q = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+    /// let k = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+    /// let fast = q.matmul_t(&k);
+    /// let slow = q.matmul(&k.transpose());
+    /// assert_eq!(fast.to_vec(), slow.to_vec());
+    /// ```
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let sa = self.shape();
+        let sb = other.shape();
+        assert_eq!(sa.len(), 2, "matmul_t: lhs must be 2-D, got {sa:?}");
+        assert_eq!(sb.len(), 2, "matmul_t: rhs must be 2-D, got {sb:?}");
+        assert_eq!(sa[1], sb[1], "matmul_t: inner dims {} vs {}", sa[1], sb[1]);
+        let (m, k, n) = (sa[0], sa[1], sb[0]);
+        let a = self.to_vec();
+        let bt = other.to_vec(); // B stored transposed: [n, k]
+        let data = matmul_nt(&a, &bt, m, k, n);
+        Tensor::from_op(
+            data,
+            &[m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                // C = A·Bᵀ with B stored [n,k]:
+                //   dA = G · B      ([m,n] × [n,k])
+                //   dB = Gᵀ · A     ([n,m] × [m,k])
                 let da = matmul_raw(g, &bt, m, n, k);
-                let at = transpose_raw(&a, m, k);
-                let db = matmul_raw(&at, g, k, m, n);
+                let db = matmul_tn(g, &a, m, n, k);
                 vec![da, db]
             }),
         )
@@ -113,6 +169,47 @@ mod tests {
     }
 
     #[test]
+    fn matmul_t_matches_explicit_transpose_with_grads() {
+        let q =
+            Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25, 1.5, -0.75], &[2, 3]).requires_grad(true);
+        let k_data = vec![1.0, 0.5, -0.5, 2.0, 0.0, 1.0, -1.0, 0.5, 0.3, 0.3, 0.3, 0.3];
+        let k = Tensor::from_vec(k_data, &[4, 3]).requires_grad(true);
+        let fast = q.matmul_t(&k);
+        assert_eq!(fast.shape(), vec![2, 4]);
+        fast.square().sum_all().backward();
+        let (gq_fast, gk_fast) = (q.grad().unwrap(), k.grad().unwrap());
+
+        let q2 = Tensor::from_vec(q.to_vec(), &[2, 3]).requires_grad(true);
+        let k2 = Tensor::from_vec(k.to_vec(), &[4, 3]).requires_grad(true);
+        q2.matmul(&k2.transpose()).square().sum_all().backward();
+        for (f, s) in fast.to_vec().iter().zip(q2.matmul(&k2.transpose()).to_vec()) {
+            assert!((f - s).abs() < 1e-5);
+        }
+        for (f, s) in gq_fast.iter().zip(q2.grad().unwrap()) {
+            assert!((f - s).abs() < 1e-4, "dQ mismatch {f} vs {s}");
+        }
+        for (f, s) in gk_fast.iter().zip(k2.grad().unwrap()) {
+            assert!((f - s).abs() < 1e-4, "dK mismatch {f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn large_matmul_crosses_blocked_dispatch() {
+        // 64x64x64 = exactly the threshold: exercises the blocked path
+        // through the public op, against the naive kernel.
+        let dim = 64;
+        let a: Vec<f32> = (0..dim * dim).map(|i| ((i % 13) as f32 - 6.0) * 0.05).collect();
+        let b: Vec<f32> = (0..dim * dim).map(|i| ((i % 11) as f32 - 5.0) * 0.07).collect();
+        let fast = Tensor::from_vec(a.clone(), &[dim, dim])
+            .matmul(&Tensor::from_vec(b.clone(), &[dim, dim]))
+            .to_vec();
+        let reference = crate::ops::kernels::matmul_naive(&a, &b, dim, dim, dim);
+        for (f, r) in fast.iter().zip(&reference) {
+            assert!((f - r).abs() <= 1e-5 * r.abs().max(1.0), "{f} vs {r}");
+        }
+    }
+
+    #[test]
     fn transpose_round_trip() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         let t = a.transpose();
@@ -135,5 +232,20 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected m*k")]
+    fn matmul_raw_rejects_short_lhs() {
+        // Regression: the raw boundary must validate slice lengths against
+        // m/k/n instead of silently indexing out of bounds (or worse,
+        // producing a plausible-looking partial product).
+        let _ = matmul_raw(&[1.0; 5], &[1.0; 6], 2, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected k*n")]
+    fn matmul_raw_rejects_short_rhs() {
+        let _ = matmul_raw(&[1.0; 6], &[1.0; 5], 2, 3, 2);
     }
 }

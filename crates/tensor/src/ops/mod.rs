@@ -11,11 +11,19 @@
 //! - [`shape`]: reshape, concatenation, slicing
 //! - [`gather`]: row gathers and scatter-adds (embedding lookups, message
 //!   passing)
-//! - [`softmax`]: row softmax, log-softmax and cross-entropy
+//! - [`softmax`]: row softmax (plain and fused scale+mask), log-softmax and
+//!   cross-entropy
+//! - [`layernorm`]: fused layer normalization (forward + analytic backward
+//!   as one graph node)
+//! - [`kernels`]: raw blocked/threaded matmul kernels the ops dispatch to
+//!   (public so benches and property tests can compare against the naive
+//!   reference directly)
 
 pub mod binary;
 pub mod broadcast;
 pub mod gather;
+pub mod kernels;
+pub mod layernorm;
 pub mod matmul;
 pub mod reduce;
 pub mod shape;

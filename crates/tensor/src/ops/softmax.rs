@@ -11,33 +11,80 @@ fn check_2d(x: &Tensor, op: &str) -> (usize, usize) {
 impl Tensor {
     /// Numerically-stable softmax over each row of an `[m, n]` tensor.
     ///
+    /// Equivalent to [`Tensor::softmax_rows_scaled_masked`] with scale `1.0`
+    /// and no mask.
+    ///
     /// # Panics
     ///
     /// Panics if the tensor is not 2-D.
     pub fn softmax_rows(&self) -> Tensor {
-        let (m, n) = check_2d(self, "softmax_rows");
-        let a = self.to_vec();
-        let mut data = vec![0.0f32; m * n];
+        self.softmax_rows_scaled_masked(1.0, None)
+    }
+
+    /// Fused `softmax(self · scale + mask)` over each row of an `[m, n]`
+    /// tensor — attention's scale-mask-normalize sequence as a single graph
+    /// node.
+    ///
+    /// The composed form `x.mul_scalar(scale).add_const(mask).softmax_rows()`
+    /// allocates two intermediate `[m, n]` tensors and records three backward
+    /// closures per call; the fused kernel does one pass over one buffer and
+    /// records one closure (and skips the backward bookkeeping entirely when
+    /// the input is untracked, e.g. during eval-mode scoring). The backward
+    /// pass is the softmax Jacobian product followed by the scale:
+    /// `dx = scale · y · (g − Σ g·y)` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D, or if `mask` is given and its length
+    /// is not `m·n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use akg_tensor::Tensor;
+    /// let x = Tensor::from_vec(vec![0.0, 1.0, 8.0, 8.0], &[2, 2]);
+    /// let mask = [0.0, -1e9, 0.0, 0.0]; // row 0 may only see column 0
+    /// let y = x.softmax_rows_scaled_masked(0.5, Some(&mask)).to_vec();
+    /// assert!((y[0] - 1.0).abs() < 1e-6 && y[1] < 1e-6);
+    /// assert!((y[2] - 0.5).abs() < 1e-6);
+    /// ```
+    pub fn softmax_rows_scaled_masked(&self, scale: f32, mask: Option<&[f32]>) -> Tensor {
+        let (m, n) = check_2d(self, "softmax_rows_scaled_masked");
+        if let Some(mk) = mask {
+            assert_eq!(mk.len(), m * n, "softmax_rows_scaled_masked: mask must have m*n entries");
+        }
+        let mut data = self.to_vec();
         for r in 0..m {
-            let row = &a[r * n..(r + 1) * n];
+            let row = &mut data[r * n..(r + 1) * n];
+            if scale != 1.0 {
+                for v in row.iter_mut() {
+                    *v *= scale;
+                }
+            }
+            if let Some(mk) = mask {
+                for (v, mv) in row.iter_mut().zip(&mk[r * n..(r + 1) * n]) {
+                    *v += mv;
+                }
+            }
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
-            for c in 0..n {
-                let e = (row[c] - max).exp();
-                data[r * n + c] = e;
-                sum += e;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
             }
-            for c in 0..n {
-                data[r * n + c] /= sum;
+            for v in row.iter_mut() {
+                *v /= sum;
             }
         }
-        let y = data.clone();
+        // The backward closure needs the output; clone it only when gradients
+        // can actually flow (eval-mode scoring skips the copy).
+        let y = if self.is_tracked() { data.clone() } else { Vec::new() };
         Tensor::from_op(
             data,
             &[m, n],
             vec![self.clone()],
             Box::new(move |g| {
-                // dx = y * (g - sum(g*y)) per row
+                // dx = scale * y * (g - sum(g*y)) per row
                 let mut dx = vec![0.0f32; m * n];
                 for r in 0..m {
                     let mut dot = 0.0f32;
@@ -45,7 +92,7 @@ impl Tensor {
                         dot += g[r * n + c] * y[r * n + c];
                     }
                     for c in 0..n {
-                        dx[r * n + c] = y[r * n + c] * (g[r * n + c] - dot);
+                        dx[r * n + c] = scale * (y[r * n + c] * (g[r * n + c] - dot));
                     }
                 }
                 vec![dx]
@@ -62,7 +109,10 @@ impl Tensor {
         let (m, n) = check_2d(self, "log_softmax_rows");
         let a = self.to_vec();
         let mut data = vec![0.0f32; m * n];
-        let mut soft = vec![0.0f32; m * n];
+        // The backward closure needs the softmax; materialize it only when
+        // gradients can actually flow.
+        let tracked = self.is_tracked();
+        let mut soft = vec![0.0f32; if tracked { m * n } else { 0 }];
         for r in 0..m {
             let row = &a[r * n..(r + 1) * n];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -73,7 +123,9 @@ impl Tensor {
             let log_sum = sum.ln() + max;
             for c in 0..n {
                 data[r * n + c] = row[c] - log_sum;
-                soft[r * n + c] = (row[c] - log_sum).exp();
+                if tracked {
+                    soft[r * n + c] = (row[c] - log_sum).exp();
+                }
             }
         }
         Tensor::from_op(

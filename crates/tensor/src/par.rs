@@ -1,0 +1,221 @@
+//! A minimal scoped-thread worker pool and the [`Parallelism`] configuration
+//! that controls it.
+//!
+//! The build environment has no crates.io access (no `rayon`), so this module
+//! hand-rolls the one parallel primitive the kernels need: split a mutable
+//! output buffer into contiguous per-thread chunks of whole rows and fill
+//! each chunk on its own [`std::thread::scope`] thread
+//! ([`for_each_row_chunk`]).
+//!
+//! ## Determinism
+//!
+//! Every parallel kernel in this crate partitions its *output*: each output
+//! row is computed start-to-finish by exactly one thread, with the same
+//! arithmetic in the same order regardless of which thread runs it, and no
+//! cross-thread reductions exist. Results are therefore bit-for-bit identical
+//! across runs — and even across *different* thread counts — which keeps
+//! seeded experiments reproducible on any machine.
+//!
+//! ## Configuration
+//!
+//! The effective worker count is a process-wide setting
+//! ([`set_parallelism`]) because tensors are `Rc`-based (not `Send`):
+//! parallelism lives entirely inside raw `f32` kernels, beneath the autograd
+//! graph, so a single knob governs every op. `akg-core`'s `SystemConfig`
+//! plumbs its `parallelism` field here when a system is built.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads the raw kernels may use.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::par::{set_parallelism, effective_threads, Parallelism};
+///
+/// set_parallelism(Parallelism::Sequential);
+/// assert_eq!(effective_threads(), 1);
+///
+/// set_parallelism(Parallelism::Threads(3));
+/// assert_eq!(effective_threads(), 3);
+///
+/// // `Auto` resolves to the machine's available parallelism (>= 1).
+/// set_parallelism(Parallelism::Auto);
+/// assert!(effective_threads() >= 1);
+/// # set_parallelism(Parallelism::Auto); // leave the default behind
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-threaded: kernels run inline on the calling thread.
+    Sequential,
+    /// Use [`std::thread::available_parallelism`] (the default).
+    Auto,
+    /// Use exactly this many threads (clamped to at least 1).
+    Threads(usize),
+}
+
+/// Sentinel meaning "resolve via `available_parallelism` at call time".
+const AUTO: usize = 0;
+
+static THREADS: AtomicUsize = AtomicUsize::new(AUTO);
+
+/// Sets the process-wide parallelism policy for all raw kernels.
+pub fn set_parallelism(p: Parallelism) {
+    let v = match p {
+        Parallelism::Sequential => 1,
+        Parallelism::Auto => AUTO,
+        Parallelism::Threads(n) => n.max(1),
+    };
+    THREADS.store(v, Ordering::Relaxed);
+}
+
+/// The number of worker threads kernels will currently use (>= 1).
+pub fn effective_threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        AUTO => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Splits `out` into contiguous chunks of whole rows (`row_len` elements
+/// each) and calls `fill(first_row, chunk)` for every chunk, using up to
+/// [`effective_threads`] scoped threads. `fill` must compute each row of its
+/// chunk independently of the others; chunks never overlap, so no
+/// synchronization is needed and results are deterministic.
+///
+/// Falls back to a single inline call when one thread is configured, the
+/// work is too small to amortize thread spawns (`min_rows_per_thread`), or
+/// there are fewer rows than threads.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not `rows * row_len`.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::par::for_each_row_chunk;
+///
+/// let mut out = vec![0.0f32; 6];
+/// // rows of length 2; row r becomes [r, r]
+/// for_each_row_chunk(&mut out, 3, 2, 0, |first_row, chunk| {
+///     for (i, row) in chunk.chunks_mut(2).enumerate() {
+///         row.fill((first_row + i) as f32);
+///     }
+/// });
+/// assert_eq!(out, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+/// ```
+pub fn for_each_row_chunk<F>(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    min_rows_per_thread: usize,
+    fill: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * row_len, "for_each_row_chunk: buffer is not rows * row_len");
+    let threads =
+        effective_threads().min(rows.checked_div(min_rows_per_thread).unwrap_or(rows)).max(1);
+    if threads == 1 || rows == 0 {
+        fill(0, out);
+        return;
+    }
+    // Ceil-divide rows over threads so chunk boundaries are deterministic.
+    let rows_per_chunk = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut first_row = 0;
+        let mut handles = Vec::new();
+        while first_row < rows {
+            let take = rows_per_chunk.min(rows - first_row);
+            let (chunk, tail) = rest.split_at_mut(take * row_len);
+            rest = tail;
+            let row0 = first_row;
+            first_row += take;
+            if first_row < rows {
+                handles.push(scope.spawn({
+                    let fill = &fill;
+                    move || fill(row0, chunk)
+                }));
+            } else {
+                // Run the last chunk on the calling thread.
+                fill(row0, chunk);
+            }
+        }
+        for h in handles {
+            h.join().expect("kernel worker thread panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_runs_inline() {
+        set_parallelism(Parallelism::Sequential);
+        let mut out = vec![0.0f32; 8];
+        for_each_row_chunk(&mut out, 4, 2, 0, |first, chunk| {
+            for (i, row) in chunk.chunks_mut(2).enumerate() {
+                row.fill((first + i) as f32 + 1.0);
+            }
+        });
+        assert_eq!(out, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        set_parallelism(Parallelism::Threads(16));
+        let mut out = vec![0.0f32; 3];
+        for_each_row_chunk(&mut out, 3, 1, 0, |first, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (first + i) as f32;
+            }
+        });
+        assert_eq!(out, vec![0.0, 1.0, 2.0]);
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let run = |threads: usize| {
+            set_parallelism(Parallelism::Threads(threads));
+            let mut out = vec![0.0f32; 64 * 3];
+            for_each_row_chunk(&mut out, 64, 3, 0, |first, chunk| {
+                for (i, row) in chunk.chunks_mut(3).enumerate() {
+                    let r = (first + i) as f32;
+                    row.copy_from_slice(&[r, r * 0.5, r * r]);
+                }
+            });
+            out
+        };
+        let one = run(1);
+        for t in [2, 3, 5, 8] {
+            assert_eq!(one, run(t), "thread count {t} changed the result");
+        }
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn min_rows_per_thread_throttles() {
+        set_parallelism(Parallelism::Threads(8));
+        // 4 rows with min 4 rows/thread -> 1 thread; just verify correctness.
+        let mut out = vec![0.0f32; 4];
+        for_each_row_chunk(&mut out, 4, 1, 4, |first, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (first + i) as f32;
+            }
+        });
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0]);
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows * row_len")]
+    fn rejects_bad_buffer_size() {
+        for_each_row_chunk(&mut [0.0f32; 5], 2, 3, 0, |_, _| {});
+    }
+}

@@ -279,6 +279,24 @@ impl Tensor {
         }
     }
 
+    /// Like [`Tensor::accumulate_grad`] but takes ownership of the
+    /// contribution, so the first contribution to a tensor becomes its
+    /// gradient buffer directly instead of being copied. Backward closures
+    /// return freshly-allocated buffers, so the reverse sweep moves every
+    /// single-use gradient rather than cloning it.
+    pub(crate) fn accumulate_grad_owned(&self, contribution: Vec<f32>) {
+        let mut inner = self.inner.borrow_mut();
+        debug_assert_eq!(inner.data.len(), contribution.len(), "gradient shape mismatch");
+        match &mut inner.grad {
+            Some(g) => {
+                for (gi, ci) in g.iter_mut().zip(&contribution) {
+                    *gi += ci;
+                }
+            }
+            None => inner.grad = Some(contribution),
+        }
+    }
+
     // ----------------------------------------------------------------
     // Backward
     // ----------------------------------------------------------------
@@ -327,14 +345,24 @@ impl Tensor {
         self.accumulate_grad(seed);
         for node in topo.iter().rev() {
             let (grad_out, parents) = {
-                let inner = node.inner.borrow();
-                let grad = match &inner.grad {
-                    Some(g) => g.clone(),
-                    None => continue,
-                };
+                let mut inner = node.inner.borrow_mut();
                 if inner.backward.is_none() {
                     continue;
                 }
+                // Intermediate nodes never need their gradient again after
+                // this visit, so take the buffer out instead of cloning it;
+                // only leaves (requires_grad) retain a copy for the caller.
+                let grad = if inner.requires_grad {
+                    match &inner.grad {
+                        Some(g) => g.clone(),
+                        None => continue,
+                    }
+                } else {
+                    match inner.grad.take() {
+                        Some(g) => g,
+                        None => continue,
+                    }
+                };
                 (grad, inner.parents.clone())
             };
             // Call the closure without holding the borrow (the closure only
@@ -346,14 +374,10 @@ impl Tensor {
             debug_assert_eq!(contributions.len(), parents.len());
             for (parent, contribution) in parents.iter().zip(contributions) {
                 if parent.is_tracked() {
-                    parent.accumulate_grad(&contribution);
+                    // Move the buffer: a parent's first contribution becomes
+                    // its gradient storage with no copy.
+                    parent.accumulate_grad_owned(contribution);
                 }
-            }
-            // Free intermediate gradients (keep only leaves') and drop the
-            // closure so captured buffers are released eagerly.
-            let mut inner = node.inner.borrow_mut();
-            if !inner.requires_grad {
-                inner.grad = None;
             }
         }
     }

@@ -1,0 +1,166 @@
+//! Property-based verification of the hot-path kernels: the blocked /
+//! transposed-input / parallel matmuls and the fused softmax and layernorm
+//! ops must match their naive reference formulations within 1e-5 on random
+//! inputs, stay bit-for-bit deterministic across thread counts, and pass
+//! finite-difference gradient checks.
+
+use akg_tensor::ops::kernels::{matmul_blocked, matmul_naive, matmul_nt, matmul_tn};
+use akg_tensor::par::{set_parallelism, Parallelism};
+use akg_tensor::{gradcheck, Tensor};
+use proptest::prelude::*;
+
+/// Enough random elements for the largest `m*k` / `k*n` drawn below.
+const POOL: usize = 24 * 40;
+
+fn pool_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, POOL)
+}
+
+fn assert_close(fast: &[f32], reference: &[f32], tol: f32) -> Result<(), String> {
+    for (i, (f, r)) in fast.iter().zip(reference).enumerate() {
+        let scale = f.abs().max(r.abs()).max(1.0);
+        if (f - r).abs() > tol * scale {
+            return Err(format!("[{i}] {f} vs {r}"));
+        }
+    }
+    Ok(())
+}
+
+/// Reference `B` (shape `[k, n]`) from its transposed storage `[n, k]`.
+fn untranspose(bt: &[f32], n: usize, k: usize) -> Vec<f32> {
+    let mut b = vec![0.0f32; k * n];
+    for j in 0..n {
+        for p in 0..k {
+            b[p * n + j] = bt[j * k + p];
+        }
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matches_naive(
+        m in 1usize..24, k in 1usize..40, n in 1usize..24,
+        a in pool_strategy(), b in pool_strategy(),
+    ) {
+        let (a, b) = (&a[..m * k], &b[..k * n]);
+        let reference = matmul_naive(a, b, m, k, n);
+        prop_assert!(assert_close(&matmul_blocked(a, b, m, k, n), &reference, 1e-5).is_ok());
+    }
+
+    #[test]
+    fn nt_and_tn_match_naive(
+        m in 1usize..24, k in 1usize..40, n in 1usize..24,
+        a in pool_strategy(), b in pool_strategy(),
+    ) {
+        // A·Bᵀ with B stored [n, k]:
+        let (a_s, bt) = (&a[..m * k], &b[..n * k]);
+        let reference = matmul_naive(a_s, &untranspose(bt, n, k), m, k, n);
+        prop_assert!(assert_close(&matmul_nt(a_s, bt, m, k, n), &reference, 1e-5).is_ok());
+        // Aᵀ·G with A [m, k], G [m, n]:
+        let g = &b[..m * n];
+        let at = untranspose(a_s, m, k);
+        let reference = matmul_naive(&at, g, k, m, n);
+        prop_assert!(assert_close(&matmul_tn(a_s, g, m, k, n), &reference, 1e-5).is_ok());
+    }
+
+    #[test]
+    fn blocked_bit_identical_across_thread_counts(
+        m in 1usize..24, k in 1usize..40, n in 1usize..24,
+        a in pool_strategy(), b in pool_strategy(),
+    ) {
+        let (a, b) = (&a[..m * k], &b[..k * n]);
+        set_parallelism(Parallelism::Threads(1));
+        let one = matmul_blocked(a, b, m, k, n);
+        for t in [2usize, 3, 8] {
+            set_parallelism(Parallelism::Threads(t));
+            prop_assert_eq!(&one, &matmul_blocked(a, b, m, k, n));
+        }
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn fused_softmax_matches_composed(
+        m in 1usize..10, n in 1usize..12, scale in 0.05f32..2.0,
+        x in proptest::collection::vec(-3.0f32..3.0, 10 * 12),
+        mask_bits in proptest::collection::vec(0u8..2, 10 * 12),
+    ) {
+        let data = x[..m * n].to_vec();
+        let mask: Vec<f32> =
+            mask_bits[..m * n].iter().enumerate().map(|(i, &b)| {
+                // never mask out a whole row (softmax of all -1e9 is fine
+                // numerically but compares garbage to garbage)
+                if b == 1 && i % n != 0 { -1e9 } else { 0.0 }
+            }).collect();
+        let t = Tensor::from_vec(data.clone(), &[m, n]);
+        let fused = t.softmax_rows_scaled_masked(scale, Some(&mask)).to_vec();
+        let composed =
+            t.mul_scalar(scale).add_const(&mask).softmax_rows().to_vec();
+        prop_assert!(assert_close(&fused, &composed, 1e-5).is_ok());
+    }
+
+    #[test]
+    fn fused_softmax_grads_match_fd(
+        scale in 0.2f32..1.5,
+        x in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let t = Tensor::from_vec(x, &[2, 3]).requires_grad(true);
+        let mask = vec![0.0, -1e9, 0.0, 0.0, 0.0, -1e9];
+        let report = gradcheck(
+            &[t],
+            |ls| ls[0].softmax_rows_scaled_masked(scale, Some(&mask)).square().sum_all(),
+            1e-2,
+        );
+        prop_assert!(report.passes(3e-2), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn fused_layernorm_matches_composed(
+        m in 1usize..8, n in 2usize..16,
+        x in proptest::collection::vec(-3.0f32..3.0, 8 * 16),
+        gamma in proptest::collection::vec(-1.5f32..1.5, 16),
+        beta in proptest::collection::vec(-1.0f32..1.0, 16),
+    ) {
+        let t = Tensor::from_vec(x[..m * n].to_vec(), &[m, n]);
+        let g = Tensor::from_vec(gamma[..n].to_vec(), &[n]);
+        let b = Tensor::from_vec(beta[..n].to_vec(), &[n]);
+        let fused = t.layer_norm(&g, &b, 1e-5).to_vec();
+        let mean = t.mean_axis1();
+        let centered = t.add_col(&mean.neg());
+        let var = centered.square().mean_axis1();
+        let inv_std = var.add_scalar(1e-5).sqrt().recip();
+        let composed = centered.mul_col(&inv_std).mul_bias(&g).add_bias(&b).to_vec();
+        prop_assert!(assert_close(&fused, &composed, 1e-5).is_ok());
+    }
+
+    #[test]
+    fn fused_layernorm_grads_match_fd(
+        x in proptest::collection::vec(-2.0f32..2.0, 6),
+        gamma in proptest::collection::vec(0.5f32..1.5, 3),
+    ) {
+        let t = Tensor::from_vec(x, &[2, 3]).requires_grad(true);
+        let g = Tensor::from_vec(gamma, &[3]).requires_grad(true);
+        let b = Tensor::zeros(&[3]).requires_grad(true);
+        let report = gradcheck(
+            &[t, g, b],
+            |ls| ls[0].layer_norm(&ls[1], &ls[2], 1e-5).square().sum_all(),
+            1e-2,
+        );
+        prop_assert!(report.passes(3e-2), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose(
+        m in 1usize..8, k in 1usize..12, n in 1usize..8,
+        a in proptest::collection::vec(-2.0f32..2.0, 8 * 12),
+        b in proptest::collection::vec(-2.0f32..2.0, 8 * 12),
+    ) {
+        let q = Tensor::from_vec(a[..m * k].to_vec(), &[m, k]);
+        let kt = Tensor::from_vec(b[..n * k].to_vec(), &[n, k]);
+        let fast = q.matmul_t(&kt).to_vec();
+        let slow = q.matmul(&kt.transpose()).to_vec();
+        prop_assert!(assert_close(&fast, &slow, 1e-5).is_ok());
+    }
+}
