@@ -85,7 +85,7 @@ fn ablate_prune_rule(c: &mut Criterion) {
 
 fn ablate_retrieval_metric(c: &mut Criterion) {
     let sys = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
-    let retrieval = InterpretableRetrieval::new(&sys.tokenizer, &sys.space);
+    let retrieval = InterpretableRetrieval::new(&sys.engine.tokenizer, &sys.engine.space);
     let ontology = Ontology::new();
     let words: Vec<&str> = ontology.all_concepts(AnomalyClass::Stealing);
     // quality: does the metric retrieve the word itself from its own vector?
@@ -93,7 +93,7 @@ fn ablate_retrieval_metric(c: &mut Criterion) {
         let hits = words
             .iter()
             .filter(|w| {
-                let q = sys.space.word_vector(w);
+                let q = sys.engine.space.word_vector(w);
                 retrieval
                     .nearest_words(&q, 1, metric)
                     .first()
@@ -108,7 +108,7 @@ fn ablate_retrieval_metric(c: &mut Criterion) {
             words.len()
         );
     }
-    let query = sys.space.word_vector("sneaky");
+    let query = sys.engine.space.word_vector("sneaky");
     c.bench_function("retrieval_euclidean_top5", |b| {
         b.iter(|| black_box(retrieval.nearest_words(black_box(&query), 5, Similarity::Euclidean)))
     });

@@ -14,13 +14,13 @@ use std::hint::black_box;
 
 fn bench_frame_scoring(c: &mut Criterion) {
     let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
-    sys.model.set_train(false);
+    sys.engine.model.set_train(false);
     let frame = akg_data::Frame {
         concepts: vec![("walking".into(), 1.0), ("person".into(), 0.7)],
         label: None,
     };
     let emb = sys.embed_frame(&frame);
-    let window = vec![emb; sys.model.config().window];
+    let window = vec![emb; sys.engine.model.config().window];
     c.bench_function("score_one_frame_window", |b| {
         b.iter(|| black_box(sys.score_window(black_box(&window))))
     });

@@ -1,26 +1,36 @@
-//! The perf trajectory harness: times the `akg-tensor` hot-path kernels and
-//! an end-to-end adaptation stream, then emits `BENCH_tensor.json` — the
-//! machine-readable record every PR's numbers are compared against (see
-//! `docs/PERFORMANCE.md` for how to read it).
+//! The perf trajectory harness: times the `akg-tensor` hot-path kernels, an
+//! end-to-end adaptation stream, and the multi-stream serving runtime, then
+//! emits `BENCH_tensor.json` and `BENCH_serve.json` — the machine-readable
+//! records every PR's numbers are compared against (see
+//! `docs/PERFORMANCE.md` for how to read them).
 //!
-//! Usage: `perf [--smoke] [--threads N] [--out PATH]`
+//! Usage: `perf [--smoke] [--threads N] [--streams N] [--out PATH]
+//! [--serve-out PATH]`
 //!
 //! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
 //!   the full measurement sizes. Smoke output is for validating the harness
 //!   and the JSON schema, **not** for cross-PR comparison.
 //! - `--threads N`: pin the kernel thread pool (default: auto).
-//! - `--out PATH`: where to write the JSON (default `BENCH_tensor.json`).
+//! - `--streams N`: cap on the serving-bench stream counts (default 16; the
+//!   bench measures 1, 4, and 16 streams up to this cap).
+//! - `--out PATH`: where to write the tensor JSON (default
+//!   `BENCH_tensor.json`).
+//! - `--serve-out PATH`: where to write the serving JSON (default
+//!   `BENCH_serve.json`).
 
 use akg_core::adapt::{AdaptConfig, ContinuousAdapter};
+use akg_core::engine::Engine;
 use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
+use akg_runtime::{MultiStreamRuntime, OwnedStreamRuntime, RuntimeConfig};
 use akg_tensor::nn::Module;
 use akg_tensor::ops::kernels::{matmul_blocked, matmul_ikj, matmul_naive, matmul_nt};
 use akg_tensor::par::{effective_threads, set_parallelism, Parallelism};
 use akg_tensor::Tensor;
 use serde::Serialize;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One op-level measurement: median wall time per call.
@@ -77,6 +87,104 @@ struct Report {
     end_to_end: EndToEnd,
     /// Headline ratios.
     derived: Derived,
+}
+
+/// One stream-count measurement of the serving bench: aggregate frames/s
+/// with cross-stream batching vs the per-frame baseline, same engine, same
+/// feeds, same seeds (the two modes are bit-identical in output — only the
+/// dispatch shape differs).
+#[derive(Debug, Serialize)]
+struct ServePoint {
+    /// Concurrent streams served.
+    streams: usize,
+    /// Scheduler ticks measured (frames = streams × ticks).
+    ticks: usize,
+    /// Aggregate throughput with batched dispatch.
+    batched_frames_per_sec: f64,
+    /// Aggregate throughput scoring one window at a time.
+    per_frame_frames_per_sec: f64,
+    /// `batched / per_frame` at this stream count.
+    batching_speedup: f64,
+}
+
+/// The `BENCH_serve.json` document.
+#[derive(Debug, Serialize)]
+struct ServeReport {
+    /// Schema version of this document.
+    schema_version: u32,
+    /// `"full"` or `"smoke"` — smoke numbers validate the harness only.
+    mode: String,
+    /// Worker threads the kernels used.
+    threads: usize,
+    /// Largest cross-stream batch the scheduler may form.
+    max_batch: usize,
+    /// Per-stream-count measurements.
+    points: Vec<ServePoint>,
+    /// Headline: batched aggregate fps at the largest stream count divided
+    /// by the per-frame fps at 1 stream (the acceptance gate is ≥ 2).
+    batched_aggregate_vs_single_per_frame: f64,
+}
+
+fn serve_runtime(
+    ds: &Arc<SyntheticUcfCrime>,
+    streams: usize,
+    batched: bool,
+    parallelism: Parallelism,
+) -> OwnedStreamRuntime {
+    // Fresh engine per mode/count: deterministic build, so every
+    // measurement serves identical weights and identical feeds.
+    let config = SystemConfig { parallelism, ..SystemConfig::default() };
+    let engine = Engine::build(&[AnomalyClass::Stealing], &config);
+    let mut rt = MultiStreamRuntime::new(engine, RuntimeConfig { max_batch: 16, batched });
+    for s in 0..streams {
+        let source =
+            AdaptationStream::owned(Arc::clone(ds), AnomalyClass::Stealing, 0.3, 900 + s as u64);
+        rt.add_stream(source, 0x5EED ^ s as u64, AdaptConfig::default());
+    }
+    rt
+}
+
+fn bench_serving(smoke: bool, max_streams: usize, parallelism: Parallelism) -> ServeReport {
+    let scale = if smoke { 0.004 } else { 0.02 };
+    let ds = Arc::new(SyntheticUcfCrime::generate(
+        DatasetConfig::scaled(scale)
+            .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
+            .with_seed(7),
+    ));
+    let ticks = if smoke { 12 } else { 96 };
+    let mut points = Vec::new();
+    for &streams in &[1usize, 4, 16] {
+        if streams > max_streams {
+            continue;
+        }
+        let mut fps = [0.0f64; 2];
+        for (slot, batched) in [(0usize, true), (1usize, false)] {
+            let mut rt = serve_runtime(&ds, streams, batched, parallelism);
+            // warm-up tick: engine caches, allocator, stream buffers
+            let _ = rt.tick();
+            let t0 = Instant::now();
+            black_box(rt.run(ticks));
+            let secs = t0.elapsed().as_secs_f64();
+            fps[slot] = (streams * ticks) as f64 / secs.max(1e-9);
+        }
+        points.push(ServePoint {
+            streams,
+            ticks,
+            batched_frames_per_sec: fps[0],
+            per_frame_frames_per_sec: fps[1],
+            batching_speedup: fps[0] / fps[1].max(1e-9),
+        });
+    }
+    let single_per_frame = points.first().map(|p| p.per_frame_frames_per_sec).unwrap_or(f64::NAN);
+    let largest_batched = points.last().map(|p| p.batched_frames_per_sec).unwrap_or(f64::NAN);
+    ServeReport {
+        schema_version: 1,
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        threads: effective_threads(),
+        max_batch: 16,
+        points,
+        batched_aggregate_vs_single_per_frame: largest_batched / single_per_frame.max(1e-9),
+    }
 }
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -183,7 +291,7 @@ fn bench_end_to_end(smoke: bool, parallelism: Parallelism) -> EndToEnd {
     let t0 = Instant::now();
     let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &config);
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-    sys.model.set_train(false);
+    sys.engine.model.set_train(false);
 
     // Eval-mode scoring throughput over the test subset.
     let subset = ds.test_subset(AnomalyClass::Stealing);
@@ -223,6 +331,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = flag(&args, "--smoke");
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_tensor.json".to_string());
+    let serve_out =
+        flag_value(&args, "--serve-out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let max_streams =
+        flag_value(&args, "--streams").and_then(|v| v.parse::<usize>().ok()).unwrap_or(16);
     let parallelism = match flag_value(&args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
         Some(n) => Parallelism::Threads(n),
         None => Parallelism::Auto,
@@ -279,4 +391,19 @@ fn main() {
     let json = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write report");
     println!("perf: wrote {out}");
+
+    let serve = bench_serving(smoke, max_streams, parallelism);
+    for p in &serve.points {
+        println!(
+            "  serve {:>2} stream(s): batched {:>7.0} f/s | per-frame {:>7.0} f/s | {:.2}x",
+            p.streams, p.batched_frames_per_sec, p.per_frame_frames_per_sec, p.batching_speedup
+        );
+    }
+    println!(
+        "  serve headline: batched aggregate vs single-stream per-frame = {:.2}x",
+        serve.batched_aggregate_vs_single_per_frame
+    );
+    let json = serde_json::to_string(&serve).expect("serialize serve report");
+    std::fs::write(&serve_out, json).expect("write serve report");
+    println!("perf: wrote {serve_out}");
 }

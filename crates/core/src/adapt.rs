@@ -8,7 +8,15 @@
 //! embedding movement is tracked: nodes whose step-to-step L2 movement keeps
 //! *increasing* are diverging and get pruned and replaced by a fresh node
 //! with a random token embedding and random edges at the same level.
+//!
+//! One [`ContinuousAdapter`] serves one stream: it owns the stream's score
+//! tracker, embedding buffer, optimizer, and drift state, and operates on
+//! the stream's [`Session`] through a shared [`Engine`] — all its updates
+//! land in the session's private table fork and KG copies, so concurrent
+//! streams adapt in full isolation. The legacy single-tenant entry points
+//! (`&mut MissionSystem`) remain as thin wrappers.
 
+use crate::engine::{Engine, Session};
 use crate::loss::decision_loss_smoothed;
 use crate::pipeline::MissionSystem;
 use akg_eval::MeanShiftTracker;
@@ -115,7 +123,44 @@ struct DriftState {
     rising_streak: usize,
 }
 
-/// The continuous KG adaptive learner deployed alongside the decision model.
+/// One node's persisted drift-tracking entry (see [`AdaptSnapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftEntry {
+    /// Mission-KG index.
+    pub kg: usize,
+    /// Node id (raw).
+    pub node: usize,
+    /// Last observed mean token embedding.
+    pub last_embedding: Vec<f32>,
+    /// Last step-to-step L2 movement.
+    pub last_movement: f32,
+    /// Consecutive movement increases so far.
+    pub rising_streak: usize,
+}
+
+/// The persistable half of a [`ContinuousAdapter`]: everything needed to
+/// resume the adaptation loop mid-stream with identical behaviour (score
+/// tracker, embedding buffer, drift states, wiring RNG, counters). Event
+/// history is logging-only and not persisted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptSnapshot {
+    /// The mean-shift tracker (score window, reference state).
+    pub tracker: MeanShiftTracker,
+    /// Recent frame embeddings, oldest first.
+    pub buffer: Vec<Vec<f32>>,
+    /// Per-node drift-tracking states.
+    pub drift: Vec<DriftEntry>,
+    /// Node-creation wiring RNG state (xoshiro256++ words).
+    pub rng: Vec<u64>,
+    /// Structural replacements performed so far.
+    pub replacements: usize,
+    /// Frames observed so far.
+    pub observed: usize,
+    /// Created-node naming counter.
+    pub adapted_node_counter: usize,
+}
+
+/// The continuous KG adaptive learner deployed alongside one stream.
 #[derive(Debug)]
 pub struct ContinuousAdapter {
     cfg: AdaptConfig,
@@ -132,22 +177,34 @@ pub struct ContinuousAdapter {
 }
 
 impl ContinuousAdapter {
-    /// Creates the adapter for a deployed system. Puts the system into
-    /// adaptation mode (model frozen, token table trainable) and snapshots
-    /// every node's current embedding for drift tracking.
+    /// Creates the adapter for a single-tenant [`MissionSystem`]. Puts the
+    /// system into adaptation mode (model frozen, token table trainable) and
+    /// snapshots every node's current embedding for drift tracking.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.interval == 0` (the adaptation check would never run).
     pub fn new(sys: &mut MissionSystem, cfg: AdaptConfig) -> Self {
-        assert!(cfg.interval > 0, "AdaptConfig::interval must be positive");
         sys.set_adaptation_mode(true);
+        Self::attach(&sys.engine, &mut sys.session, cfg)
+    }
+
+    /// Creates the adapter for one stream's session. Freezes the shared
+    /// model, unfreezes the session's table fork, and snapshots the
+    /// session's node embeddings for drift tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.interval == 0` (the adaptation check would never run).
+    pub fn attach(engine: &Engine, session: &mut Session, cfg: AdaptConfig) -> Self {
+        assert!(cfg.interval > 0, "AdaptConfig::interval must be positive");
+        engine.set_adaptation_mode(session, true);
         // Plain SGD, deliberately: scale-free optimizers (Adam family) move
         // noise coordinates exactly as fast as signal coordinates, so
         // contaminated pseudo-labels would drift the tokens as strongly as
         // true anomaly signal. With SGD the update magnitude is proportional
         // to gradient consistency and selection noise self-cancels.
-        let optimizer = Sgd::new(vec![sys.table.param()], cfg.lr);
+        let optimizer = Sgd::new(vec![session.table.param()], cfg.lr);
         let tracker = if cfg.anchored_reference {
             MeanShiftTracker::anchored(cfg.n_window)
         } else {
@@ -165,15 +222,15 @@ impl ContinuousAdapter {
             adapted_node_counter: 0,
             cfg,
         };
-        adapter.snapshot_drift(sys);
+        adapter.snapshot_drift(session);
         adapter
     }
 
-    fn snapshot_drift(&mut self, sys: &MissionSystem) {
-        for (ki, tkg) in sys.kgs.iter().enumerate() {
+    fn snapshot_drift(&mut self, session: &Session) {
+        for (ki, tkg) in session.kgs.iter().enumerate() {
             for (id, tokens) in &tkg.node_tokens {
                 self.drift.entry((ki, *id)).or_insert_with(|| DriftState {
-                    last_embedding: sys.table.node_embedding_data(tokens),
+                    last_embedding: session.table.node_embedding_data(tokens),
                     last_movement: 0.0,
                     rising_streak: 0,
                 });
@@ -210,29 +267,82 @@ impl ContinuousAdapter {
     /// and — every `interval` frames — runs the adaptation check. Returns
     /// the anomaly score.
     pub fn observe(&mut self, sys: &mut MissionSystem, frame: &akg_data::Frame) -> f32 {
-        let embedding = sys.embed_frame(frame);
-        self.observe_embedded(sys, embedding)
+        self.observe_stream(&sys.engine, &mut sys.session, frame)
     }
 
     /// Observes a pre-embedded frame (when the caller manages embedding).
     pub fn observe_embedded(&mut self, sys: &mut MissionSystem, embedding: Vec<f32>) -> f32 {
+        self.observe_embedded_stream(&sys.engine, &mut sys.session, embedding)
+    }
+
+    /// Runs one adaptation check immediately. See
+    /// [`ContinuousAdapter::adapt_now_stream`].
+    pub fn adapt_now(&mut self, sys: &mut MissionSystem) -> usize {
+        self.adapt_now_stream(&sys.engine, &mut sys.session)
+    }
+
+    /// Per-stream form of [`ContinuousAdapter::observe`].
+    pub fn observe_stream(
+        &mut self,
+        engine: &Engine,
+        session: &mut Session,
+        frame: &akg_data::Frame,
+    ) -> f32 {
+        let embedding = engine.embed_frame(session, frame);
+        self.observe_embedded_stream(engine, session, embedding)
+    }
+
+    /// Per-stream form of [`ContinuousAdapter::observe_embedded`].
+    pub fn observe_embedded_stream(
+        &mut self,
+        engine: &Engine,
+        session: &mut Session,
+        embedding: Vec<f32>,
+    ) -> f32 {
+        let window = self.push_embedding(engine, embedding);
+        let score = engine.score_window(session, &window);
+        self.complete_frame(engine, session, score);
+        score
+    }
+
+    /// First half of one observation, split out so a batching runtime can
+    /// interleave many streams: embeds the frame through the session's RNG,
+    /// pushes it into the stream's buffer, and returns the rolling window to
+    /// score. Must be paired with [`ContinuousAdapter::complete_frame`] once
+    /// the window's score is available — together they are exactly
+    /// [`ContinuousAdapter::observe_stream`].
+    pub fn begin_frame(
+        &mut self,
+        engine: &Engine,
+        session: &mut Session,
+        frame: &akg_data::Frame,
+    ) -> Vec<Vec<f32>> {
+        let embedding = engine.embed_frame(session, frame);
+        self.push_embedding(engine, embedding)
+    }
+
+    fn push_embedding(&mut self, engine: &Engine, embedding: Vec<f32>) -> Vec<Vec<f32>> {
         if self.buffer.len() == self.cfg.n_window {
             self.buffer.pop_front();
         }
         self.buffer.push_back(embedding);
-        let window = self.current_window(sys, self.buffer.len() - 1);
-        let score = sys.score_window(&window);
+        self.current_window(engine, self.buffer.len() - 1)
+    }
+
+    /// Second half of one observation: records the score produced for the
+    /// window returned by [`ContinuousAdapter::begin_frame`] and — every
+    /// `interval` frames — runs the adaptation check against the session.
+    pub fn complete_frame(&mut self, engine: &Engine, session: &mut Session, score: f32) {
         self.tracker.push(score);
         self.observed += 1;
         if self.observed.is_multiple_of(self.cfg.interval) {
-            self.adapt_now(sys);
+            self.adapt_now_stream(engine, session);
         }
-        score
     }
 
     /// Rolling window (length = model window) ending at buffer index `end`.
-    fn current_window(&self, sys: &MissionSystem, end: usize) -> Vec<Vec<f32>> {
-        let window_len = sys.model.config().window;
+    fn current_window(&self, engine: &Engine, end: usize) -> Vec<Vec<f32>> {
+        let window_len = engine.model.config().window;
         let start = end.saturating_sub(window_len - 1);
         let mut out: Vec<Vec<f32>> = (start..=end).map(|i| self.buffer[i].clone()).collect();
         while out.len() < window_len {
@@ -242,25 +352,26 @@ impl ContinuousAdapter {
     }
 
     /// Runs one adaptation check immediately: computes `K = |Δm| · N`,
-    /// updates token embeddings from the top-K recent frames if the trigger
-    /// fires, then applies the drift-based prune/create rule. Returns the
-    /// number of pseudo-anomalies used (0 when the trigger did not fire).
-    pub fn adapt_now(&mut self, sys: &mut MissionSystem) -> usize {
+    /// updates the session's token embeddings from the top-K recent frames
+    /// if the trigger fires, then applies the drift-based prune/create rule.
+    /// Returns the number of pseudo-anomalies used (0 when the trigger did
+    /// not fire).
+    pub fn adapt_now_stream(&mut self, engine: &Engine, session: &mut Session) -> usize {
         let k = self.tracker.adaptation_k().min(self.cfg.max_k);
         if k < self.cfg.min_k || self.buffer.len() < self.cfg.n_window / 2 {
             return 0;
         }
         let delta_m = self.tracker.delta_m();
-        let loss = self.token_update(sys, k);
+        let loss = self.token_update(engine, session, k);
         self.events.push(AdaptEvent::TokenUpdate { k, loss, delta_m });
-        self.update_drift_and_restructure(sys);
+        self.update_drift_and_restructure(session);
         k
     }
 
     /// One token-embedding update from the top-K scored recent frames
     /// (pseudo-anomalies) balanced with the K lowest-scored (pseudo-normal)
     /// frames.
-    fn token_update(&mut self, sys: &mut MissionSystem, k: usize) -> f32 {
+    fn token_update(&mut self, engine: &Engine, session: &mut Session, k: usize) -> f32 {
         let scores = self.tracker.window().scores();
         let offset = self.buffer.len().saturating_sub(scores.len());
         let mut order: Vec<usize> = (0..scores.len()).collect();
@@ -290,12 +401,12 @@ impl ContinuousAdapter {
             if buf_idx >= self.buffer.len() {
                 continue;
             }
-            let window = self.current_window(sys, buf_idx);
+            let window = self.current_window(engine, buf_idx);
             // pseudo-label: anomalies get the mission class with the highest
             // current conditional probability; normals class 0
             let is_anomaly = anomalies.contains(&idx);
             let target = if is_anomaly {
-                let probs = sys.predict_window(&window);
+                let probs = engine.predict_window(session, &window);
                 1 + probs[1..]
                     .iter()
                     .enumerate()
@@ -305,7 +416,7 @@ impl ContinuousAdapter {
             } else {
                 0
             };
-            logit_rows.push(sys.window_logits(&window));
+            logit_rows.push(engine.window_logits(session, &window));
             targets.push(target);
             windows.push(window);
         }
@@ -315,23 +426,25 @@ impl ContinuousAdapter {
         // First pass uses the logits already computed during selection;
         // later epochs re-run the forward pass against the updated table.
         let mut last_loss = 0.0;
+        let model_cfg = *engine.model.config();
         for epoch in 0..self.cfg.epochs_per_trigger.max(1) {
             let logits = if epoch == 0 {
                 Tensor::concat_rows(&logit_rows)
             } else {
-                let rows: Vec<Tensor> = windows.iter().map(|w| sys.window_logits(w)).collect();
+                let rows: Vec<Tensor> =
+                    windows.iter().map(|w| engine.window_logits(session, w)).collect();
                 Tensor::concat_rows(&rows)
             };
             let loss = decision_loss_smoothed(
                 &logits,
                 &targets,
-                sys.model.config().label_smoothing,
-                sys.model.config().lambda_spa,
-                sys.model.config().lambda_smt,
+                model_cfg.label_smoothing,
+                model_cfg.lambda_spa,
+                model_cfg.lambda_smt,
             );
             self.optimizer.zero_grad();
             loss.backward();
-            sys.table.param().clip_grad_norm(self.cfg.max_grad_norm);
+            session.table.param().clip_grad_norm(self.cfg.max_grad_norm);
             self.optimizer.step();
             last_loss = loss.item();
         }
@@ -341,11 +454,11 @@ impl ContinuousAdapter {
     /// Fig. 4: after a token update, measure each node's embedding movement;
     /// non-increasing movement = converging (keep), increasing = diverging
     /// (prune + create a random-embedding replacement at the same level).
-    fn update_drift_and_restructure(&mut self, sys: &mut MissionSystem) {
+    fn update_drift_and_restructure(&mut self, session: &mut Session) {
         let mut to_replace: Vec<(usize, NodeId, usize)> = Vec::new();
-        for (ki, tkg) in sys.kgs.iter().enumerate() {
+        for (ki, tkg) in session.kgs.iter().enumerate() {
             for (id, tokens) in &tkg.node_tokens {
-                let current = sys.table.node_embedding_data(tokens);
+                let current = session.table.node_embedding_data(tokens);
                 let state = self.drift.entry((ki, *id)).or_insert_with(|| DriftState {
                     last_embedding: current.clone(),
                     last_movement: 0.0,
@@ -371,53 +484,54 @@ impl ContinuousAdapter {
         // in a single step.
         to_replace.sort_by_key(|&(_, _, streak)| std::cmp::Reverse(streak));
         if let Some(&(ki, id, _)) = to_replace.first() {
-            if self.replacements < self.cfg.max_replacements && sys.table.spare_remaining() > 0 {
-                self.replace_node(sys, ki, id);
+            if self.replacements < self.cfg.max_replacements && session.table.spare_remaining() > 0
+            {
+                self.replace_node(session, ki, id);
             }
         }
     }
 
     /// Prune + create: the structural half of the adaptation mechanism.
-    fn replace_node(&mut self, sys: &mut MissionSystem, ki: usize, id: NodeId) {
-        let Some(node) = sys.kgs[ki].kg.node(id).cloned() else { return };
+    fn replace_node(&mut self, session: &mut Session, ki: usize, id: NodeId) {
+        let Some(node) = session.kgs[ki].kg.node(id).cloned() else { return };
         // keep at least 2 nodes per level so the KG stays connected
-        if sys.kgs[ki].kg.node_ids_at_level(node.level).len() < 2 {
+        if session.kgs[ki].kg.node_ids_at_level(node.level).len() < 2 {
             return;
         }
-        if sys.kgs[ki].kg.prune_node(id).is_err() {
+        if session.kgs[ki].kg.prune_node(id).is_err() {
             return;
         }
-        sys.kgs[ki].unregister_node(id);
+        session.kgs[ki].unregister_node(id);
         self.drift.remove(&(ki, id));
         self.adapted_node_counter += 1;
         let concept = format!("<adapted-{}>", self.adapted_node_counter);
         let Ok(new_id) = create_node(
-            &mut sys.kgs[ki].kg,
+            &mut session.kgs[ki].kg,
             concept.clone(),
             node.level,
             &self.cfg.create,
             &mut self.rng,
         ) else {
-            sys.rebuild_layout(ki);
+            session.rebuild_layout(ki);
             return;
         };
-        let Ok(row) = sys.table.allocate_random_row(&mut self.rng) else {
+        let Ok(row) = session.table.allocate_random_row(&mut self.rng) else {
             // no spare capacity: keep the structural change, tokens default
-            sys.kgs[ki].register_node(new_id, vec![0]);
-            sys.rebuild_layout(ki);
+            session.kgs[ki].register_node(new_id, vec![0]);
+            session.rebuild_layout(ki);
             return;
         };
-        sys.kgs[ki].register_node(new_id, vec![row]);
+        session.kgs[ki].register_node(new_id, vec![row]);
         self.drift.insert(
             (ki, new_id),
             DriftState {
-                last_embedding: sys.table.row_data(row),
+                last_embedding: session.table.row_data(row),
                 last_movement: 0.0,
                 rising_streak: 0,
             },
         );
-        repair_connectivity(&mut sys.kgs[ki].kg, &mut self.rng);
-        sys.rebuild_layout(ki);
+        repair_connectivity(&mut session.kgs[ki].kg, &mut self.rng);
+        session.rebuild_layout(ki);
         self.replacements += 1;
         self.events.push(AdaptEvent::NodeReplaced {
             kg: ki,
@@ -431,13 +545,83 @@ impl ContinuousAdapter {
     /// Current embedding snapshot of every tracked node (for interpretable
     /// retrieval / Fig. 6 trajectories).
     pub fn node_embeddings(&self, sys: &MissionSystem) -> HashMap<(usize, NodeId), Vec<f32>> {
+        self.node_embeddings_stream(&sys.session)
+    }
+
+    /// Per-stream form of [`ContinuousAdapter::node_embeddings`].
+    pub fn node_embeddings_stream(&self, session: &Session) -> HashMap<(usize, NodeId), Vec<f32>> {
         let mut out = HashMap::new();
-        for (ki, tkg) in sys.kgs.iter().enumerate() {
+        for (ki, tkg) in session.kgs.iter().enumerate() {
             for (id, tokens) in &tkg.node_tokens {
-                out.insert((ki, *id), sys.table.node_embedding_data(tokens));
+                out.insert((ki, *id), session.table.node_embedding_data(tokens));
             }
         }
         out
+    }
+
+    /// Captures the adapter's resumable state (see [`AdaptSnapshot`]).
+    pub fn snapshot(&self) -> AdaptSnapshot {
+        let mut drift: Vec<DriftEntry> = self
+            .drift
+            .iter()
+            .map(|(&(kg, id), s)| DriftEntry {
+                kg,
+                node: id.0,
+                last_embedding: s.last_embedding.clone(),
+                last_movement: s.last_movement,
+                rising_streak: s.rising_streak,
+            })
+            .collect();
+        drift.sort_by_key(|e| (e.kg, e.node));
+        AdaptSnapshot {
+            tracker: self.tracker.clone(),
+            buffer: self.buffer.iter().cloned().collect(),
+            drift,
+            rng: self.rng.export_state().to_vec(),
+            replacements: self.replacements,
+            observed: self.observed,
+            adapted_node_counter: self.adapted_node_counter,
+        }
+    }
+
+    /// Rebuilds an adapter mid-stream from a snapshot: the restored adapter
+    /// continues the adaptation loop exactly where the saved one stopped
+    /// (same tracker, buffer, drift streaks, wiring RNG, counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.interval == 0` or the snapshot's RNG state is
+    /// malformed.
+    pub fn restore(
+        engine: &Engine,
+        session: &mut Session,
+        cfg: AdaptConfig,
+        snapshot: &AdaptSnapshot,
+    ) -> Self {
+        let mut adapter = Self::attach(engine, session, cfg);
+        adapter.tracker = snapshot.tracker.clone();
+        adapter.buffer = snapshot.buffer.iter().cloned().collect();
+        adapter.drift = snapshot
+            .drift
+            .iter()
+            .map(|e| {
+                (
+                    (e.kg, NodeId(e.node)),
+                    DriftState {
+                        last_embedding: e.last_embedding.clone(),
+                        last_movement: e.last_movement,
+                        rising_streak: e.rising_streak,
+                    },
+                )
+            })
+            .collect();
+        let rng_words: [u64; 4] =
+            snapshot.rng.as_slice().try_into().expect("AdaptSnapshot: rng must hold 4 words");
+        adapter.rng = StdRng::restore_state(rng_words);
+        adapter.replacements = snapshot.replacements;
+        adapter.observed = snapshot.observed;
+        adapter.adapted_node_counter = snapshot.adapted_node_counter;
+        adapter
     }
 }
 
@@ -490,9 +674,9 @@ mod tests {
     fn adaptation_mode_enforced() {
         let (mut sys, _) = setup();
         let _adapter = ContinuousAdapter::new(&mut sys, small_cfg());
-        assert!(sys.table.param().requires_grad_flag());
+        assert!(sys.session.table.param().requires_grad_flag());
         use akg_tensor::nn::Module;
-        assert!(!sys.model.params()[0].requires_grad_flag());
+        assert!(!sys.engine.model.params()[0].requires_grad_flag());
     }
 
     #[test]
@@ -500,8 +684,9 @@ mod tests {
         let (mut sys, ds) = setup();
         let mut adapter = ContinuousAdapter::new(&mut sys, small_cfg());
         use akg_tensor::nn::Module;
-        let model_before: Vec<Vec<f32>> = sys.model.params().iter().map(|p| p.to_vec()).collect();
-        let table_before = sys.table.param().to_vec();
+        let model_before: Vec<Vec<f32>> =
+            sys.engine.model.params().iter().map(|p| p.to_vec()).collect();
+        let table_before = sys.session.table.param().to_vec();
         // feed high-score anomalous frames then normals to force a mean drop
         let mut stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 1.0, 2);
         for _ in 0..16 {
@@ -526,9 +711,27 @@ mod tests {
         };
         let k = adapter.adapt_now(&mut sys);
         assert!(k >= 1, "adaptation did not trigger");
-        let model_after: Vec<Vec<f32>> = sys.model.params().iter().map(|p| p.to_vec()).collect();
+        let model_after: Vec<Vec<f32>> =
+            sys.engine.model.params().iter().map(|p| p.to_vec()).collect();
         assert_eq!(model_before, model_after, "frozen model changed");
-        assert_ne!(table_before, sys.table.param().to_vec(), "token table unchanged");
+        assert_ne!(table_before, sys.session.table.param().to_vec(), "token table unchanged");
+        // the engine's template table is untouched by session adaptation
+        assert_eq!(sys.engine.table.param().to_vec().len(), table_before.len());
+    }
+
+    #[test]
+    fn adaptation_never_touches_engine_template() {
+        let (mut sys, ds) = setup();
+        let engine_table_before = sys.engine.table.param().to_vec();
+        let engine_kg_json = sys.engine.kgs[0].kg.to_json().unwrap();
+        let mut adapter = ContinuousAdapter::new(&mut sys, small_cfg());
+        let mut stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.5, 7);
+        for _ in 0..40 {
+            let (f, _) = stream.next_frame();
+            adapter.observe(&mut sys, &f);
+        }
+        assert_eq!(sys.engine.table.param().to_vec(), engine_table_before);
+        assert_eq!(sys.engine.kgs[0].kg.to_json().unwrap(), engine_kg_json);
     }
 
     #[test]
@@ -538,30 +741,31 @@ mod tests {
         let mut adapter = ContinuousAdapter::new(&mut sys, cfg);
         // manufacture divergence: keep increasing one node's token embedding
         let (victim_id, rows) = {
-            let tkg = &sys.kgs[0];
+            let tkg = &sys.session.kgs[0];
             let (&id, tokens) = tkg.node_tokens.iter().next().unwrap();
             (id, tokens.clone())
         };
-        let node_count_before = sys.kgs[0].kg.node_count();
-        let dim = sys.table.dim();
+        let node_count_before = sys.session.kgs[0].kg.node_count();
+        let dim = sys.session.table.dim();
         for step in 1..=4 {
             let bump = step as f32 * 0.5; // growing movement each step
-            sys.table.param().update_data(|data| {
+            sys.session.table.param().update_data(|data| {
                 for &r in &rows {
                     for c in 0..dim {
                         data[r * dim + c] += bump;
                     }
                 }
             });
-            adapter.update_drift_and_restructure(&mut sys);
+            adapter.update_drift_and_restructure(&mut sys.session);
             if adapter.replacements() > 0 {
                 break;
             }
         }
         assert!(adapter.replacements() > 0, "no replacement happened");
-        assert!(sys.kgs[0].kg.node(victim_id).is_none(), "victim not pruned");
-        assert_eq!(sys.kgs[0].kg.node_count(), node_count_before);
-        assert!(sys.kgs[0].kg.validate().is_empty(), "{:?}", sys.kgs[0].kg.validate());
+        assert!(sys.session.kgs[0].kg.node(victim_id).is_none(), "victim not pruned");
+        assert_eq!(sys.session.kgs[0].kg.node_count(), node_count_before);
+        let errors = sys.session.kgs[0].kg.validate();
+        assert!(errors.is_empty(), "{errors:?}");
         assert!(adapter.events().iter().any(|e| matches!(e, AdaptEvent::NodeReplaced { .. })));
     }
 
@@ -570,7 +774,7 @@ mod tests {
         let (mut sys, _) = setup();
         let mut adapter = ContinuousAdapter::new(&mut sys, small_cfg());
         for _ in 0..5 {
-            adapter.update_drift_and_restructure(&mut sys);
+            adapter.update_drift_and_restructure(&mut sys.session);
         }
         assert_eq!(adapter.replacements(), 0);
     }
@@ -586,6 +790,52 @@ mod tests {
         }
         // scores fluctuate but without an engineered drop most checks no-op;
         // the system must stay healthy either way
-        assert!(sys.kgs[0].kg.validate().is_empty());
+        assert!(sys.session.kgs[0].kg.validate().is_empty());
+    }
+
+    #[test]
+    fn begin_complete_decomposition_matches_observe() {
+        let (sys, ds) = setup();
+        let engine = sys.engine;
+        let mut a = engine.new_session(100);
+        let mut b = engine.new_session(100);
+        let mut adapter_a = ContinuousAdapter::attach(&engine, &mut a, small_cfg());
+        let mut adapter_b = ContinuousAdapter::attach(&engine, &mut b, small_cfg());
+        let mut stream_a = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.4, 8);
+        let mut stream_b = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.4, 8);
+        for _ in 0..20 {
+            let (fa, _) = stream_a.next_frame();
+            let (fb, _) = stream_b.next_frame();
+            let direct = adapter_a.observe_stream(&engine, &mut a, &fa);
+            let window = adapter_b.begin_frame(&engine, &mut b, &fb);
+            let score = engine.score_window(&b, &window);
+            adapter_b.complete_frame(&engine, &mut b, score);
+            assert_eq!(direct, score, "decomposed path diverged");
+        }
+        assert_eq!(adapter_a.observed(), adapter_b.observed());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let (sys, ds) = setup();
+        let engine = sys.engine;
+        let mut session = engine.new_session(55);
+        let mut adapter = ContinuousAdapter::attach(&engine, &mut session, small_cfg());
+        let mut stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.5, 9);
+        for _ in 0..30 {
+            let (f, _) = stream.next_frame();
+            adapter.observe_stream(&engine, &mut session, &f);
+        }
+        let snap = adapter.snapshot();
+        let restored = ContinuousAdapter::restore(&engine, &mut session, small_cfg(), &snap);
+        assert_eq!(restored.observed(), adapter.observed());
+        assert_eq!(restored.replacements(), adapter.replacements());
+        assert_eq!(restored.delta_m(), adapter.delta_m());
+        let resnap = restored.snapshot();
+        assert_eq!(resnap.rng, snap.rng);
+        assert_eq!(resnap.buffer, snap.buffer);
+        assert_eq!(resnap.drift.len(), snap.drift.len());
+        // (the full save → load → continue-identically regression lives in
+        // `persist::tests::load_then_continue_matches_uninterrupted_run`)
     }
 }

@@ -1,0 +1,353 @@
+//! The serving split of the deployed system: one immutable-after-build
+//! [`Engine`] holding everything N concurrent streams can share (tokenizer,
+//! joint space, trained token table, tokenized mission KGs, execution
+//! layouts, decision model), and one small [`Session`] per stream holding
+//! everything continuous adaptation mutates (a private fork of the token
+//! table, private KG copies and layouts, the frame-embedding RNG).
+//!
+//! The paper's deployment story (Fig. 2 stage C) is *continuous* scoring of
+//! live streams on edge devices; this module is what lets one set of trained
+//! weights serve many cameras at once. Per-stream isolation is by
+//! construction: a session's pseudo-anomaly updates touch only its own table
+//! fork and KG copies, never the engine's artifacts — so stream A's
+//! adaptation can never perturb stream B's scores, and batched serving is
+//! bit-identical to running each stream alone (property-tested in
+//! `akg-runtime`).
+
+use crate::config::ModelConfig;
+use crate::model::{DecisionModel, KgLayout, WindowBatchItem};
+use crate::pipeline::{SystemConfig, FRAME_NOISE_STD};
+use crate::tokenize::{TokenTable, TokenizedKg};
+use akg_data::Frame;
+use akg_embed::{BpeTokenizer, JointSpace, JointSpaceBuilder};
+use akg_kg::{generate_kg, AnomalyClass, Ontology, SyntheticOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// The shareable, immutable-after-build half of a deployed system.
+///
+/// Everything here is fixed once [`Engine::build`] (plus initial training)
+/// completes: model *parameters* live in interior-mutable tensors so the
+/// training phase can update them, but the serving path never writes —
+/// every scoring entry point takes `&self` and threads per-stream mutable
+/// state through an explicit [`Session`].
+#[derive(Debug)]
+pub struct Engine {
+    /// The deployed missions (one KG each).
+    pub missions: Vec<AnomalyClass>,
+    /// The BPE tokenizer (trained on the domain corpus).
+    pub tokenizer: BpeTokenizer,
+    /// The joint text/frame embedding space (ImageBind substitute).
+    pub space: JointSpace,
+    /// The trained token-embedding table — the *template* every session
+    /// forks its private adaptive copy from.
+    pub table: TokenTable,
+    /// Tokenized mission KGs (session templates).
+    pub kgs: Vec<TokenizedKg>,
+    /// Execution layouts matching [`Engine::kgs`].
+    pub layouts: Vec<KgLayout>,
+    /// The GNN + temporal + head decision model (shared by all sessions).
+    pub model: DecisionModel,
+    seed: u64,
+}
+
+/// Per-stream serving state: everything continuous adaptation mutates.
+///
+/// Sessions are cheap relative to the engine (a token-table fork plus small
+/// KG copies) and fully isolated from each other — the "session-local
+/// token-table delta" design: rather than diffing against the shared table,
+/// each session owns a complete fork, which makes per-stream adaptation
+/// trivially race-free and bit-identical to a single-tenant deployment.
+#[derive(Debug)]
+pub struct Session {
+    /// The stream's private, trainable token-table fork.
+    pub table: TokenTable,
+    /// The stream's private KG copies (structural adaptation edits these).
+    pub kgs: Vec<TokenizedKg>,
+    /// Execution layouts matching [`Session::kgs`].
+    pub layouts: Vec<KgLayout>,
+    /// The stream's frame-embedding noise generator. Per-stream, so scoring
+    /// one stream never perturbs another stream's embedding sequence.
+    pub frame_rng: StdRng,
+}
+
+impl Session {
+    /// Rebuilds the execution layout of KG `i` after structural change.
+    pub fn rebuild_layout(&mut self, i: usize) {
+        self.layouts[i] = KgLayout::new(&self.kgs[i]);
+    }
+
+    /// Reseeds the frame-embedding RNG (aligning a session with a replayed
+    /// stream).
+    pub fn reseed(&mut self, seed: u64) {
+        self.frame_rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+impl Engine {
+    /// Builds the engine for the given missions: trains the BPE tokenizer on
+    /// the domain corpus, constructs the joint space with one cluster per
+    /// anomaly class (anchoring every ontology concept), generates one
+    /// mission-specific KG per mission, tokenizes them, and initializes the
+    /// decision model.
+    pub fn build(missions: &[AnomalyClass], config: &SystemConfig) -> Self {
+        akg_tensor::par::set_parallelism(config.parallelism);
+        let ontology = Ontology::new();
+        let corpus = ontology.corpus();
+        let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), config.vocab_budget);
+
+        // One cluster per anomaly class. Normal-activity words are left
+        // *unanchored*: their embeddings are scattered hash-noise
+        // directions, so normal footage is directionally diverse — exactly
+        // why a mission-trained detector cannot carve a "normal vs
+        // everything else" one-class boundary and stays mission-specific
+        // (the property Fig. 5's post-shift performance drop rests on).
+        let mut space_builder =
+            JointSpaceBuilder::new(config.model.embed_dim, AnomalyClass::ALL.len(), config.seed);
+        for &(a, b, cos) in ontology.related_classes() {
+            space_builder = space_builder.correlate(a.index(), b.index(), cos);
+        }
+        for class in AnomalyClass::ALL {
+            let concepts = ontology.all_concepts(class);
+            for (rank, word) in concepts.iter().enumerate() {
+                // salient concepts anchor tighter to the class center
+                let affinity = 0.85 - 0.3 * (rank as f32 / concepts.len().max(1) as f32);
+                space_builder = space_builder.anchor(word, class.index(), affinity);
+            }
+        }
+        let space = space_builder.build();
+
+        let table = TokenTable::new(&tokenizer, &space, config.spare_rows);
+
+        let mut kgs = Vec::with_capacity(missions.len());
+        for (i, mission) in missions.iter().enumerate() {
+            let mut oracle = SyntheticOracle::new(config.oracle, config.seed ^ (i as u64 + 1));
+            let report = generate_kg(mission.name(), &config.generator, &mut oracle);
+            let mission_embedding = space.embed_text(mission.name());
+            kgs.push(TokenizedKg::new(report.kg, &tokenizer, mission_embedding));
+        }
+        let layouts: Vec<KgLayout> = kgs.iter().map(KgLayout::new).collect();
+        let depths: Vec<usize> = kgs.iter().map(|t| t.kg.depth()).collect();
+        let model = DecisionModel::new(&depths, &config.model.with_seed(config.seed));
+
+        Engine {
+            missions: missions.to_vec(),
+            tokenizer,
+            space,
+            table,
+            kgs,
+            layouts,
+            model,
+            seed: config.seed,
+        }
+    }
+
+    /// The master seed the engine was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        self.model.config()
+    }
+
+    /// Creates a fresh per-stream session: a fork of the trained token
+    /// table, private copies of the tokenized KGs and layouts, and a
+    /// frame-embedding RNG seeded with `frame_seed`.
+    pub fn new_session(&self, frame_seed: u64) -> Session {
+        Session {
+            table: self.table.fork(),
+            kgs: self.kgs.clone(),
+            layouts: self.layouts.clone(),
+            frame_rng: StdRng::seed_from_u64(frame_seed),
+        }
+    }
+
+    /// Encodes a frame into the joint space through the session's private
+    /// noise RNG (the `E_I(F_t)` of the paper for our synthetic frames).
+    pub fn embed_frame(&self, session: &mut Session, frame: &Frame) -> Vec<f32> {
+        let activation = frame.activation();
+        self.space.embed_bag(&activation, FRAME_NOISE_STD, &mut session.frame_rng)
+    }
+
+    /// Scores one window of frame embeddings against a session's adaptive
+    /// state (anomaly score `p_A` of the last frame).
+    pub fn score_window(&self, session: &Session, window: &[Vec<f32>]) -> f32 {
+        let kgs: Vec<&TokenizedKg> = session.kgs.iter().collect();
+        let layouts: Vec<&KgLayout> = session.layouts.iter().collect();
+        self.model.anomaly_score(&kgs, &layouts, &session.table, window)
+    }
+
+    /// Class-probability prediction for one window.
+    pub fn predict_window(&self, session: &Session, window: &[Vec<f32>]) -> Vec<f32> {
+        let kgs: Vec<&TokenizedKg> = session.kgs.iter().collect();
+        let layouts: Vec<&KgLayout> = session.layouts.iter().collect();
+        self.model.predict(&kgs, &layouts, &session.table, window)
+    }
+
+    /// Differentiable logits for one window (training and adaptation run
+    /// through this; gradients reach the session's table fork).
+    pub fn window_logits(&self, session: &Session, window: &[Vec<f32>]) -> akg_tensor::Tensor {
+        let kgs: Vec<&TokenizedKg> = session.kgs.iter().collect();
+        let layouts: Vec<&KgLayout> = session.layouts.iter().collect();
+        let embeddings: Vec<akg_tensor::Tensor> = window
+            .iter()
+            .map(|f| self.model.reasoning_embedding(&kgs, &layouts, &session.table, f))
+            .collect();
+        let temporal = self.model.temporal_embedding(&embeddings);
+        self.model.logits(&temporal)
+    }
+
+    /// Scores a cross-stream batch — `(session, window)` pairs from up to
+    /// `max_batch` different streams — in **one** batched forward: one
+    /// matmul per GNN layer over all windows and frames, one head matmul
+    /// over all windows. Returns one anomaly score per pair, bit-identical
+    /// to calling [`Engine::score_window`] on each pair alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty or any window is empty.
+    pub fn score_windows_batch(&self, batch: &[(&Session, &[Vec<f32>])]) -> Vec<f32> {
+        let items: Vec<WindowBatchItem<'_>> = batch
+            .iter()
+            .map(|(session, window)| WindowBatchItem {
+                kgs: &session.kgs,
+                layouts: &session.layouts,
+                table: &session.table,
+                window,
+            })
+            .collect();
+        self.model.anomaly_scores_batch(&items)
+    }
+
+    /// Scores every frame of a video with a rolling window, returning
+    /// `(scores, labels)` aligned per frame. The first `window − 1` frames
+    /// reuse the partial window (padded by repeating the first frame).
+    ///
+    /// Evaluation runs through its own RNG (derived from the engine seed),
+    /// *not* the session's stream RNG: scoring a test video must never
+    /// perturb the live stream's embedding sequence, and repeated
+    /// evaluations of one video are identical.
+    pub fn score_video(&self, session: &Session, video: &akg_data::Video) -> (Vec<f32>, Vec<bool>) {
+        let mut eval_rng = StdRng::seed_from_u64(self.seed ^ 0xE7A1);
+        let window_len = self.model.config().window;
+        let mut scores = Vec::with_capacity(video.len());
+        let mut labels = Vec::with_capacity(video.len());
+        let mut window: VecDeque<Vec<f32>> = VecDeque::with_capacity(window_len);
+        for frame in &video.frames {
+            let emb = self.space.embed_bag(&frame.activation(), FRAME_NOISE_STD, &mut eval_rng);
+            if window.len() == window_len {
+                window.pop_front();
+            }
+            window.push_back(emb);
+            let mut padded: Vec<Vec<f32>> = window.iter().cloned().collect();
+            while padded.len() < window_len {
+                padded.insert(0, padded[0].clone());
+            }
+            scores.push(self.score_window(session, &padded));
+            labels.push(frame.is_anomalous());
+        }
+        (scores, labels)
+    }
+
+    /// Frame-level ROC-AUC over a set of videos (the paper's test metric).
+    pub fn evaluate_auc(&self, session: &Session, videos: &[&akg_data::Video]) -> f32 {
+        let mut all_scores = Vec::new();
+        let mut all_labels = Vec::new();
+        for v in videos {
+            let (s, l) = self.score_video(session, v);
+            all_scores.extend(s);
+            all_labels.extend(l);
+        }
+        akg_eval::roc_auc(&all_scores, &all_labels)
+    }
+
+    /// Freezes everything except the session's token table (the adaptation
+    /// regime) or restores the training regime (model trainable, table
+    /// frozen).
+    pub fn set_adaptation_mode(&self, session: &Session, adaptation: bool) {
+        use akg_tensor::nn::Module;
+        self.model.set_frozen(adaptation);
+        session.table.set_frozen(!adaptation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use akg_tensor::nn::Module;
+
+    fn engine() -> Engine {
+        Engine::build(&[AnomalyClass::Stealing], &SystemConfig::default())
+    }
+
+    #[test]
+    fn sessions_are_isolated_forks() {
+        let engine = engine();
+        let a = engine.new_session(1);
+        let b = engine.new_session(2);
+        let before_b = b.table.param().to_vec();
+        let before_engine = engine.table.param().to_vec();
+        a.table.param().update_data(|d| d.iter_mut().for_each(|v| *v += 1.0));
+        assert_eq!(b.table.param().to_vec(), before_b, "session B saw session A's update");
+        assert_eq!(engine.table.param().to_vec(), before_engine, "engine table mutated");
+    }
+
+    #[test]
+    fn batched_scoring_matches_single_bitwise() {
+        let engine = engine();
+        engine.model.set_frozen(true);
+        let w = engine.config().window;
+        let dim = engine.config().embed_dim;
+        let sessions: Vec<Session> = (0..3).map(|i| engine.new_session(i)).collect();
+        let windows: Vec<Vec<Vec<f32>>> = (0..3)
+            .map(|s| {
+                (0..w)
+                    .map(|t| (0..dim).map(|c| ((s * 31 + t * 7 + c) % 13) as f32 * 0.05).collect())
+                    .collect()
+            })
+            .collect();
+        let batch: Vec<(&Session, &[Vec<f32>])> =
+            sessions.iter().zip(&windows).map(|(s, w)| (s, w.as_slice())).collect();
+        let batched = engine.score_windows_batch(&batch);
+        for (i, (session, window)) in batch.iter().enumerate() {
+            let single = engine.score_window(session, window);
+            assert_eq!(batched[i], single, "item {i} not bit-identical");
+        }
+    }
+
+    #[test]
+    fn score_video_does_not_advance_stream_rng() {
+        let engine = engine();
+        let mut session = engine.new_session(9);
+        let ds = akg_data::SyntheticUcfCrime::generate(
+            akg_data::DatasetConfig::scaled(0.01)
+                .with_classes(&[AnomalyClass::Stealing])
+                .with_seed(3),
+        );
+        let video = ds.test_subset(AnomalyClass::Stealing)[0];
+        let frame = Frame { concepts: vec![("walking".into(), 1.0)], label: None };
+        let mut twin = engine.new_session(9);
+        let _ = engine.score_video(&session, video);
+        let after_eval = engine.embed_frame(&mut session, &frame);
+        let without_eval = engine.embed_frame(&mut twin, &frame);
+        assert_eq!(after_eval, without_eval, "evaluation perturbed the stream RNG");
+    }
+
+    #[test]
+    fn score_video_is_repeatable() {
+        let engine = engine();
+        let session = engine.new_session(4);
+        let ds = akg_data::SyntheticUcfCrime::generate(
+            akg_data::DatasetConfig::scaled(0.01)
+                .with_classes(&[AnomalyClass::Stealing])
+                .with_seed(5),
+        );
+        let video = ds.test_subset(AnomalyClass::Stealing)[0];
+        let (s1, _) = engine.score_video(&session, video);
+        let (s2, _) = engine.score_video(&session, video);
+        assert_eq!(s1, s2);
+    }
+}

@@ -247,7 +247,7 @@ pub fn run_retrieval_drift(
     let train_videos: Vec<&akg_data::Video> =
         dataset.train.iter().filter(|v| v.class.is_none() || v.class == Some(sp.initial)).collect();
     train_decision_model(&mut sys, &train_videos, &sp.train);
-    let retrieval = InterpretableRetrieval::new(&sys.tokenizer, &sys.space);
+    let retrieval = InterpretableRetrieval::new(&sys.engine.tokenizer, &sys.engine.space);
     let mut adapter = ContinuousAdapter::new(&mut sys, sp.adapt);
     let mut stream = AdaptationStream::new(dataset, sp.shifted, sp.anomaly_ratio, sp.seed);
 

@@ -26,16 +26,19 @@
 //! let mut system = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
 //! let frame = akg_data::Frame { concepts: vec![("walking".into(), 1.0)], label: None };
 //! let embedding = system.embed_frame(&frame);
-//! let window = vec![embedding; system.model.config().window];
-//! system.model.set_train(false);
+//! let window = vec![embedding; system.engine.model.config().window];
 //! let score = system.score_window(&window);
 //! assert!((0.0..=1.0).contains(&score));
 //! ```
+//!
+//! For multi-stream serving, build the [`engine::Engine`] directly and give
+//! every stream its own [`engine::Session`] (see the `akg-runtime` crate).
 
 #![warn(missing_docs)]
 
 pub mod adapt;
 pub mod config;
+pub mod engine;
 pub mod experiment;
 pub mod loss;
 pub mod model;
@@ -47,11 +50,12 @@ pub mod train;
 
 pub use adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
 pub use config::{ModelConfig, TrainConfig};
+pub use engine::{Engine, Session};
 pub use experiment::{
     run_retrieval_drift, run_trend_shift, RetrievalDriftParams, RetrievalDriftResult,
     TrendShiftCurve, TrendShiftParams, TrendShiftResult,
 };
-pub use model::{DecisionModel, HierarchicalGnn, KgLayout};
+pub use model::{DecisionModel, HierarchicalGnn, KgLayout, WindowBatchItem};
 pub use persist::{load_state, load_state_json, save_state, save_state_json, SystemState};
 pub use pipeline::{MissionSystem, SystemConfig};
 pub use retrieval::{InterpretableRetrieval, RetrievedWord};

@@ -162,10 +162,15 @@ impl HierarchicalGnn {
     /// node-feature matrix (sensor row = frame embedding); returns the
     /// embedding node's final vector `[gnn_dim]`.
     ///
+    /// Takes `&self`: the per-layer batch norms always normalize with the
+    /// current graph's node statistics (instance mode — see
+    /// [`HierarchicalGnn::new`]), so no layer state is ever read *or*
+    /// written, and one trained GNN can serve any number of streams.
+    ///
     /// # Panics
     ///
     /// Panics if the layout's level-plan count mismatches the layer count.
-    pub fn forward(&mut self, layout: &KgLayout, x0: &Tensor) -> Tensor {
+    pub fn forward(&self, layout: &KgLayout, x0: &Tensor) -> Tensor {
         assert_eq!(
             layout.levels.len(),
             self.message_layers.len(),
@@ -176,10 +181,10 @@ impl HierarchicalGnn {
         // layer 0: dense + norm + activation on every node
         let mut x = {
             let h = self.input_layer.dense.forward(x0);
-            self.input_layer.norm.forward(&h).elu()
+            self.input_layer.norm.forward_instance(&h).elu()
         };
         // layers 1..=d+1: hierarchical message passing
-        for (layer, plan) in self.message_layers.iter_mut().zip(&layout.levels) {
+        for (layer, plan) in self.message_layers.iter().zip(&layout.levels) {
             let h = layer.dense.forward(&x); // Eq. 1
             let combined = if plan.srcs.is_empty() {
                 h
@@ -192,9 +197,94 @@ impl HierarchicalGnn {
                 let kept = h.scale_rows(&plan.keep_mask); // passthrough 1(d ∉ V(l))
                 kept.add(&averaged)
             };
-            x = layer.norm.forward(&combined).elu(); // Eq. 4
+            x = layer.norm.forward_instance(&combined).elu(); // Eq. 4
         }
         x.slice_rows(layout.embedding_row, layout.embedding_row + 1).flatten()
+    }
+
+    /// Batched forward over `layouts.len()` independent graph replicas
+    /// stacked into one `[B·|V|, embed_dim]` node-feature matrix (replica
+    /// `b` occupies rows `b·|V| .. (b+1)·|V|`). Every dense sub-layer runs
+    /// as **one** matmul over all replicas instead of `B` small ones; batch
+    /// normalization uses per-replica statistics
+    /// ([`akg_tensor::nn::norm::BatchNorm1d::forward_instance_grouped`]), so
+    /// each replica's output is bit-identical to running
+    /// [`HierarchicalGnn::forward`] on it alone. Returns the `[B, gnn_dim]`
+    /// matrix of embedding-node outputs.
+    ///
+    /// Replicas may carry *different* layouts (streams whose KGs have
+    /// structurally adapted apart) as long as node counts and level counts
+    /// agree — always true for sessions of one engine, since structural
+    /// adaptation replaces nodes one-for-one.
+    ///
+    /// This is an inference path: the result is detached from the autograd
+    /// graph (adaptation gradients flow through the single-window path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layouts` is empty, node/level counts disagree across
+    /// replicas or with the model, or `x0` is not `[B·|V|, _]`.
+    pub fn forward_batch(&self, layouts: &[&KgLayout], x0: &Tensor) -> Tensor {
+        assert!(!layouts.is_empty(), "forward_batch: no replicas");
+        let b = layouts.len();
+        let v = layouts[0].node_count();
+        for layout in layouts {
+            assert_eq!(layout.node_count(), v, "forward_batch: node-count mismatch");
+            assert_eq!(
+                layout.levels.len(),
+                self.message_layers.len(),
+                "layout depth {} != model depth {}",
+                layout.levels.len(),
+                self.message_layers.len()
+            );
+        }
+        assert_eq!(x0.shape()[0], b * v, "forward_batch: x0 must have B·|V| rows");
+        let mut x = {
+            let h = self.input_layer.dense.forward(x0);
+            self.input_layer.norm.forward_instance_grouped(&h, b).elu()
+        };
+        let mut srcs: Vec<usize> = Vec::new();
+        let mut dsts: Vec<usize> = Vec::new();
+        let mut inv_counts: Vec<f32> = Vec::new();
+        let mut keep_mask: Vec<f32> = Vec::new();
+        for (li, layer) in self.message_layers.iter().enumerate() {
+            let h = layer.dense.forward(&x);
+            srcs.clear();
+            dsts.clear();
+            inv_counts.clear();
+            keep_mask.clear();
+            for (bi, layout) in layouts.iter().enumerate() {
+                let plan = &layout.levels[li];
+                let off = bi * v;
+                if plan.srcs.is_empty() {
+                    // An edgeless level passes `h` through unchanged on the
+                    // single path; all-ones keep + zero averages reproduce
+                    // that for this replica's rows.
+                    inv_counts.extend(std::iter::repeat_n(0.0, v));
+                    keep_mask.extend(std::iter::repeat_n(1.0, v));
+                } else {
+                    srcs.extend(plan.srcs.iter().map(|&s| s + off));
+                    dsts.extend(plan.dsts.iter().map(|&d| d + off));
+                    inv_counts.extend_from_slice(&plan.inv_counts);
+                    keep_mask.extend_from_slice(&plan.keep_mask);
+                }
+            }
+            let combined = if srcs.is_empty() {
+                h
+            } else {
+                let src = h.index_select_rows(&srcs);
+                let dst = h.index_select_rows(&dsts);
+                let messages = src.mul(&dst);
+                let summed = messages.scatter_add_rows(&dsts, b * v);
+                let averaged = summed.scale_rows(&inv_counts);
+                let kept = h.scale_rows(&keep_mask);
+                kept.add(&averaged)
+            };
+            x = layer.norm.forward_instance_grouped(&combined, b).elu();
+        }
+        let embedding_rows: Vec<usize> =
+            layouts.iter().enumerate().map(|(bi, l)| bi * v + l.embedding_row).collect();
+        x.index_select_rows(&embedding_rows)
     }
 }
 
@@ -310,7 +400,7 @@ impl DecisionModel {
     ///
     /// Panics if the number of KGs mismatches the model.
     pub fn reasoning_embedding(
-        &mut self,
+        &self,
         kgs: &[&TokenizedKg],
         layouts: &[&KgLayout],
         table: &TokenTable,
@@ -350,7 +440,7 @@ impl DecisionModel {
     /// Full forward for one window: probabilities `[n + 1]` for the last
     /// frame of the window.
     pub fn predict(
-        &mut self,
+        &self,
         kgs: &[&TokenizedKg],
         layouts: &[&KgLayout],
         table: &TokenTable,
@@ -364,7 +454,7 @@ impl DecisionModel {
 
     /// The anomaly score `p_A = 1 − p_N` for one window.
     pub fn anomaly_score(
-        &mut self,
+        &self,
         kgs: &[&TokenizedKg],
         layouts: &[&KgLayout],
         table: &TokenTable,
@@ -372,6 +462,170 @@ impl DecisionModel {
     ) -> f32 {
         1.0 - self.predict(kgs, layouts, table, frame_window)[0]
     }
+
+    // ----------------------------------------------------------------
+    // Batched serving path: B windows through one forward per GNN layer
+    // ----------------------------------------------------------------
+
+    /// Stacked node features for `frames.len()` replicas of one KG:
+    /// `[F·|V|, embed_dim]`, replica `t` in rows `t·|V| .. (t+1)·|V|`. Row
+    /// values are computed with the same arithmetic as
+    /// [`DecisionModel::node_features`] (the reasoning rows via the ordered
+    /// token-mean of [`TokenTable::node_embedding_mean`]), so the stacked
+    /// matrix is the bit-exact concatenation of the per-frame matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or a layout row refers to a dead node.
+    pub fn node_features_batch(
+        &self,
+        tkg: &TokenizedKg,
+        layout: &KgLayout,
+        table: &TokenTable,
+        frames: &[&[f32]],
+    ) -> Tensor {
+        assert!(!frames.is_empty(), "node_features_batch: no frames");
+        let dim = self.config.embed_dim;
+        let v = layout.node_count();
+        let mut data = vec![0.0f32; frames.len() * v * dim];
+        // Non-sensor rows are frame-independent: compute each once, then
+        // copy into every replica (`None` marks the sensor row, which takes
+        // the replica's frame embedding).
+        let template: Vec<Option<Vec<f32>>> = layout
+            .rows
+            .iter()
+            .map(|&id| {
+                let node = tkg.kg.node(id).expect("layout row refers to live node");
+                match node.kind {
+                    NodeKind::Sensor => None,
+                    NodeKind::Embedding => Some(tkg.mission_embedding.clone()),
+                    NodeKind::Reasoning => {
+                        let tokens = tkg.tokens_of(id).expect("reasoning node tokenized");
+                        Some(table.node_embedding_mean(tokens))
+                    }
+                }
+            })
+            .collect();
+        for (t, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.len(), dim, "node_features_batch: frame dim mismatch");
+            let block = &mut data[t * v * dim..(t + 1) * v * dim];
+            for (r, row) in template.iter().enumerate() {
+                let out = &mut block[r * dim..(r + 1) * dim];
+                out.copy_from_slice(row.as_deref().unwrap_or(frame));
+            }
+        }
+        Tensor::from_vec(data, &[frames.len() * v, dim])
+    }
+
+    /// Per-item reasoning-embedding sequences for a cross-stream batch: each
+    /// returned tensor is the item's `[window, D]` sequence of per-frame
+    /// reasoning embeddings, computed with **one** stacked
+    /// [`HierarchicalGnn::forward_batch`] per mission KG across all items
+    /// and frames (one matmul per GNN layer instead of `B·window`).
+    ///
+    /// Bit-identical per item to mapping
+    /// [`DecisionModel::reasoning_embedding`] over its frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, an item's KG/layout counts mismatch the
+    /// model, or an item's window is empty.
+    pub fn reasoning_embeddings_batch(&self, items: &[WindowBatchItem<'_>]) -> Vec<Tensor> {
+        assert!(!items.is_empty(), "reasoning_embeddings_batch: empty batch");
+        for item in items {
+            assert_eq!(item.kgs.len(), self.gnns.len(), "KG count mismatch");
+            assert_eq!(item.layouts.len(), self.gnns.len(), "layout count mismatch");
+            assert!(!item.window.is_empty(), "reasoning_embeddings_batch: empty window");
+        }
+        let mut per_kg: Vec<Tensor> = Vec::with_capacity(self.gnns.len());
+        for i in 0..self.gnns.len() {
+            let mut parts: Vec<Tensor> = Vec::with_capacity(items.len());
+            let mut layout_refs: Vec<&KgLayout> = Vec::new();
+            for item in items {
+                let frames: Vec<&[f32]> = item.window.iter().map(Vec::as_slice).collect();
+                parts.push(self.node_features_batch(
+                    &item.kgs[i],
+                    &item.layouts[i],
+                    item.table,
+                    &frames,
+                ));
+                layout_refs.extend(std::iter::repeat_n(&item.layouts[i], item.window.len()));
+            }
+            let x0 = Tensor::concat_rows(&parts);
+            per_kg.push(self.gnns[i].forward_batch(&layout_refs, &x0));
+        }
+        let joined = Tensor::concat_cols(&per_kg); // [Σ windows, D]
+        let mut out = Vec::with_capacity(items.len());
+        let mut offset = 0usize;
+        for item in items {
+            out.push(joined.slice_rows(offset, offset + item.window.len()));
+            offset += item.window.len();
+        }
+        out
+    }
+
+    /// Stacks per-item temporal embeddings into `[B, D]`: applies the
+    /// temporal model to each `[window, D]` sequence (attention stays
+    /// per-sequence — frames of different streams must never attend to each
+    /// other) and concatenates the last-frame outputs row-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is empty.
+    pub fn temporal_embedding_batch(&self, seqs: &[Tensor]) -> Tensor {
+        assert!(!seqs.is_empty(), "temporal_embedding_batch: empty batch");
+        let d = self.reasoning_dim();
+        let rows: Vec<Tensor> =
+            seqs.iter().map(|s| self.temporal.forward_last(s).reshape(&[1, d])).collect();
+        Tensor::concat_rows(&rows)
+    }
+
+    /// Decision logits `[B, n + 1]` for a `[B, D]` stack of temporal
+    /// embeddings — one head matmul for the whole batch. Each row is
+    /// bit-identical to [`DecisionModel::logits`] on that row alone (row
+    /// results of the matmul kernels are independent of the other rows).
+    pub fn logits_batch(&self, temporal_embeddings: &Tensor) -> Tensor {
+        self.head.forward(temporal_embeddings)
+    }
+
+    /// Batched full forward: per-item class probabilities for the last frame
+    /// of each window. Bit-identical per item to [`DecisionModel::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes mismatch the model.
+    pub fn predict_batch(&self, items: &[WindowBatchItem<'_>]) -> Vec<Vec<f32>> {
+        let seqs = self.reasoning_embeddings_batch(items);
+        let temporal = self.temporal_embedding_batch(&seqs);
+        let probs = self.logits_batch(&temporal).softmax_rows().to_vec();
+        let c = self.n_classes();
+        probs.chunks(c).map(<[f32]>::to_vec).collect()
+    }
+
+    /// Batched anomaly scores `p_A = 1 − p_N`, one per item. Bit-identical
+    /// per item to [`DecisionModel::anomaly_score`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes mismatch the model.
+    pub fn anomaly_scores_batch(&self, items: &[WindowBatchItem<'_>]) -> Vec<f32> {
+        self.predict_batch(items).iter().map(|p| 1.0 - p[0]).collect()
+    }
+}
+
+/// One window of a cross-stream serving batch: the stream's adaptive state
+/// (its KGs, layouts, and token table — typically a session's) plus the
+/// window of frame embeddings to score.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowBatchItem<'a> {
+    /// The stream's tokenized mission KGs.
+    pub kgs: &'a [TokenizedKg],
+    /// The stream's execution layouts (aligned with `kgs`).
+    pub layouts: &'a [KgLayout],
+    /// The stream's token-embedding table.
+    pub table: &'a TokenTable,
+    /// The window of frame embeddings, oldest first.
+    pub window: &'a [Vec<f32>],
 }
 
 impl Module for DecisionModel {
@@ -382,6 +636,11 @@ impl Module for DecisionModel {
         p
     }
 
+    /// Retained for `Module`-trait compatibility, but a no-op for this
+    /// model's behaviour: the GNN norms always normalize with instance
+    /// statistics (train/eval identical — see [`HierarchicalGnn::forward`])
+    /// and the temporal stack is stateless LayerNorm. Scoring never depends
+    /// on the flag.
     fn set_train(&mut self, train: bool) {
         for g in &mut self.gnns {
             g.set_train(train);
@@ -443,7 +702,7 @@ mod tests {
     #[test]
     fn forward_produces_gnn_dim_vector() {
         let (tkg, layout, table, config) = fixture();
-        let mut model = DecisionModel::new(&[tkg.kg.depth()], &config);
+        let model = DecisionModel::new(&[tkg.kg.depth()], &config);
         let frame = vec![0.1f32; config.embed_dim];
         let r = model.reasoning_embedding(&[&tkg], &[&layout], &table, &frame);
         assert_eq!(r.shape(), vec![config.gnn_dim]);
@@ -508,7 +767,7 @@ mod tests {
         let t1 = TokenizedKg::new(kg1, &tokenizer, space.embed_text("stealing"));
         let t2 = TokenizedKg::new(kg2, &tokenizer, space.embed_text("robbery"));
         let (l1, l2) = (KgLayout::new(&t1), KgLayout::new(&t2));
-        let mut model = DecisionModel::new(&[t1.kg.depth(), t2.kg.depth()], &config);
+        let model = DecisionModel::new(&[t1.kg.depth(), t2.kg.depth()], &config);
         assert_eq!(model.reasoning_dim(), 2 * config.gnn_dim);
         assert_eq!(model.n_classes(), 3);
         let frame = vec![0.1f32; config.embed_dim];

@@ -2,41 +2,30 @@
 //! generation (A), decision-model training (B) — and the deployment target
 //! that stage (C), continuous adaptation, operates on.
 //!
-//! [`MissionSystem`] owns every component: tokenizer, joint space, token
-//! table, tokenized KGs with layouts, and the decision model.
+//! [`MissionSystem`] is the single-tenant facade: one shared
+//! [`Engine`](crate::engine::Engine) plus exactly one
+//! [`Session`](crate::engine::Session), presenting the same API the
+//! pre-split monolith had. Multi-stream serving builds on the underlying
+//! pair directly (see [`crate::engine`] and the `akg-runtime` crate).
 
 use crate::config::ModelConfig;
-use crate::model::{DecisionModel, KgLayout};
-use crate::tokenize::{TokenTable, TokenizedKg};
+use crate::engine::{Engine, Session};
 use akg_data::Frame;
-use akg_embed::{BpeTokenizer, JointSpace, JointSpaceBuilder};
-use akg_kg::{generate_kg, AnomalyClass, GeneratorConfig, Ontology, SyntheticOracle};
-use akg_tensor::nn::Module;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::VecDeque;
+use akg_kg::AnomalyClass;
 
 /// Observation-noise standard deviation of the synthetic frame encoder.
 pub const FRAME_NOISE_STD: f32 = 0.02;
 
-/// A fully-wired mission system: the deployable unit of the paper.
+/// A fully-wired mission system: the deployable unit of the paper, as a
+/// thin facade over an [`Engine`] and one [`Session`].
 #[derive(Debug)]
 pub struct MissionSystem {
-    /// The deployed missions (one KG each).
-    pub missions: Vec<AnomalyClass>,
-    /// The BPE tokenizer (trained on the domain corpus).
-    pub tokenizer: BpeTokenizer,
-    /// The joint text/frame embedding space (ImageBind substitute).
-    pub space: JointSpace,
-    /// The trainable token-embedding table.
-    pub table: TokenTable,
-    /// Tokenized mission KGs.
-    pub kgs: Vec<TokenizedKg>,
-    /// Execution layouts (rebuilt after structural adaptation).
-    pub layouts: Vec<KgLayout>,
-    /// The GNN + temporal + head decision model.
-    pub model: DecisionModel,
-    frame_rng: StdRng,
+    /// The shared, immutable-after-build half: tokenizer, joint space,
+    /// trained token table, KG templates, layouts, decision model.
+    pub engine: Engine,
+    /// The single stream's adaptive state: table fork, KG copies, layouts,
+    /// frame RNG.
+    pub session: Session,
 }
 
 /// Builder inputs for [`MissionSystem::build`].
@@ -45,7 +34,7 @@ pub struct SystemConfig {
     /// Model dimensions.
     pub model: ModelConfig,
     /// KG generation settings.
-    pub generator: GeneratorConfig,
+    pub generator: akg_kg::GeneratorConfig,
     /// Oracle error profile.
     pub oracle: akg_kg::ErrorProfile,
     /// BPE vocabulary budget.
@@ -67,7 +56,7 @@ impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig {
             model: ModelConfig::fast(),
-            generator: GeneratorConfig::default(),
+            generator: akg_kg::GeneratorConfig::default(),
             oracle: akg_kg::ErrorProfile::realistic(),
             vocab_budget: 700,
             spare_rows: 32,
@@ -78,168 +67,89 @@ impl Default for SystemConfig {
 }
 
 impl MissionSystem {
-    /// Builds the system for the given missions: trains the BPE tokenizer on
-    /// the domain corpus, constructs the joint space with one cluster per
-    /// anomaly class (anchoring every ontology concept), generates one
-    /// mission-specific KG per mission, tokenizes them, and initializes the
-    /// decision model.
+    /// Builds the system for the given missions: an [`Engine::build`] plus
+    /// one session seeded exactly as the pre-split monolith seeded its frame
+    /// RNG, so single-tenant behaviour is unchanged.
     pub fn build(missions: &[AnomalyClass], config: &SystemConfig) -> Self {
-        akg_tensor::par::set_parallelism(config.parallelism);
-        let ontology = Ontology::new();
-        let corpus = ontology.corpus();
-        let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), config.vocab_budget);
-
-        // One cluster per anomaly class. Normal-activity words are left
-        // *unanchored*: their embeddings are scattered hash-noise
-        // directions, so normal footage is directionally diverse — exactly
-        // why a mission-trained detector cannot carve a "normal vs
-        // everything else" one-class boundary and stays mission-specific
-        // (the property Fig. 5's post-shift performance drop rests on).
-        let mut space_builder =
-            JointSpaceBuilder::new(config.model.embed_dim, AnomalyClass::ALL.len(), config.seed);
-        for &(a, b, cos) in ontology.related_classes() {
-            space_builder = space_builder.correlate(a.index(), b.index(), cos);
-        }
-        for class in AnomalyClass::ALL {
-            let concepts = ontology.all_concepts(class);
-            for (rank, word) in concepts.iter().enumerate() {
-                // salient concepts anchor tighter to the class center
-                let affinity = 0.85 - 0.3 * (rank as f32 / concepts.len().max(1) as f32);
-                space_builder = space_builder.anchor(word, class.index(), affinity);
-            }
-        }
-        let space = space_builder.build();
-
-        let table = TokenTable::new(&tokenizer, &space, config.spare_rows);
-
-        let mut kgs = Vec::with_capacity(missions.len());
-        for (i, mission) in missions.iter().enumerate() {
-            let mut oracle = SyntheticOracle::new(config.oracle, config.seed ^ (i as u64 + 1));
-            let report = generate_kg(mission.name(), &config.generator, &mut oracle);
-            let mission_embedding = space.embed_text(mission.name());
-            kgs.push(TokenizedKg::new(report.kg, &tokenizer, mission_embedding));
-        }
-        let layouts: Vec<KgLayout> = kgs.iter().map(KgLayout::new).collect();
-        let depths: Vec<usize> = kgs.iter().map(|t| t.kg.depth()).collect();
-        let model = DecisionModel::new(&depths, &config.model.with_seed(config.seed));
-
-        MissionSystem {
-            missions: missions.to_vec(),
-            tokenizer,
-            space,
-            table,
-            kgs,
-            layouts,
-            model,
-            frame_rng: StdRng::seed_from_u64(config.seed ^ 0xF0F0),
-        }
+        let engine = Engine::build(missions, config);
+        let session = engine.new_session(config.seed ^ 0xF0F0);
+        MissionSystem { engine, session }
     }
 
     /// Encodes a frame into the joint space (the `E_I(F_t)` of the paper for
     /// our synthetic frames).
     pub fn embed_frame(&mut self, frame: &Frame) -> Vec<f32> {
-        let activation = frame.activation();
-        self.space.embed_bag(&activation, FRAME_NOISE_STD, &mut self.frame_rng)
+        self.engine.embed_frame(&mut self.session, frame)
     }
 
     /// Scores one window of frame embeddings (anomaly score `p_A` of the
-    /// last frame). Runs in eval mode without recording gradients.
-    pub fn score_window(&mut self, window: &[Vec<f32>]) -> f32 {
-        let kgs: Vec<&TokenizedKg> = self.kgs.iter().collect();
-        let layouts: Vec<&KgLayout> = self.layouts.iter().collect();
-        self.model.anomaly_score(&kgs, &layouts, &self.table, window)
+    /// last frame). Runs without recording gradients into the model.
+    pub fn score_window(&self, window: &[Vec<f32>]) -> f32 {
+        self.engine.score_window(&self.session, window)
     }
 
     /// Class-probability prediction for one window.
-    pub fn predict_window(&mut self, window: &[Vec<f32>]) -> Vec<f32> {
-        let kgs: Vec<&TokenizedKg> = self.kgs.iter().collect();
-        let layouts: Vec<&KgLayout> = self.layouts.iter().collect();
-        self.model.predict(&kgs, &layouts, &self.table, window)
+    pub fn predict_window(&self, window: &[Vec<f32>]) -> Vec<f32> {
+        self.engine.predict_window(&self.session, window)
     }
 
     /// Differentiable logits for one window (used by training and
     /// adaptation).
-    pub fn window_logits(&mut self, window: &[Vec<f32>]) -> akg_tensor::Tensor {
-        let kgs: Vec<&TokenizedKg> = self.kgs.iter().collect();
-        let layouts: Vec<&KgLayout> = self.layouts.iter().collect();
-        let embeddings: Vec<akg_tensor::Tensor> = window
-            .iter()
-            .map(|f| self.model.reasoning_embedding(&kgs, &layouts, &self.table, f))
-            .collect();
-        let temporal = self.model.temporal_embedding(&embeddings);
-        self.model.logits(&temporal)
+    pub fn window_logits(&self, window: &[Vec<f32>]) -> akg_tensor::Tensor {
+        self.engine.window_logits(&self.session, window)
     }
 
     /// Rebuilds the execution layout of KG `i` after structural change.
     pub fn rebuild_layout(&mut self, i: usize) {
-        self.layouts[i] = KgLayout::new(&self.kgs[i]);
+        self.session.rebuild_layout(i);
     }
 
     /// Scores every frame of a video with a rolling window, returning
     /// `(scores, labels)` aligned per frame. The first `window − 1` frames
     /// reuse the partial window (padded by repeating the first frame).
-    pub fn score_video(&mut self, video: &akg_data::Video) -> (Vec<f32>, Vec<bool>) {
-        let window_len = self.model.config().window;
-        let mut scores = Vec::with_capacity(video.len());
-        let mut labels = Vec::with_capacity(video.len());
-        let mut window: VecDeque<Vec<f32>> = VecDeque::with_capacity(window_len);
-        for frame in &video.frames {
-            let emb = self.embed_frame(frame);
-            if window.len() == window_len {
-                window.pop_front();
-            }
-            window.push_back(emb);
-            let mut padded: Vec<Vec<f32>> = window.iter().cloned().collect();
-            while padded.len() < window_len {
-                padded.insert(0, padded[0].clone());
-            }
-            scores.push(self.score_window(&padded));
-            labels.push(frame.is_anomalous());
-        }
-        (scores, labels)
+    ///
+    /// Evaluation runs through a dedicated RNG derived from the engine seed
+    /// — it never advances the deployment stream's frame RNG, so evaluating
+    /// mid-stream does not perturb subsequent stream results.
+    pub fn score_video(&self, video: &akg_data::Video) -> (Vec<f32>, Vec<bool>) {
+        self.engine.score_video(&self.session, video)
     }
 
     /// Frame-level ROC-AUC over a set of videos (the paper's test metric).
-    pub fn evaluate_auc(&mut self, videos: &[&akg_data::Video]) -> f32 {
-        let was_training = false;
-        let _ = was_training;
-        self.model.set_train(false);
-        let mut all_scores = Vec::new();
-        let mut all_labels = Vec::new();
-        for v in videos {
-            let (s, l) = self.score_video(v);
-            all_scores.extend(s);
-            all_labels.extend(l);
-        }
-        akg_eval::roc_auc(&all_scores, &all_labels)
+    pub fn evaluate_auc(&self, videos: &[&akg_data::Video]) -> f32 {
+        self.engine.evaluate_auc(&self.session, videos)
     }
 
     /// Freezes everything except the token table (the adaptation regime) or
     /// restores the training regime (model trainable, table frozen).
+    ///
+    /// No train/eval mode switch is involved: the GNN's norms always use
+    /// instance statistics (see [`crate::model::HierarchicalGnn::forward`]),
+    /// so freezing is the only thing that distinguishes the two regimes.
     pub fn set_adaptation_mode(&mut self, adaptation: bool) {
-        self.model.set_frozen(adaptation);
-        self.table.set_frozen(!adaptation);
-        self.model.set_train(false);
+        self.engine.set_adaptation_mode(&self.session, adaptation);
     }
 
     /// Cost-model dimensions of the deployed system (for Table I).
     pub fn cost_dims(&self) -> akg_cost_dims::ModelDimsLike {
-        let nodes = self.kgs.iter().map(|t| t.kg.node_count()).max().unwrap_or(0);
-        let edges = self.kgs.iter().map(|t| t.kg.edge_count()).max().unwrap_or(0);
-        let levels = self.kgs.iter().map(|t| t.kg.total_levels()).max().unwrap_or(0);
+        let kgs = &self.session.kgs;
+        let nodes = kgs.iter().map(|t| t.kg.node_count()).max().unwrap_or(0);
+        let edges = kgs.iter().map(|t| t.kg.edge_count()).max().unwrap_or(0);
+        let levels = kgs.iter().map(|t| t.kg.total_levels()).max().unwrap_or(0);
+        let config = self.engine.model.config();
         akg_cost_dims::ModelDimsLike {
-            kgs: self.kgs.len(),
+            kgs: kgs.len(),
             nodes,
             edges,
             levels,
-            embed_dim: self.model.config().embed_dim,
-            gnn_dim: self.model.config().gnn_dim,
-            window: self.model.config().window,
-            temporal_inner: self.model.config().temporal_inner,
-            heads: self.model.config().heads,
-            temporal_layers: self.model.config().temporal_layers,
-            classes: self.model.n_classes(),
-            token_table_entries: self.table.vocab_len() * self.table.dim(),
+            embed_dim: config.embed_dim,
+            gnn_dim: config.gnn_dim,
+            window: config.window,
+            temporal_inner: config.temporal_inner,
+            heads: config.heads,
+            temporal_layers: config.temporal_layers,
+            classes: self.engine.model.n_classes(),
+            token_table_entries: self.session.table.vocab_len() * self.session.table.dim(),
         }
     }
 }
@@ -281,6 +191,7 @@ pub mod akg_cost_dims {
 mod tests {
     use super::*;
     use akg_data::{DatasetConfig, SyntheticUcfCrime};
+    use akg_tensor::nn::Module;
 
     fn system() -> MissionSystem {
         MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default())
@@ -289,11 +200,11 @@ mod tests {
     #[test]
     fn build_wires_all_components() {
         let sys = system();
-        assert_eq!(sys.kgs.len(), 1);
-        assert_eq!(sys.layouts.len(), 1);
-        assert!(sys.kgs[0].kg.validate().is_empty());
-        assert_eq!(sys.model.n_classes(), 2);
-        assert!(sys.table.spare_remaining() > 0);
+        assert_eq!(sys.session.kgs.len(), 1);
+        assert_eq!(sys.session.layouts.len(), 1);
+        assert!(sys.session.kgs[0].kg.validate().is_empty());
+        assert_eq!(sys.engine.model.n_classes(), 2);
+        assert!(sys.session.table.spare_remaining() > 0);
     }
 
     #[test]
@@ -301,14 +212,13 @@ mod tests {
         let mut sys = system();
         let frame = Frame { concepts: vec![("walking".into(), 1.0)], label: None };
         let emb = sys.embed_frame(&frame);
-        assert_eq!(emb.len(), sys.model.config().embed_dim);
+        assert_eq!(emb.len(), sys.engine.model.config().embed_dim);
     }
 
     #[test]
     fn score_window_in_unit_interval() {
         let mut sys = system();
-        sys.model.set_train(false);
-        let w = sys.model.config().window;
+        let w = sys.engine.model.config().window;
         let frame = Frame { concepts: vec![("walking".into(), 1.0)], label: None };
         let emb = sys.embed_frame(&frame);
         let score = sys.score_window(&vec![emb; w]);
@@ -317,8 +227,7 @@ mod tests {
 
     #[test]
     fn score_video_aligns_labels() {
-        let mut sys = system();
-        sys.model.set_train(false);
+        let sys = system();
         let ds = SyntheticUcfCrime::generate(
             DatasetConfig::scaled(0.01).with_classes(&[AnomalyClass::Stealing]).with_seed(1),
         );
@@ -334,17 +243,16 @@ mod tests {
     fn adaptation_mode_toggles_freezing() {
         let mut sys = system();
         sys.set_adaptation_mode(true);
-        assert!(!sys.model.params()[0].requires_grad_flag());
-        assert!(sys.table.param().requires_grad_flag());
+        assert!(!sys.engine.model.params()[0].requires_grad_flag());
+        assert!(sys.session.table.param().requires_grad_flag());
         sys.set_adaptation_mode(false);
-        assert!(sys.model.params()[0].requires_grad_flag());
-        assert!(!sys.table.param().requires_grad_flag());
+        assert!(sys.engine.model.params()[0].requires_grad_flag());
+        assert!(!sys.session.table.param().requires_grad_flag());
     }
 
     #[test]
     fn untrained_auc_near_chance() {
-        let mut sys = system();
-        sys.model.set_train(false);
+        let sys = system();
         let ds = SyntheticUcfCrime::generate(
             DatasetConfig::scaled(0.01).with_classes(&[AnomalyClass::Stealing]).with_seed(2),
         );

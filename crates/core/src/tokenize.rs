@@ -41,6 +41,73 @@ impl TokenTable {
         }
     }
 
+    /// Deep-copies the table into an independent twin: fresh tensor storage
+    /// (no shared autograd state with `self`), same weights, same spare-row
+    /// cursor. This is how a serving session obtains its private adaptive
+    /// copy of an engine's trained table — per-stream token updates then
+    /// touch only the fork.
+    pub fn fork(&self) -> TokenTable {
+        let weights = self.emb.weight().to_vec();
+        TokenTable {
+            emb: Embedding::from_weights(weights, self.capacity, self.dim()),
+            vocab_len: self.vocab_len,
+            capacity: self.capacity,
+            next_spare: self.next_spare,
+        }
+    }
+
+    /// The spare-row cursor: the next row [`TokenTable::allocate_random_row`]
+    /// would hand out. Persisted with deployment state so a restored system
+    /// keeps allocating from where it left off.
+    pub fn next_spare(&self) -> usize {
+        self.next_spare
+    }
+
+    /// Restores a persisted spare-row cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor lies outside `[vocab_len, capacity]` (it must
+    /// point into the spare region or one past its end).
+    pub fn restore_spare_cursor(&mut self, next_spare: usize) {
+        assert!(
+            (self.vocab_len..=self.capacity).contains(&next_spare),
+            "spare cursor {next_spare} outside [{}, {}]",
+            self.vocab_len,
+            self.capacity
+        );
+        self.next_spare = next_spare;
+    }
+
+    /// Non-differentiable mean embedding of the given rows with the *same*
+    /// arithmetic as the differentiable [`TokenTable::node_embedding`]
+    /// (rows summed in order, then scaled by the reciprocal count) — the
+    /// batched serving path uses this to fill node-feature rows without
+    /// creating graph nodes while staying bit-identical to the per-window
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or any row is out of bounds.
+    pub fn node_embedding_mean(&self, rows: &[usize]) -> Vec<f32> {
+        assert!(!rows.is_empty(), "node_embedding_mean: empty row list");
+        let dim = self.dim();
+        self.emb.weight().with_data(|w| {
+            let mut out = vec![0.0f32; dim];
+            for &r in rows {
+                let row = &w[r * dim..(r + 1) * dim];
+                for (o, v) in out.iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+            let inv = 1.0 / rows.len() as f32;
+            for o in &mut out {
+                *o *= inv;
+            }
+            out
+        })
+    }
+
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
         self.emb.dim()
@@ -122,7 +189,7 @@ impl TokenTable {
 /// embedding (held by the embedding node, so the hierarchical messages
 /// `X_s ⊙ X_d` into it compare propagated reasoning against the mission —
 /// a zero embedding node would silence Eq. 2 entirely).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TokenizedKg {
     /// The graph structure.
     pub kg: KnowledgeGraph,

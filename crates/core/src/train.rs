@@ -54,8 +54,8 @@ pub fn train_decision_model(
     videos: &[&Video],
     cfg: &TrainConfig,
 ) -> TrainReport {
-    let window_len = sys.model.config().window;
-    let missions = sys.missions.clone();
+    let window_len = sys.engine.model.config().window;
+    let missions = sys.engine.missions.clone();
     let normals: Vec<&Video> = videos.iter().copied().filter(|v| v.class.is_none()).collect();
     let anomalous: Vec<&Video> = videos
         .iter()
@@ -66,19 +66,19 @@ pub fn train_decision_model(
     assert!(!anomalous.is_empty(), "training requires mission-class videos");
 
     sys.set_adaptation_mode(false); // model trainable, table frozen
-    sys.model.set_train(true);
-    let params = sys.model.params();
+    sys.engine.model.set_train(true);
+    let params = sys.engine.model.params();
     let mut opt = AdamW::new(
         params,
         AdamWConfig { lr: cfg.lr, weight_decay: cfg.weight_decay, ..AdamWConfig::default() },
     );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut loss_history = Vec::with_capacity(cfg.steps);
-    let alpha_d = sys.model.config().decay_threshold;
+    let alpha_d = sys.engine.model.config().decay_threshold;
     let mut threshold = 1.0f32;
-    let lambda_spa = sys.model.config().lambda_spa;
-    let lambda_smt = sys.model.config().lambda_smt;
-    let smoothing = sys.model.config().label_smoothing;
+    let lambda_spa = sys.engine.model.config().lambda_spa;
+    let lambda_smt = sys.engine.model.config().lambda_smt;
+    let smoothing = sys.engine.model.config().label_smoothing;
 
     for _ in 0..cfg.steps {
         let mut batch: Vec<WindowSample> = Vec::with_capacity(cfg.batch_size);
@@ -115,7 +115,7 @@ pub fn train_decision_model(
         loss_history.push(loss.item());
     }
 
-    sys.model.set_train(false);
+    sys.engine.model.set_train(false);
     TrainReport { steps: cfg.steps, loss_history, final_threshold: threshold }
 }
 

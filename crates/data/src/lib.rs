@@ -30,5 +30,5 @@ pub mod stream;
 pub mod video;
 
 pub use dataset::{DatasetConfig, SyntheticUcfCrime};
-pub use stream::{AdaptationStream, ShiftScenario};
+pub use stream::{AdaptationStream, OwnedAdaptationStream, ShiftScenario};
 pub use video::{Frame, Video, VideoConfig, GENERIC_CONCEPTS, NORMAL_CONCEPTS};

@@ -7,6 +7,7 @@ use akg_kg::ontology::AnomalyClass;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A named shift scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +41,25 @@ impl ShiftScenario {
     }
 }
 
+/// How an [`AdaptationStream`] holds its dataset: borrowed (the original,
+/// zero-cost form) or shared ownership via [`Arc`] (so streams can be handed
+/// to a long-lived serving runtime without lifetime gymnastics — many owned
+/// streams typically share one `Arc`'d dataset).
+#[derive(Debug)]
+enum DatasetHandle<'d> {
+    Borrowed(&'d SyntheticUcfCrime),
+    Owned(Arc<SyntheticUcfCrime>),
+}
+
+impl DatasetHandle<'_> {
+    fn get(&self) -> &SyntheticUcfCrime {
+        match self {
+            DatasetHandle::Borrowed(d) => d,
+            DatasetHandle::Owned(d) => d,
+        }
+    }
+}
+
 /// A deployment-time frame stream that samples the training split: frames
 /// of the currently active anomaly class mixed with normal frames. The
 /// paper's protocol keeps the non-anomalous samples fixed and swaps the
@@ -47,12 +67,17 @@ impl ShiftScenario {
 /// exactly that.
 #[derive(Debug)]
 pub struct AdaptationStream<'d> {
-    dataset: &'d SyntheticUcfCrime,
+    dataset: DatasetHandle<'d>,
     active: AnomalyClass,
     anomaly_ratio: f64,
     rng: StdRng,
     emitted: usize,
 }
+
+/// An [`AdaptationStream`] that owns (a share of) its dataset — `'static`,
+/// so it can move into a serving runtime, another thread, or a `Vec` of
+/// streams outliving the scope that built the dataset.
+pub type OwnedAdaptationStream = AdaptationStream<'static>;
 
 impl<'d> AdaptationStream<'d> {
     /// Creates a stream over the dataset's training split with the given
@@ -70,7 +95,30 @@ impl<'d> AdaptationStream<'d> {
     ) -> Self {
         assert!((0.0..=1.0).contains(&anomaly_ratio), "anomaly_ratio must be in [0,1]");
         AdaptationStream {
-            dataset,
+            dataset: DatasetHandle::Borrowed(dataset),
+            active,
+            anomaly_ratio,
+            rng: StdRng::seed_from_u64(seed),
+            emitted: 0,
+        }
+    }
+
+    /// Creates an owning stream over a shared dataset handle. Behaviour is
+    /// identical to [`AdaptationStream::new`] with the same seed — only the
+    /// ownership story differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anomaly_ratio` is outside `[0, 1]`.
+    pub fn owned(
+        dataset: Arc<SyntheticUcfCrime>,
+        active: AnomalyClass,
+        anomaly_ratio: f64,
+        seed: u64,
+    ) -> OwnedAdaptationStream {
+        assert!((0.0..=1.0).contains(&anomaly_ratio), "anomaly_ratio must be in [0,1]");
+        AdaptationStream {
+            dataset: DatasetHandle::Owned(dataset),
             active,
             anomaly_ratio,
             rng: StdRng::seed_from_u64(seed),
@@ -98,7 +146,7 @@ impl<'d> AdaptationStream<'d> {
     pub fn next_frame(&mut self) -> (Frame, bool) {
         self.emitted += 1;
         if self.rng.gen_bool(self.anomaly_ratio) {
-            let videos = self.dataset.train_videos_of(self.active);
+            let videos = self.dataset.get().train_videos_of(self.active);
             if let Some((frame, _)) = sample_frame(&videos, &mut self.rng) {
                 // sample only from within the anomaly segment
                 if frame.is_anomalous() {
@@ -112,7 +160,7 @@ impl<'d> AdaptationStream<'d> {
                 }
             }
         }
-        let normals = self.dataset.train_normal_videos();
+        let normals = self.dataset.get().train_normal_videos();
         let (frame, _) =
             sample_frame(&normals, &mut self.rng).expect("dataset must contain normal videos");
         (frame.clone(), false)
@@ -191,6 +239,20 @@ mod tests {
         for (frame, anomalous) in batch {
             assert_eq!(frame.is_anomalous(), anomalous);
         }
+    }
+
+    #[test]
+    fn owned_stream_matches_borrowed_and_is_static() {
+        let ds = Arc::new(dataset());
+        let mut borrowed = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.5, 11);
+        let mut owned: OwnedAdaptationStream =
+            AdaptationStream::owned(Arc::clone(&ds), AnomalyClass::Stealing, 0.5, 11);
+        for _ in 0..30 {
+            assert_eq!(borrowed.next_frame(), owned.next_frame());
+        }
+        // an owned stream can be moved into a 'static container
+        fn takes_static(_: Vec<OwnedAdaptationStream>) {}
+        takes_static(vec![owned]);
     }
 
     #[test]

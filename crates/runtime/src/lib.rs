@@ -1,0 +1,354 @@
+//! # akg-runtime
+//!
+//! Multi-stream batched serving for the deployed anomaly detector: one
+//! shared, immutable [`Engine`](akg_core::engine::Engine) scores `N`
+//! independent frame streams, each with its own isolated
+//! [`Session`](akg_core::engine::Session) and continuous-adaptation loop.
+//!
+//! The paper's deployment stage (Fig. 2 C) is continuous scoring of *live*
+//! streams on an edge device; a real installation has many cameras per
+//! device. The pre-split `MissionSystem` could serve exactly one. This
+//! runtime round-robins frames from many [`FrameSource`]s, forms
+//! cross-stream batches of score windows (up to
+//! [`RuntimeConfig::max_batch`]), dispatches them through the engine's
+//! batched forward — one matmul per GNN layer for the whole batch instead of
+//! one per window — and routes each score back into its stream's adaptation
+//! loop.
+//!
+//! ## Isolation model (session-local deltas)
+//!
+//! Per-stream KG adaptation must not leak across streams. Of the two
+//! admissible designs — (a) session-local token-table deltas, (b) a
+//! serialized shared-write step — this runtime implements **(a)**: every
+//! session owns a complete fork of the engine's trained token table and
+//! private copies of the tokenized KGs, made at attach time. A stream's
+//! pseudo-anomaly backprops and prune/create restructurings touch only its
+//! own fork; the engine's artifacts are never written after build. There is
+//! no shared mutable state between streams at all, so scheduling order
+//! cannot change results, and batched serving is **bit-identical** to
+//! running every stream alone through the legacy single-stream path
+//! (`tests/equivalence.rs` proves this at batch sizes 1, 4, and 16).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use akg_core::adapt::AdaptConfig;
+//! use akg_core::engine::Engine;
+//! use akg_core::pipeline::SystemConfig;
+//! use akg_kg::AnomalyClass;
+//! use akg_runtime::{FnSource, MultiStreamRuntime, RuntimeConfig};
+//!
+//! let engine = Engine::build(&[AnomalyClass::Stealing], &SystemConfig::default());
+//! let mut runtime = MultiStreamRuntime::new(engine, RuntimeConfig::default());
+//! // Two synthetic one-frame-per-tick sources:
+//! let frame = akg_data::Frame { concepts: vec![("walking".into(), 1.0)], label: None };
+//! for i in 0..2 {
+//!     let f = frame.clone();
+//!     runtime.add_stream(FnSource(move || (f.clone(), false)), i, AdaptConfig::default());
+//! }
+//! let scores = runtime.tick();
+//! assert_eq!(scores.len(), 2);
+//! assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+//! ```
+
+#![warn(missing_docs)]
+
+use akg_core::adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
+use akg_core::engine::{Engine, Session};
+use akg_data::{AdaptationStream, Frame};
+use serde::Serialize;
+
+/// A source of deployment frames: anything that can hand the runtime one
+/// `(frame, is_anomalous)` pair per tick. The label rides along for
+/// evaluation harnesses; the serving path itself never reads it.
+pub trait FrameSource {
+    /// Produces the stream's next frame.
+    fn next_frame(&mut self) -> (Frame, bool);
+}
+
+impl FrameSource for AdaptationStream<'_> {
+    fn next_frame(&mut self) -> (Frame, bool) {
+        AdaptationStream::next_frame(self)
+    }
+}
+
+/// Adapts a closure into a [`FrameSource`] (handy for tests and synthetic
+/// feeds).
+#[derive(Debug)]
+pub struct FnSource<F>(pub F);
+
+impl<F: FnMut() -> (Frame, bool)> FrameSource for FnSource<F> {
+    fn next_frame(&mut self) -> (Frame, bool) {
+        (self.0)()
+    }
+}
+
+impl FrameSource for Box<dyn FrameSource> {
+    fn next_frame(&mut self) -> (Frame, bool) {
+        self.as_mut().next_frame()
+    }
+}
+
+/// Runtime scheduling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Largest cross-stream batch one dispatch may carry; a tick over more
+    /// streams splits into ⌈N / max_batch⌉ dispatches.
+    pub max_batch: usize,
+    /// When `false`, every window is scored individually through the legacy
+    /// single-window path (the measurement baseline for `BENCH_serve.json`).
+    /// Scores are bit-identical either way.
+    pub batched: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { max_batch: 16, batched: true }
+    }
+}
+
+/// Monotonic throughput counters, serializable for the perf harness.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ServeCounters {
+    /// Frames pulled, scored, and routed back (across all streams).
+    pub frames: usize,
+    /// Scheduler rounds completed.
+    pub ticks: usize,
+    /// Scoring dispatches issued (batched calls or single-window calls).
+    pub dispatches: usize,
+    /// Largest batch actually dispatched.
+    pub max_batch_seen: usize,
+    /// Token-update adaptation events across all streams.
+    pub token_updates: usize,
+    /// Structural node replacements across all streams.
+    pub node_replacements: usize,
+}
+
+/// Identifier of a stream registered with [`MultiStreamRuntime::add_stream`]
+/// (its index, stable for the runtime's lifetime).
+pub type StreamId = usize;
+
+/// A runtime over owned dataset-backed streams
+/// ([`akg_data::OwnedAdaptationStream`]) — the common deployment shape: the
+/// runtime owns its feeds outright.
+pub type OwnedStreamRuntime = MultiStreamRuntime<akg_data::OwnedAdaptationStream>;
+
+struct StreamSlot<S> {
+    source: S,
+    session: Session,
+    adapter: ContinuousAdapter,
+}
+
+/// The multi-stream serving loop: a shared [`Engine`], one
+/// [`StreamSlot`]-worth of isolated state per stream, and a round-robin
+/// batching scheduler.
+pub struct MultiStreamRuntime<S: FrameSource> {
+    engine: Engine,
+    slots: Vec<StreamSlot<S>>,
+    config: RuntimeConfig,
+    counters: ServeCounters,
+}
+
+impl<S: FrameSource> MultiStreamRuntime<S> {
+    /// Creates an empty runtime around a built (and typically trained)
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch == 0`.
+    pub fn new(engine: Engine, config: RuntimeConfig) -> Self {
+        assert!(config.max_batch > 0, "RuntimeConfig::max_batch must be positive");
+        MultiStreamRuntime { engine, slots: Vec::new(), config, counters: ServeCounters::default() }
+    }
+
+    /// Registers a stream: forks a fresh session off the engine (seeded with
+    /// `frame_seed`, so the stream's embedding noise is reproducible) and
+    /// attaches its private continuous-adaptation loop. Returns the stream's
+    /// id.
+    pub fn add_stream(&mut self, source: S, frame_seed: u64, adapt: AdaptConfig) -> StreamId {
+        let mut session = self.engine.new_session(frame_seed);
+        let adapter = ContinuousAdapter::attach(&self.engine, &mut session, adapt);
+        self.slots.push(StreamSlot { source, session, adapter });
+        self.slots.len() - 1
+    }
+
+    /// Number of registered streams.
+    pub fn stream_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// A stream's session (its private adaptive state).
+    pub fn session(&self, id: StreamId) -> &Session {
+        &self.slots[id].session
+    }
+
+    /// A stream's adaptation events so far.
+    pub fn adapt_events(&self, id: StreamId) -> &[AdaptEvent] {
+        self.slots[id].adapter.events()
+    }
+
+    /// Mutable access to a stream's frame source (e.g. to trigger a trend
+    /// shift mid-run).
+    pub fn source_mut(&mut self, id: StreamId) -> &mut S {
+        &mut self.slots[id].source
+    }
+
+    /// Throughput counters since construction.
+    pub fn counters(&self) -> ServeCounters {
+        self.counters
+    }
+
+    /// One scheduler round: pulls one frame from every stream (round-robin),
+    /// embeds each through its own session, scores all windows — batched
+    /// across streams up to `max_batch`, or one by one in baseline mode —
+    /// and routes every score back into its stream's adaptation loop.
+    /// Returns the per-stream scores, indexed by [`StreamId`].
+    ///
+    /// Adaptation runs strictly per stream against session-local state (see
+    /// the crate docs' isolation model), so the batch composition never
+    /// influences any stream's results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no streams are registered.
+    pub fn tick(&mut self) -> Vec<f32> {
+        assert!(!self.slots.is_empty(), "tick: no streams registered");
+        let n = self.slots.len();
+        // Phase 1 — ingest: one frame per stream, embedded through the
+        // stream's own RNG into its rolling window.
+        let mut windows: Vec<Vec<Vec<f32>>> = Vec::with_capacity(n);
+        for slot in &mut self.slots {
+            let (frame, _label) = slot.source.next_frame();
+            windows.push(slot.adapter.begin_frame(&self.engine, &mut slot.session, &frame));
+        }
+        // Phase 2 — score: cross-stream batches (or the per-frame baseline).
+        let mut scores = vec![0.0f32; n];
+        if self.config.batched {
+            for start in (0..n).step_by(self.config.max_batch) {
+                let end = (start + self.config.max_batch).min(n);
+                let batch: Vec<(&Session, &[Vec<f32>])> =
+                    (start..end).map(|i| (&self.slots[i].session, windows[i].as_slice())).collect();
+                let batch_scores = self.engine.score_windows_batch(&batch);
+                scores[start..end].copy_from_slice(&batch_scores);
+                self.counters.dispatches += 1;
+                self.counters.max_batch_seen = self.counters.max_batch_seen.max(end - start);
+            }
+        } else {
+            for (i, window) in windows.iter().enumerate() {
+                scores[i] = self.engine.score_window(&self.slots[i].session, window);
+                self.counters.dispatches += 1;
+                self.counters.max_batch_seen = self.counters.max_batch_seen.max(1);
+            }
+        }
+        // Phase 3 — adapt: scores feed each stream's tracker; any triggered
+        // token update / restructure touches only that stream's session.
+        // Only the events appended by this frame are scanned, so long-lived
+        // deployments don't pay O(history) per tick.
+        for (slot, &score) in self.slots.iter_mut().zip(&scores) {
+            let events_before = slot.adapter.events().len();
+            slot.adapter.complete_frame(&self.engine, &mut slot.session, score);
+            let (updates, replaces) = event_counts(&slot.adapter.events()[events_before..]);
+            self.counters.token_updates += updates;
+            self.counters.node_replacements += replaces;
+        }
+        self.counters.frames += n;
+        self.counters.ticks += 1;
+        scores
+    }
+
+    /// Runs `ticks` scheduler rounds, returning the per-stream score
+    /// sequences (`result[stream][tick]`).
+    pub fn run(&mut self, ticks: usize) -> Vec<Vec<f32>> {
+        let mut out = vec![Vec::with_capacity(ticks); self.slots.len()];
+        for _ in 0..ticks {
+            for (stream, score) in self.tick().into_iter().enumerate() {
+                out[stream].push(score);
+            }
+        }
+        out
+    }
+}
+
+fn event_counts(events: &[AdaptEvent]) -> (usize, usize) {
+    let updates = events.iter().filter(|e| matches!(e, AdaptEvent::TokenUpdate { .. })).count();
+    let replaces = events.iter().filter(|e| matches!(e, AdaptEvent::NodeReplaced { .. })).count();
+    (updates, replaces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use akg_core::pipeline::SystemConfig;
+    use akg_kg::AnomalyClass;
+
+    fn frame(salt: usize) -> Frame {
+        let concepts = if salt.is_multiple_of(3) {
+            vec![("walking".into(), 1.0)]
+        } else {
+            vec![("person".into(), 0.8), ("vehicle".into(), 0.4)]
+        };
+        Frame { concepts, label: None }
+    }
+
+    fn runtime(config: RuntimeConfig) -> MultiStreamRuntime<Box<dyn FrameSource>> {
+        let engine = Engine::build(&[AnomalyClass::Stealing], &SystemConfig::default());
+        MultiStreamRuntime::new(engine, config)
+    }
+
+    #[test]
+    fn counters_track_ticks_and_batches() {
+        let mut rt = runtime(RuntimeConfig { max_batch: 2, batched: true });
+        for i in 0..5usize {
+            let mut k = i;
+            rt.add_stream(
+                Box::new(FnSource(move || {
+                    k += 1;
+                    (frame(k), false)
+                })) as Box<dyn FrameSource>,
+                i as u64,
+                AdaptConfig::default(),
+            );
+        }
+        let scores = rt.run(3);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|s| s.len() == 3));
+        let c = rt.counters();
+        assert_eq!(c.frames, 15);
+        assert_eq!(c.ticks, 3);
+        // 5 streams at max_batch 2 -> 3 dispatches per tick
+        assert_eq!(c.dispatches, 9);
+        assert_eq!(c.max_batch_seen, 2);
+    }
+
+    #[test]
+    fn per_frame_mode_matches_batched_mode() {
+        let make = |batched| {
+            let mut rt = runtime(RuntimeConfig { max_batch: 4, batched });
+            for i in 0..3usize {
+                let mut k = 7 * i;
+                rt.add_stream(
+                    Box::new(FnSource(move || {
+                        k += 1;
+                        (frame(k), false)
+                    })) as Box<dyn FrameSource>,
+                    i as u64,
+                    AdaptConfig::default(),
+                );
+            }
+            rt.run(4)
+        };
+        assert_eq!(make(true), make(false), "batched and per-frame scores diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "no streams registered")]
+    fn tick_requires_streams() {
+        let mut rt = runtime(RuntimeConfig::default());
+        let _ = rt.tick();
+    }
+}

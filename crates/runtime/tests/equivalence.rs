@@ -1,0 +1,154 @@
+//! The batching analogue of the tensor crate's thread-count determinism
+//! property: serving `N` streams through the batched multi-stream runtime
+//! must produce **bit-identical** per-stream score sequences — and identical
+//! final adaptive state — to running each stream alone through the legacy
+//! single-stream path (`MissionSystem` + `ContinuousAdapter::observe`),
+//! at batch sizes B ∈ {1, 4, 16}.
+//!
+//! The streams carry a mid-run trend shift so the continuous-adaptation
+//! loop actually fires (token updates, possibly restructures) during the
+//! comparison — per-stream isolation is load-bearing, not vacuous.
+
+use akg_core::adapt::{AdaptConfig, ContinuousAdapter};
+use akg_core::pipeline::{MissionSystem, SystemConfig};
+use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
+use akg_kg::AnomalyClass;
+use akg_runtime::{MultiStreamRuntime, RuntimeConfig};
+use std::sync::Arc;
+
+const FRAMES_PER_STREAM: usize = 48;
+const SHIFT_AT: usize = 24;
+
+fn dataset() -> Arc<SyntheticUcfCrime> {
+    Arc::new(SyntheticUcfCrime::generate(
+        DatasetConfig::scaled(0.015)
+            .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
+            .with_seed(77),
+    ))
+}
+
+fn adapt_cfg(stream: usize) -> AdaptConfig {
+    AdaptConfig {
+        n_window: 16,
+        lag: 8,
+        interval: 8,
+        min_k: 1,
+        max_k: 4,
+        seed: stream as u64,
+        ..AdaptConfig::default()
+    }
+}
+
+fn system_cfg() -> SystemConfig {
+    SystemConfig { seed: 5, ..SystemConfig::default() }
+}
+
+fn frame_seed(stream: usize) -> u64 {
+    0xBEEF ^ (stream as u64 * 101)
+}
+
+fn stream_seed(stream: usize) -> u64 {
+    1000 + stream as u64
+}
+
+/// The legacy path: one single-tenant `MissionSystem` per stream, frames
+/// observed one at a time.
+fn run_standalone(ds: &Arc<SyntheticUcfCrime>, stream: usize) -> (Vec<f32>, Vec<f32>, usize) {
+    let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg());
+    // align the stream's embedding RNG with the runtime's session seeding
+    sys.session = sys.engine.new_session(frame_seed(stream));
+    let mut adapter = ContinuousAdapter::new(&mut sys, adapt_cfg(stream));
+    let mut source =
+        AdaptationStream::new(ds.as_ref(), AnomalyClass::Stealing, 0.5, stream_seed(stream));
+    let mut scores = Vec::with_capacity(FRAMES_PER_STREAM);
+    for i in 0..FRAMES_PER_STREAM {
+        if i == SHIFT_AT {
+            source.shift_to(AnomalyClass::Robbery);
+        }
+        let (frame, _) = source.next_frame();
+        scores.push(adapter.observe(&mut sys, &frame));
+    }
+    (scores, sys.session.table.param().to_vec(), adapter.replacements())
+}
+
+struct RuntimeOutcome {
+    scores: Vec<Vec<f32>>,
+    tables: Vec<Vec<f32>>,
+    replacements: Vec<usize>,
+}
+
+fn run_runtime(ds: &Arc<SyntheticUcfCrime>, n_streams: usize, max_batch: usize) -> RuntimeOutcome {
+    let sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg());
+    let mut rt = MultiStreamRuntime::new(sys.engine, RuntimeConfig { max_batch, batched: true });
+    for s in 0..n_streams {
+        let source =
+            AdaptationStream::owned(Arc::clone(ds), AnomalyClass::Stealing, 0.5, stream_seed(s));
+        rt.add_stream(source, frame_seed(s), adapt_cfg(s));
+    }
+    let mut scores = vec![Vec::with_capacity(FRAMES_PER_STREAM); n_streams];
+    for tick in 0..FRAMES_PER_STREAM {
+        if tick == SHIFT_AT {
+            for s in 0..n_streams {
+                rt.source_mut(s).shift_to(AnomalyClass::Robbery);
+            }
+        }
+        for (s, score) in rt.tick().into_iter().enumerate() {
+            scores[s].push(score);
+        }
+    }
+    let tables = (0..n_streams).map(|s| rt.session(s).table.param().to_vec()).collect();
+    let replacements = (0..n_streams)
+        .map(|s| {
+            rt.adapt_events(s)
+                .iter()
+                .filter(|e| matches!(e, akg_core::adapt::AdaptEvent::NodeReplaced { .. }))
+                .count()
+        })
+        .collect();
+    RuntimeOutcome { scores, tables, replacements }
+}
+
+fn check_equivalence(n_streams: usize, max_batch: usize) {
+    let ds = dataset();
+    let batched = run_runtime(&ds, n_streams, max_batch);
+    let pristine_table = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg())
+        .session
+        .table
+        .param()
+        .to_vec();
+    let mut any_adapted = false;
+    for s in 0..n_streams {
+        let (solo_scores, solo_table, solo_replacements) = run_standalone(&ds, s);
+        assert_eq!(
+            batched.scores[s], solo_scores,
+            "stream {s}/{n_streams}: batched scores diverged from the legacy path"
+        );
+        assert_eq!(
+            batched.tables[s], solo_table,
+            "stream {s}/{n_streams}: final adapted token table diverged"
+        );
+        assert_eq!(
+            batched.replacements[s], solo_replacements,
+            "stream {s}: replacement counts diverged"
+        );
+        any_adapted |= solo_table != pristine_table;
+    }
+    assert!(any_adapted, "no stream adapted — the equivalence check was vacuous");
+}
+
+#[test]
+fn one_stream_matches_legacy_path() {
+    check_equivalence(1, 16);
+}
+
+#[test]
+fn four_streams_match_legacy_path() {
+    check_equivalence(4, 16);
+}
+
+#[test]
+fn sixteen_streams_match_legacy_path_with_chunked_batches() {
+    // max_batch 8 forces ⌈16/8⌉ = 2 dispatches per tick — chunking must not
+    // change a single bit either.
+    check_equivalence(16, 8);
+}

@@ -87,6 +87,102 @@ impl BatchNorm1d {
         }
     }
 
+    /// Instance-statistics forward: normalizes with the *current* batch's
+    /// statistics without touching the running averages, so it works through
+    /// `&self` — the form a shared, immutable-after-build serving engine
+    /// needs. Numerically identical to [`BatchNorm1d::forward`] whenever the
+    /// running statistics are not being *used* (training mode, or
+    /// `track_running_stats` disabled): both paths run the exact same tensor
+    /// ops in the exact same order, only the (never-read) running-average
+    /// update is skipped. Fully differentiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 2-D `[_, features]` or has a single row
+    /// (undefined variance).
+    pub fn forward_instance(&self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 2, "BatchNorm1d: expected 2-D input");
+        assert_eq!(s[1], self.features, "BatchNorm1d: feature mismatch");
+        assert!(s[0] > 1, "BatchNorm1d: training-mode batch must have >1 rows");
+        let mean = x.mean_axis0();
+        let centered = x.add_bias(&mean.neg());
+        let var = centered.square().mean_axis0();
+        let inv_std = var.add_scalar(self.eps).sqrt().recip();
+        centered.mul_bias(&inv_std).mul_bias(&self.gamma).add_bias(&self.beta)
+    }
+
+    /// Grouped instance normalization for batched serving: the input is
+    /// `groups` independent row-blocks of equal height stacked into one
+    /// `[groups * rows, features]` matrix (e.g. one KG's node rows replicated
+    /// per frame of a serving batch), and each block is normalized with *its
+    /// own* batch statistics.
+    ///
+    /// Bit-identical per block to calling [`BatchNorm1d::forward_instance`]
+    /// on that block alone: the mean, variance, and normalization are
+    /// evaluated with the same operations in the same accumulation order
+    /// (rows ascending, `sum * (1/m)`, `1 / sqrt(var + eps)`), so a batched
+    /// forward produces exactly the per-stream numbers the unbatched path
+    /// produces. The result is a detached tensor — this is an inference path
+    /// and records no gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 2-D `[groups * rows, features]`, if the row
+    /// count is not divisible by `groups`, or if any block has fewer than two
+    /// rows.
+    pub fn forward_instance_grouped(&self, x: &Tensor, groups: usize) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 2, "BatchNorm1d: expected 2-D input");
+        assert_eq!(s[1], self.features, "BatchNorm1d: feature mismatch");
+        assert!(groups > 0, "BatchNorm1d: need at least one group");
+        assert!(
+            s[0].is_multiple_of(groups),
+            "BatchNorm1d: {} rows not divisible into {groups} groups",
+            s[0]
+        );
+        let m = s[0] / groups;
+        assert!(m > 1, "BatchNorm1d: training-mode batch must have >1 rows");
+        let n = self.features;
+        let a = x.to_vec();
+        let gamma = self.gamma.to_vec();
+        let beta = self.beta.to_vec();
+        let inv_m = 1.0 / m as f32;
+        let mut out = vec![0.0f32; a.len()];
+        let mut mean = vec![0.0f32; n];
+        let mut var = vec![0.0f32; n];
+        for g in 0..groups {
+            let block = &a[g * m * n..(g + 1) * m * n];
+            // mean: rows ascending, then scale by the reciprocal — exactly
+            // `sum_axis0().mul_scalar(1/m)`.
+            mean.iter_mut().for_each(|v| *v = 0.0);
+            for r in 0..m {
+                for c in 0..n {
+                    mean[c] += block[r * n + c];
+                }
+            }
+            mean.iter_mut().for_each(|v| *v *= inv_m);
+            // biased variance of the centered block, same op order.
+            var.iter_mut().for_each(|v| *v = 0.0);
+            for r in 0..m {
+                for c in 0..n {
+                    let centered = block[r * n + c] + (-mean[c]);
+                    var[c] += centered * centered;
+                }
+            }
+            var.iter_mut().for_each(|v| *v *= inv_m);
+            let oblock = &mut out[g * m * n..(g + 1) * m * n];
+            for c in 0..n {
+                let inv_std = 1.0 / (var[c] + self.eps).sqrt();
+                for r in 0..m {
+                    let centered = block[r * n + c] + (-mean[c]);
+                    oblock[r * n + c] = ((centered * inv_std) * gamma[c]) + beta[c];
+                }
+            }
+        }
+        Tensor::from_vec(out, &s)
+    }
+
     /// Whether the layer is in training mode.
     pub fn is_training(&self) -> bool {
         self.training
@@ -205,6 +301,49 @@ mod tests {
     fn batchnorm_training_rejects_single_row() {
         let mut bn = BatchNorm1d::new(2);
         let _ = bn.forward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn instance_forward_matches_mutable_forward_bitwise() {
+        let mut bn = BatchNorm1d::new(3);
+        bn.set_track_running_stats(false);
+        let x = Tensor::from_vec((0..12).map(|i| (i as f32).sin()).collect(), &[4, 3]);
+        let pure = bn.forward_instance(&x).to_vec();
+        let mutable = bn.forward(&x).to_vec();
+        assert_eq!(pure, mutable, "instance forward diverged from the batch-stats branch");
+    }
+
+    #[test]
+    fn instance_forward_is_differentiable() {
+        let bn = BatchNorm1d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0], &[2, 2]).requires_grad(true);
+        bn.forward_instance(&x).sum_all().backward();
+        assert!(x.grad().is_some());
+        for p in bn.params() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn grouped_forward_is_bitwise_blockwise() {
+        let bn = BatchNorm1d::new(3);
+        // Two groups of 4 rows with very different scales per block.
+        let mut data: Vec<f32> = (0..12).map(|i| (i as f32 * 0.37).cos()).collect();
+        data.extend((0..12).map(|i| 50.0 + (i as f32 * 0.11).sin() * 9.0));
+        let stacked = Tensor::from_vec(data.clone(), &[8, 3]);
+        let grouped = bn.forward_instance_grouped(&stacked, 2).to_vec();
+        for g in 0..2 {
+            let block = Tensor::from_vec(data[g * 12..(g + 1) * 12].to_vec(), &[4, 3]);
+            let solo = bn.forward_instance(&block).to_vec();
+            assert_eq!(&grouped[g * 12..(g + 1) * 12], &solo[..], "group {g} not bit-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn grouped_forward_rejects_ragged_groups() {
+        let bn = BatchNorm1d::new(2);
+        let _ = bn.forward_instance_grouped(&Tensor::zeros(&[5, 2]), 2);
     }
 
     #[test]

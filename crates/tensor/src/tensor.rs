@@ -168,6 +168,18 @@ impl Tensor {
         self.inner.borrow().data.clone()
     }
 
+    /// Runs `f` over a borrow of the underlying row-major data without
+    /// copying it — the zero-allocation read path batched serving uses to
+    /// gather token-table rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics (borrow conflict) if `f` re-enters this tensor mutably, e.g.
+    /// via [`Tensor::update_data`].
+    pub fn with_data<R>(&self, f: impl FnOnce(&[f32]) -> R) -> R {
+        f(&self.inner.borrow().data)
+    }
+
     /// The single value of a scalar tensor.
     ///
     /// # Panics

@@ -11,11 +11,11 @@ use akg_kg::AnomalyClass;
 
 fn main() {
     let system = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
-    let retrieval = InterpretableRetrieval::new(&system.tokenizer, &system.space);
+    let retrieval = InterpretableRetrieval::new(&system.engine.tokenizer, &system.engine.space);
     println!("reference vocabulary: {} decodable tokens\n", retrieval.len());
 
     // 1. Retrieval finds a concept's own word first.
-    let sneaky = system.space.word_vector("sneaky");
+    let sneaky = system.engine.space.word_vector("sneaky");
     println!("nearest words to the 'sneaky' embedding (Euclidean, as in the paper):");
     for hit in retrieval.nearest_words(&sneaky, 5, Similarity::Euclidean) {
         println!("  {:<12} closeness {:+.4}", hit.word, hit.closeness);
@@ -26,7 +26,7 @@ fn main() {
     //    each step — the retrieved word flips once the embedding crosses
     //    the midpoint, exactly the "Sneaky -> Firearm" transition the
     //    paper reports.
-    let firearm = system.space.word_vector("firearm");
+    let firearm = system.engine.space.word_vector("firearm");
     println!("\nembedding drift 'sneaky' -> 'firearm' (iterations of adaptation):");
     println!("  mix | dist(sneaky) | dist(firearm) | top word");
     for step in 0..=8 {

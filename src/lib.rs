@@ -15,4 +15,5 @@ pub use akg_data as data;
 pub use akg_embed as embed;
 pub use akg_eval as eval;
 pub use akg_kg as kg;
+pub use akg_runtime as runtime;
 pub use akg_tensor as tensor;

@@ -10,12 +10,12 @@ use adaptive_kg::tensor::nn::Module;
 #[test]
 fn facade_reexports_build_and_score() {
     let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
-    sys.model.set_train(false);
+    sys.engine.model.set_train(false);
 
     let frame =
         Frame { concepts: vec![("walking".into(), 1.0), ("person".into(), 0.6)], label: None };
     let embedding = sys.embed_frame(&frame);
-    let window = vec![embedding; sys.model.config().window];
+    let window = vec![embedding; sys.engine.model.config().window];
 
     let score = sys.score_window(&window);
     assert!((0.0..=1.0).contains(&score), "score must be a probability, got {score}");

@@ -26,7 +26,7 @@ fn quick_train(mission: AnomalyClass, seed: u64) -> (MissionSystem, SyntheticUcf
 
 #[test]
 fn full_pipeline_trains_to_useful_auc() {
-    let (mut sys, ds) = quick_train(AnomalyClass::Stealing, 5);
+    let (sys, ds) = quick_train(AnomalyClass::Stealing, 5);
     let auc = sys.evaluate_auc(&ds.test_subset(AnomalyClass::Stealing));
     assert!(auc > 0.65, "pipeline AUC too low: {auc}");
 }
@@ -49,11 +49,11 @@ fn generated_kg_remains_valid_through_adaptation() {
         adapter.observe(&mut sys, &frame);
     }
     // whatever structural changes happened, every KG invariant must hold
-    for tkg in &sys.kgs {
+    for tkg in &sys.session.kgs {
         assert!(tkg.kg.validate().is_empty(), "{:?}", tkg.kg.validate());
     }
     // and every live reasoning node must still have token rows
-    for tkg in &sys.kgs {
+    for tkg in &sys.session.kgs {
         for node in tkg.kg.nodes() {
             if node.kind == akg_kg::NodeKind::Reasoning {
                 assert!(tkg.tokens_of(node.id).is_some(), "node {} lost tokens", node.id);
@@ -65,7 +65,8 @@ fn generated_kg_remains_valid_through_adaptation() {
 #[test]
 fn adaptation_only_touches_token_table() {
     let (mut sys, ds) = quick_train(AnomalyClass::Stealing, 7);
-    let model_params: Vec<Vec<f32>> = sys.model.params().iter().map(|p| p.to_vec()).collect();
+    let model_params: Vec<Vec<f32>> =
+        sys.engine.model.params().iter().map(|p| p.to_vec()).collect();
     let cfg = AdaptConfig { n_window: 24, interval: 8, min_k: 1, ..AdaptConfig::default() };
     let mut adapter = ContinuousAdapter::new(&mut sys, cfg);
     let mut stream = AdaptationStream::new(&ds, AnomalyClass::Robbery, 0.6, 2);
@@ -73,14 +74,14 @@ fn adaptation_only_touches_token_table() {
         let (frame, _) = stream.next_frame();
         adapter.observe(&mut sys, &frame);
     }
-    let after: Vec<Vec<f32>> = sys.model.params().iter().map(|p| p.to_vec()).collect();
+    let after: Vec<Vec<f32>> = sys.engine.model.params().iter().map(|p| p.to_vec()).collect();
     assert_eq!(model_params, after, "frozen decision model changed during adaptation");
 }
 
 #[test]
 fn deterministic_end_to_end() {
     let run = |seed: u64| {
-        let (mut sys, ds) = quick_train(AnomalyClass::Stealing, seed);
+        let (sys, ds) = quick_train(AnomalyClass::Stealing, seed);
         sys.evaluate_auc(&ds.test_subset(AnomalyClass::Stealing))
     };
     assert_eq!(run(11), run(11), "same seed must give identical results");
@@ -90,11 +91,11 @@ fn deterministic_end_to_end() {
 fn multi_mission_system_scores_all_classes() {
     let missions = [AnomalyClass::Stealing, AnomalyClass::Explosion];
     let mut sys = MissionSystem::build(&missions, &SystemConfig::default());
-    sys.model.set_train(false);
-    assert_eq!(sys.model.n_classes(), 3);
+    sys.engine.model.set_train(false);
+    assert_eq!(sys.engine.model.n_classes(), 3);
     let frame = akg_data::Frame { concepts: vec![("walking".into(), 1.0)], label: None };
     let emb = sys.embed_frame(&frame);
-    let probs = sys.predict_window(&vec![emb; sys.model.config().window]);
+    let probs = sys.predict_window(&vec![emb; sys.engine.model.config().window]);
     assert_eq!(probs.len(), 3);
     assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
 }
@@ -102,7 +103,7 @@ fn multi_mission_system_scores_all_classes() {
 #[test]
 fn anomaly_scores_separate_after_training() {
     let (mut sys, ds) = quick_train(AnomalyClass::Stealing, 9);
-    sys.model.set_train(false);
+    sys.engine.model.set_train(false);
     let videos = ds.train_videos_of(AnomalyClass::Stealing);
     let (scores, labels) = sys.score_video(videos[0]);
     let anom: Vec<f32> = scores.iter().zip(&labels).filter(|(_, l)| **l).map(|(s, _)| *s).collect();

@@ -19,13 +19,13 @@ proptest! {
             &[AnomalyClass::Stealing],
             &SystemConfig { seed, ..SystemConfig::default() },
         );
-        sys.model.set_train(false);
+        sys.engine.model.set_train(false);
         let frame = akg_data::Frame {
             concepts: vec![("walking".into(), 1.0), ("person".into(), 0.5)],
             label: None,
         };
         let emb = sys.embed_frame(&frame);
-        let w = sys.model.config().window;
+        let w = sys.engine.model.config().window;
         let score = sys.score_window(&vec![emb; w]);
         prop_assert!((0.0..=1.0).contains(&score), "score {score}");
         let emb2 = sys.embed_frame(&frame);
@@ -61,12 +61,12 @@ proptest! {
             let score = adapter.observe(&mut sys, &frame);
             prop_assert!((0.0..=1.0).contains(&score));
         }
-        for tkg in &sys.kgs {
+        for tkg in &sys.session.kgs {
             let errors = tkg.kg.validate();
             prop_assert!(errors.is_empty(), "seed {seed}: {errors:?}");
         }
         // layouts must agree with the (possibly restructured) graphs
-        for (tkg, layout) in sys.kgs.iter().zip(&sys.layouts) {
+        for (tkg, layout) in sys.session.kgs.iter().zip(&sys.session.layouts) {
             prop_assert_eq!(layout.node_count(), tkg.kg.node_count());
         }
     }

@@ -208,6 +208,27 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Snapshots the generator's internal xoshiro256++ state so it can be
+        /// persisted and later restored with [`StdRng::restore_state`] —
+        /// continuing the exact random stream (used by deployment-state
+        /// save/load, where a restored edge system must keep producing the
+        /// same frame-embedding noise).
+        pub fn export_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state snapshot taken with
+        /// [`StdRng::export_state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256++ cannot leave (and
+        /// which `export_state` can therefore never produce).
+        pub fn restore_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "StdRng::restore_state: all-zero state is not reachable");
+            StdRng { s }
+        }
+
         fn from_state(mut seed: u64) -> Self {
             // SplitMix64 expansion, as recommended by the xoshiro authors.
             let mut s = [0u64; 4];
