@@ -4,13 +4,17 @@
 //! records every PR's numbers are compared against (see
 //! `docs/PERFORMANCE.md` for how to read them).
 //!
-//! Usage: `perf [--smoke] [--threads N] [--streams N] [--out PATH]
-//! [--serve-out PATH]`
+//! Usage: `perf [--smoke] [--threads N] [--backend B] [--streams N]
+//! [--out PATH] [--serve-out PATH]`
 //!
 //! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
 //!   the full measurement sizes. Smoke output is for validating the harness
 //!   and the JSON schema, **not** for cross-PR comparison.
 //! - `--threads N`: pin the kernel thread pool (default: auto).
+//! - `--backend B`: `scalar`, `simd`, or `auto` (default) — the kernel
+//!   compute backend. The resolved backend and the host's detected CPU
+//!   features are recorded in both JSON reports, so trajectory diffs always
+//!   say which instruction set produced them.
 //! - `--streams N`: cap on the serving-bench stream counts (default 16; the
 //!   bench measures 1, 4, and 16 streams up to this cap).
 //! - `--out PATH`: where to write the tensor JSON (default
@@ -24,6 +28,7 @@ use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
 use akg_runtime::{MultiStreamRuntime, OwnedStreamRuntime, RuntimeConfig};
+use akg_tensor::backend::{cpu_features, effective_backend, set_backend, Backend};
 use akg_tensor::nn::Module;
 use akg_tensor::ops::kernels::{matmul_blocked, matmul_ikj, matmul_naive, matmul_nt};
 use akg_tensor::par::{effective_threads, set_parallelism, Parallelism};
@@ -81,6 +86,11 @@ struct Report {
     mode: String,
     /// Worker threads the kernels used.
     threads: usize,
+    /// The resolved compute backend the kernels ran (`"scalar"` or
+    /// `"simd"`).
+    backend: String,
+    /// SIMD-relevant CPU features the host reported at startup.
+    cpu_features: String,
     /// Op-level medians.
     ops: Vec<OpResult>,
     /// End-to-end system timings.
@@ -116,6 +126,9 @@ struct ServeReport {
     mode: String,
     /// Worker threads the kernels used.
     threads: usize,
+    /// The resolved compute backend the kernels ran (`"scalar"` or
+    /// `"simd"`).
+    backend: String,
     /// Largest cross-stream batch the scheduler may form.
     max_batch: usize,
     /// Per-stream-count measurements.
@@ -130,10 +143,13 @@ fn serve_runtime(
     streams: usize,
     batched: bool,
     parallelism: Parallelism,
+    backend: Backend,
 ) -> OwnedStreamRuntime {
     // Fresh engine per mode/count: deterministic build, so every
-    // measurement serves identical weights and identical feeds.
-    let config = SystemConfig { parallelism, ..SystemConfig::default() };
+    // measurement serves identical weights and identical feeds (the CLI
+    // thread and backend policies ride in, since `build` re-applies its
+    // config's settings process-wide).
+    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
     let engine = Engine::build(&[AnomalyClass::Stealing], &config);
     let mut rt = MultiStreamRuntime::new(engine, RuntimeConfig { max_batch: 16, batched });
     for s in 0..streams {
@@ -144,7 +160,12 @@ fn serve_runtime(
     rt
 }
 
-fn bench_serving(smoke: bool, max_streams: usize, parallelism: Parallelism) -> ServeReport {
+fn bench_serving(
+    smoke: bool,
+    max_streams: usize,
+    parallelism: Parallelism,
+    backend: Backend,
+) -> ServeReport {
     let scale = if smoke { 0.004 } else { 0.02 };
     let ds = Arc::new(SyntheticUcfCrime::generate(
         DatasetConfig::scaled(scale)
@@ -159,7 +180,7 @@ fn bench_serving(smoke: bool, max_streams: usize, parallelism: Parallelism) -> S
         }
         let mut fps = [0.0f64; 2];
         for (slot, batched) in [(0usize, true), (1usize, false)] {
-            let mut rt = serve_runtime(&ds, streams, batched, parallelism);
+            let mut rt = serve_runtime(&ds, streams, batched, parallelism, backend);
             // warm-up tick: engine caches, allocator, stream buffers
             let _ = rt.tick();
             let t0 = Instant::now();
@@ -178,9 +199,10 @@ fn bench_serving(smoke: bool, max_streams: usize, parallelism: Parallelism) -> S
     let single_per_frame = points.first().map(|p| p.per_frame_frames_per_sec).unwrap_or(f64::NAN);
     let largest_batched = points.last().map(|p| p.batched_frames_per_sec).unwrap_or(f64::NAN);
     ServeReport {
-        schema_version: 1,
+        schema_version: 2,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
+        backend: backend_name(),
         max_batch: 16,
         points,
         batched_aggregate_vs_single_per_frame: largest_batched / single_per_frame.max(1e-9),
@@ -199,8 +221,23 @@ fn filled(len: usize, salt: usize) -> Vec<f32> {
     (0..len).map(|i| (((i * 31 + salt * 17) % 29) as f32 - 14.0) * 0.05).collect()
 }
 
-/// Median wall time of `reps` calls, in nanoseconds.
+/// Resolved backend as a report string.
+fn backend_name() -> String {
+    match effective_backend() {
+        Backend::Simd => "simd".to_string(),
+        _ => "scalar".to_string(),
+    }
+}
+
+/// Median wall time of `reps` calls, in nanoseconds. Two warm-up calls run
+/// unmeasured first: the first invocation pays thread-pool spawns, page
+/// faults on freshly-allocated buffers, and instruction-cache fill, which at
+/// low rep counts (7 in full mode) was enough to drag the *median* — not
+/// just the max — of small kernels.
 fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
@@ -228,6 +265,25 @@ fn bench_matmuls(sizes: &[usize], reps: usize, ops: &mut Vec<OpResult>) {
             ops.push(OpResult { name: format!("{kernel}_{dim}"), ns_per_op: ns, reps });
         }
     }
+}
+
+/// Times the GNN message-passing index ops: `scatter_add_rows` (edge
+/// messages summed onto destination rows) and `index_select_rows` (row
+/// gather) at the serving path's row width.
+fn bench_gather_scatter(rows: usize, cols: usize, reps: usize, ops: &mut Vec<OpResult>) {
+    let src = Tensor::from_vec(filled(rows * cols, 7), &[rows, cols]);
+    // A realistic fan-in pattern: several consecutive sources per
+    // destination, like edges into one reasoning level.
+    let dst: Vec<usize> = (0..rows).map(|i| (i / 3) % rows.max(1)).collect();
+    let ns = time_median(reps, || {
+        black_box(src.scatter_add_rows(&dst, rows).to_vec());
+    });
+    ops.push(OpResult { name: format!("scatter_add_{rows}x{cols}"), ns_per_op: ns, reps });
+    let idx: Vec<usize> = (0..rows).map(|i| (i * 7 + 3) % rows).collect();
+    let ns = time_median(reps, || {
+        black_box(src.index_select_rows(&idx).to_vec());
+    });
+    ops.push(OpResult { name: format!("gather_{rows}x{cols}"), ns_per_op: ns, reps });
 }
 
 fn bench_fused(rows: usize, cols: usize, reps: usize, ops: &mut Vec<OpResult>) {
@@ -276,7 +332,7 @@ fn bench_fused(rows: usize, cols: usize, reps: usize, ops: &mut Vec<OpResult>) {
     });
 }
 
-fn bench_end_to_end(smoke: bool, parallelism: Parallelism) -> EndToEnd {
+fn bench_end_to_end(smoke: bool, parallelism: Parallelism, backend: Backend) -> EndToEnd {
     let scale = if smoke { 0.004 } else { 0.02 };
     let ds = SyntheticUcfCrime::generate(
         DatasetConfig::scaled(scale)
@@ -284,10 +340,10 @@ fn bench_end_to_end(smoke: bool, parallelism: Parallelism) -> EndToEnd {
             .with_seed(42),
     );
 
-    // Carry the CLI thread policy into the system build: `build` applies its
-    // config's parallelism process-wide, so defaulting here would silently
-    // undo `--threads`.
-    let config = SystemConfig { parallelism, ..SystemConfig::default() };
+    // Carry the CLI thread and backend policies into the system build:
+    // `build` applies its config's settings process-wide, so defaulting here
+    // would silently undo `--threads` / `--backend`.
+    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
     let t0 = Instant::now();
     let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &config);
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -340,20 +396,44 @@ fn main() {
         None => Parallelism::Auto,
     };
     set_parallelism(parallelism);
+    let backend = match flag_value(&args, "--backend").as_deref() {
+        Some("scalar") => Backend::Scalar,
+        Some("simd") => Backend::Simd,
+        Some("auto") | None => Backend::Auto,
+        Some(other) => {
+            eprintln!("perf: unknown --backend {other:?} (expected scalar|simd|auto)");
+            std::process::exit(2);
+        }
+    };
+    set_backend(backend);
 
     let (sizes, reps): (&[usize], usize) =
         if smoke { (&[32, 48], 3) } else { (&[64, 128, 256], 7) };
     let mut ops = Vec::new();
     println!(
-        "perf: mode={} threads={} sizes={sizes:?}",
+        "perf: mode={} threads={} backend={} cpu=[{}] sizes={sizes:?}",
         if smoke { "smoke" } else { "full" },
-        effective_threads()
+        effective_threads(),
+        backend_name(),
+        cpu_features()
     );
+
+    // Warm the worker pool and touch a large-matmul-sized working set once
+    // before any timed region, so rep 1 of the first kernel doesn't absorb
+    // thread spawns and cold pages.
+    {
+        let dim = *sizes.last().expect("at least one size");
+        let a = filled(dim * dim, 5);
+        let b = filled(dim * dim, 6);
+        black_box(matmul_blocked(black_box(&a), black_box(&b), dim, dim, dim));
+    }
 
     bench_matmuls(sizes, reps, &mut ops);
     let (rows, cols) = if smoke { (16, 16) } else { (64, 128) };
     bench_fused(rows, cols, reps.max(5), &mut ops);
-    let end_to_end = bench_end_to_end(smoke, parallelism);
+    let (srows, scols) = if smoke { (128, 8) } else { (4096, 8) };
+    bench_gather_scatter(srows, scols, reps.max(5), &mut ops);
+    let end_to_end = bench_end_to_end(smoke, parallelism, backend);
 
     let largest = *sizes.last().expect("at least one size");
     let ns_of = |name: &str| {
@@ -381,9 +461,11 @@ fn main() {
     );
 
     let report = Report {
-        schema_version: 1,
+        schema_version: 2,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
+        backend: backend_name(),
+        cpu_features: cpu_features(),
         ops,
         end_to_end,
         derived,
@@ -392,7 +474,7 @@ fn main() {
     std::fs::write(&out, json).expect("write report");
     println!("perf: wrote {out}");
 
-    let serve = bench_serving(smoke, max_streams, parallelism);
+    let serve = bench_serving(smoke, max_streams, parallelism, backend);
     for p in &serve.points {
         println!(
             "  serve {:>2} stream(s): batched {:>7.0} f/s | per-frame {:>7.0} f/s | {:.2}x",

@@ -93,6 +93,7 @@ impl Engine {
     /// decision model.
     pub fn build(missions: &[AnomalyClass], config: &SystemConfig) -> Self {
         akg_tensor::par::set_parallelism(config.parallelism);
+        akg_tensor::backend::set_backend(config.backend);
         let ontology = Ontology::new();
         let corpus = ontology.corpus();
         let tokenizer = BpeTokenizer::train(corpus.iter().map(String::as_str), config.vocab_budget);

@@ -127,6 +127,33 @@ pub struct HierarchicalGnn {
     gnn_dim: usize,
 }
 
+/// The shared message-passing combine of Eqs. 2–3: gather source/destination
+/// rows of `h`, multiply them into edge messages, scatter-add the messages
+/// onto their destination rows (the one tensor-level
+/// [`Tensor::scatter_add_rows`] entry point both the single-window and the
+/// batched forward go through — so one kernel serves both), average by
+/// in-degree, and blend with the passthrough rows.
+///
+/// `srcs`/`dsts` index rows of `h`; `inv_counts`/`keep_mask` are per-row
+/// coefficients over all `out_rows` rows (the batched caller passes the
+/// block-diagonal concatenation of its replicas' plans).
+fn propagate_messages(
+    h: &Tensor,
+    srcs: &[usize],
+    dsts: &[usize],
+    inv_counts: &[f32],
+    keep_mask: &[f32],
+    out_rows: usize,
+) -> Tensor {
+    let src = h.index_select_rows(srcs);
+    let dst = h.index_select_rows(dsts);
+    let messages = src.mul(&dst); // Eq. 2: X_s ⊙ X_d
+    let summed = messages.scatter_add_rows(dsts, out_rows);
+    let averaged = summed.scale_rows(inv_counts); // Eq. 3 mean
+    let kept = h.scale_rows(keep_mask); // passthrough 1(d ∉ V(l))
+    kept.add(&averaged)
+}
+
 impl HierarchicalGnn {
     /// Creates the GNN for a KG of `depth` reasoning levels.
     ///
@@ -189,13 +216,14 @@ impl HierarchicalGnn {
             let combined = if plan.srcs.is_empty() {
                 h
             } else {
-                let src = h.index_select_rows(&plan.srcs);
-                let dst = h.index_select_rows(&plan.dsts);
-                let messages = src.mul(&dst); // Eq. 2: X_s ⊙ X_d
-                let summed = messages.scatter_add_rows(&plan.dsts, layout.node_count());
-                let averaged = summed.scale_rows(&plan.inv_counts); // Eq. 3 mean
-                let kept = h.scale_rows(&plan.keep_mask); // passthrough 1(d ∉ V(l))
-                kept.add(&averaged)
+                propagate_messages(
+                    &h,
+                    &plan.srcs,
+                    &plan.dsts,
+                    &plan.inv_counts,
+                    &plan.keep_mask,
+                    layout.node_count(),
+                )
             };
             x = layer.norm.forward_instance(&combined).elu(); // Eq. 4
         }
@@ -272,13 +300,7 @@ impl HierarchicalGnn {
             let combined = if srcs.is_empty() {
                 h
             } else {
-                let src = h.index_select_rows(&srcs);
-                let dst = h.index_select_rows(&dsts);
-                let messages = src.mul(&dst);
-                let summed = messages.scatter_add_rows(&dsts, b * v);
-                let averaged = summed.scale_rows(&inv_counts);
-                let kept = h.scale_rows(&keep_mask);
-                kept.add(&averaged)
+                propagate_messages(&h, &srcs, &dsts, &inv_counts, &keep_mask, b * v)
             };
             x = layer.norm.forward_instance_grouped(&combined, b).elu();
         }

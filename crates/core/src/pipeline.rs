@@ -48,6 +48,12 @@ pub struct SystemConfig {
     /// runs under this setting. Results are bit-for-bit identical at any
     /// thread count.
     pub parallelism: akg_tensor::Parallelism,
+    /// Kernel compute-backend policy (scalar vs. AVX2+FMA SIMD), applied
+    /// process-wide alongside `parallelism` when the system is built — see
+    /// [`akg_tensor::backend`]. The default `Auto` uses SIMD wherever the
+    /// CPU supports it; force [`akg_tensor::Backend::Scalar`] for bit-exact
+    /// reproducibility against non-SIMD hosts or the pre-SIMD history.
+    pub backend: akg_tensor::Backend,
     /// Master seed.
     pub seed: u64,
 }
@@ -61,6 +67,7 @@ impl Default for SystemConfig {
             vocab_budget: 700,
             spare_rows: 32,
             parallelism: akg_tensor::Parallelism::Auto,
+            backend: akg_tensor::Backend::Auto,
             seed: 0,
         }
     }

@@ -17,6 +17,8 @@
 //!   blocked/threaded matmul kernels exposed in [`ops::kernels`]
 //! - [`par`]: the [`Parallelism`] configuration and the scoped-thread worker
 //!   pool the kernels use
+//! - [`backend`]: the runtime-selected [`Backend`] (portable scalar kernels
+//!   vs. AVX2+FMA SIMD kernels, detected at startup)
 //! - [`nn`]: layers — [`nn::Linear`], [`nn::Embedding`],
 //!   [`nn::norm::BatchNorm1d`], [`nn::norm::LayerNorm`],
 //!   [`nn::attention::TransformerEncoder`]
@@ -46,6 +48,7 @@
 
 mod tensor;
 
+pub mod backend;
 pub mod gradcheck;
 pub mod init;
 pub mod nn;
@@ -53,6 +56,7 @@ pub mod ops;
 pub mod optim;
 pub mod par;
 
+pub use backend::Backend;
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use par::Parallelism;
 pub use tensor::Tensor;

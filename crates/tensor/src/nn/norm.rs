@@ -2,6 +2,7 @@
 //! and [`LayerNorm`] (the temporal transformer's normalizer).
 
 use crate::nn::Module;
+use crate::ops::simd;
 use crate::tensor::Tensor;
 
 /// Batch normalization over the rows of an `[m, n]` input (per-feature
@@ -151,33 +152,36 @@ impl BatchNorm1d {
         let mut out = vec![0.0f32; a.len()];
         let mut mean = vec![0.0f32; n];
         let mut var = vec![0.0f32; n];
+        let mut inv_std = vec![0.0f32; n];
         for g in 0..groups {
             let block = &a[g * m * n..(g + 1) * m * n];
             // mean: rows ascending, then scale by the reciprocal — exactly
-            // `sum_axis0().mul_scalar(1/m)`.
+            // `sum_axis0().mul_scalar(1/m)` under either backend (the
+            // lane-parallel add keeps each column's row-ascending order).
             mean.iter_mut().for_each(|v| *v = 0.0);
             for r in 0..m {
-                for c in 0..n {
-                    mean[c] += block[r * n + c];
-                }
+                simd::vadd_assign(&mut mean, &block[r * n..(r + 1) * n]);
             }
-            mean.iter_mut().for_each(|v| *v *= inv_m);
+            simd::inplace_scale(&mut mean, inv_m);
             // biased variance of the centered block, same op order.
             var.iter_mut().for_each(|v| *v = 0.0);
             for r in 0..m {
-                for c in 0..n {
-                    let centered = block[r * n + c] + (-mean[c]);
-                    var[c] += centered * centered;
-                }
+                simd::batchnorm_var_accum_row(&mut var, &block[r * n..(r + 1) * n], &mean);
             }
-            var.iter_mut().for_each(|v| *v *= inv_m);
+            simd::inplace_scale(&mut var, inv_m);
+            for (is, v) in inv_std.iter_mut().zip(&var) {
+                *is = 1.0 / (v + self.eps).sqrt();
+            }
             let oblock = &mut out[g * m * n..(g + 1) * m * n];
-            for c in 0..n {
-                let inv_std = 1.0 / (var[c] + self.eps).sqrt();
-                for r in 0..m {
-                    let centered = block[r * n + c] + (-mean[c]);
-                    oblock[r * n + c] = ((centered * inv_std) * gamma[c]) + beta[c];
-                }
+            for r in 0..m {
+                simd::batchnorm_apply_row(
+                    &mut oblock[r * n..(r + 1) * n],
+                    &block[r * n..(r + 1) * n],
+                    &mean,
+                    &inv_std,
+                    &gamma,
+                    &beta,
+                );
             }
         }
         Tensor::from_vec(out, &s)
@@ -305,6 +309,7 @@ mod tests {
 
     #[test]
     fn instance_forward_matches_mutable_forward_bitwise() {
+        let _guard = crate::backend::test_lock();
         let mut bn = BatchNorm1d::new(3);
         bn.set_track_running_stats(false);
         let x = Tensor::from_vec((0..12).map(|i| (i as f32).sin()).collect(), &[4, 3]);
@@ -326,6 +331,7 @@ mod tests {
 
     #[test]
     fn grouped_forward_is_bitwise_blockwise() {
+        let _guard = crate::backend::test_lock();
         let bn = BatchNorm1d::new(3);
         // Two groups of 4 rows with very different scales per block.
         let mut data: Vec<f32> = (0..12).map(|i| (i as f32 * 0.37).cos()).collect();

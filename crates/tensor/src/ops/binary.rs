@@ -1,5 +1,11 @@
 //! Elementwise binary operations on same-shape tensors, plus scalar variants.
+//!
+//! Forward maps (and the cheap backward maps) run through the lane-exact
+//! SIMD primitives when the SIMD backend is active: add/sub/mul/div round
+//! identically per lane and per scalar, so results match the scalar backend
+//! bit-for-bit.
 
+use crate::ops::simd;
 use crate::tensor::Tensor;
 
 fn assert_same_shape(a: &Tensor, b: &Tensor, op: &str) {
@@ -17,7 +23,7 @@ impl Tensor {
         assert_same_shape(self, other, "add");
         let a = self.to_vec();
         let b = other.to_vec();
-        let data: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let data = simd::vadd(&a, &b);
         Tensor::from_op(
             data,
             &self.shape(),
@@ -35,12 +41,12 @@ impl Tensor {
         assert_same_shape(self, other, "sub");
         let a = self.to_vec();
         let b = other.to_vec();
-        let data: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let data = simd::vsub(&a, &b);
         Tensor::from_op(
             data,
             &self.shape(),
             vec![self.clone(), other.clone()],
-            Box::new(move |g| vec![g.to_vec(), g.iter().map(|x| -x).collect()]),
+            Box::new(move |g| vec![g.to_vec(), simd::vmul_scalar(g, -1.0)]),
         )
     }
 
@@ -53,17 +59,13 @@ impl Tensor {
         assert_same_shape(self, other, "mul");
         let a = self.to_vec();
         let b = other.to_vec();
-        let data: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        let data = simd::vmul(&a, &b);
         let (ac, bc) = (a, b);
         Tensor::from_op(
             data,
             &self.shape(),
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                let da: Vec<f32> = g.iter().zip(&bc).map(|(gi, bi)| gi * bi).collect();
-                let db: Vec<f32> = g.iter().zip(&ac).map(|(gi, ai)| gi * ai).collect();
-                vec![da, db]
-            }),
+            Box::new(move |g| vec![simd::vmul(g, &bc), simd::vmul(g, &ac)]),
         )
     }
 
@@ -76,14 +78,14 @@ impl Tensor {
         assert_same_shape(self, other, "div");
         let a = self.to_vec();
         let b = other.to_vec();
-        let data: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x / y).collect();
+        let data = simd::vdiv(&a, &b);
         let (ac, bc) = (a, b);
         Tensor::from_op(
             data,
             &self.shape(),
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
-                let da: Vec<f32> = g.iter().zip(&bc).map(|(gi, bi)| gi / bi).collect();
+                let da = simd::vdiv(g, &bc);
                 let db: Vec<f32> = g
                     .iter()
                     .zip(ac.iter().zip(&bc))
@@ -96,7 +98,7 @@ impl Tensor {
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        let data: Vec<f32> = self.to_vec().iter().map(|x| x + s).collect();
+        let data = simd::vadd_scalar(&self.to_vec(), s);
         Tensor::from_op(
             data,
             &self.shape(),
@@ -107,12 +109,12 @@ impl Tensor {
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        let data: Vec<f32> = self.to_vec().iter().map(|x| x * s).collect();
+        let data = simd::vmul_scalar(&self.to_vec(), s);
         Tensor::from_op(
             data,
             &self.shape(),
             vec![self.clone()],
-            Box::new(move |g| vec![g.iter().map(|x| x * s).collect()]),
+            Box::new(move |g| vec![simd::vmul_scalar(g, s)]),
         )
     }
 
@@ -124,7 +126,7 @@ impl Tensor {
     /// Panics if `values.len()` mismatches the element count.
     pub fn add_const(&self, values: &[f32]) -> Tensor {
         assert_eq!(self.numel(), values.len(), "add_const length mismatch");
-        let data: Vec<f32> = self.to_vec().iter().zip(values).map(|(x, c)| x + c).collect();
+        let data = simd::vadd(&self.to_vec(), values);
         Tensor::from_op(
             data,
             &self.shape(),
@@ -140,13 +142,13 @@ impl Tensor {
     /// Panics if `values.len()` mismatches the element count.
     pub fn mul_const(&self, values: &[f32]) -> Tensor {
         assert_eq!(self.numel(), values.len(), "mul_const length mismatch");
-        let data: Vec<f32> = self.to_vec().iter().zip(values).map(|(x, c)| x * c).collect();
+        let data = simd::vmul(&self.to_vec(), values);
         let vc = values.to_vec();
         Tensor::from_op(
             data,
             &self.shape(),
             vec![self.clone()],
-            Box::new(move |g| vec![g.iter().zip(&vc).map(|(gi, c)| gi * c).collect()]),
+            Box::new(move |g| vec![simd::vmul(g, &vc)]),
         )
     }
 }

@@ -1,6 +1,12 @@
 //! Row gathers and scatters: embedding lookups and the index plumbing behind
 //! the hierarchical message-passing layer.
+//!
+//! The accumulating sides (scatter-add forward, gather backward) add whole
+//! rows through the lane-exact SIMD primitive when the SIMD backend is
+//! active — bit-identical to the scalar loops, since each destination row
+//! still receives its contributions in the same source order.
 
+use crate::ops::simd;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -30,9 +36,7 @@ impl Tensor {
             Box::new(move |g| {
                 let mut dx = vec![0.0f32; m * n];
                 for (i, &id) in idx.iter().enumerate() {
-                    for c in 0..n {
-                        dx[id * n + c] += g[i * n + c];
-                    }
+                    simd::vadd_assign(&mut dx[id * n..(id + 1) * n], &g[i * n..(i + 1) * n]);
                 }
                 vec![dx]
             }),
@@ -56,9 +60,7 @@ impl Tensor {
         let mut data = vec![0.0f32; out_rows * n];
         for (i, &d) in dst.iter().enumerate() {
             assert!(d < out_rows, "scatter_add_rows: index {d} out of bounds for {out_rows}");
-            for c in 0..n {
-                data[d * n + c] += a[i * n + c];
-            }
+            simd::vadd_assign(&mut data[d * n..(d + 1) * n], &a[i * n..(i + 1) * n]);
         }
         let dst_c = dst.to_vec();
         Tensor::from_op(

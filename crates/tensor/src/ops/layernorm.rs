@@ -10,7 +10,14 @@
 //! one sweep. Its forward arithmetic follows the composed chain
 //! element-for-element, so switching `nn::norm::LayerNorm` to the fused op
 //! changed no eval-mode output bit.
+//!
+//! Under the SIMD backend the row reductions (mean, variance, and the two
+//! backward means) run through the shared lane-parallel primitives in
+//! `ops::simd` — the same functions `sum_axis1` uses, so the fused op stays
+//! bit-identical to the composed chain *within* each backend even though
+//! the two backends round the reductions differently.
 
+use crate::ops::simd;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -55,11 +62,11 @@ impl Tensor {
 
         for r in 0..m {
             let row = &mut data[r * n..(r + 1) * n];
-            let mean = row.iter().sum::<f32>() * inv_n;
-            for v in row.iter_mut() {
-                *v -= mean;
-            }
-            let var = row.iter().map(|c| c * c).sum::<f32>() * inv_n;
+            let mean = simd::row_sum(row) * inv_n;
+            // x + (-mean) is bitwise x - mean, which lets the centering share
+            // the lane-exact add primitive.
+            simd::inplace_add_scalar(row, -mean);
+            let var = simd::row_dot_nofma(row, row) * inv_n;
             let is = 1.0 / (var + eps).sqrt();
             inv_std[r] = is;
             for (c, v) in row.iter_mut().enumerate() {
@@ -79,28 +86,26 @@ impl Tensor {
                 let mut dx = vec![0.0f32; m * n];
                 let mut dgamma = vec![0.0f32; n];
                 let mut dbeta = vec![0.0f32; n];
+                // dh = dL/dx̂ = g · gamma, materialized once per row; the two
+                // row means below are the mean-subtraction and variance
+                // terms of the layer-norm Jacobian.
+                let mut dh = vec![0.0f32; n];
                 for r in 0..m {
                     let gr = &g[r * n..(r + 1) * n];
                     let xr = &xhat[r * n..(r + 1) * n];
-                    // dh = dL/dx̂ = g · gamma; the two row means below are
-                    // the mean-subtraction and variance terms of the
-                    // layer-norm Jacobian.
-                    let mut mean_dh = 0.0f32;
-                    let mut mean_dh_xhat = 0.0f32;
-                    for c in 0..n {
-                        let dh = gr[c] * gamma_v[c];
-                        mean_dh += dh;
-                        mean_dh_xhat += dh * xr[c];
-                        dgamma[c] += gr[c] * xr[c];
-                        dbeta[c] += gr[c];
-                    }
-                    mean_dh *= inv_n;
-                    mean_dh_xhat *= inv_n;
-                    let is = inv_std[r];
-                    for c in 0..n {
-                        let dh = gr[c] * gamma_v[c];
-                        dx[r * n + c] = is * (dh - mean_dh - xr[c] * mean_dh_xhat);
-                    }
+                    simd::vmul_into(&mut dh, gr, &gamma_v);
+                    let mean_dh = simd::row_sum(&dh) * inv_n;
+                    let mean_dh_xhat = simd::row_dot_nofma(&dh, xr) * inv_n;
+                    simd::add_prod_assign(&mut dgamma, gr, xr);
+                    simd::vadd_assign(&mut dbeta, gr);
+                    simd::layernorm_bwd_dx_row(
+                        &mut dx[r * n..(r + 1) * n],
+                        &dh,
+                        xr,
+                        mean_dh,
+                        mean_dh_xhat,
+                        inv_std[r],
+                    );
                 }
                 vec![dx, dgamma, dbeta]
             }),
@@ -125,6 +130,7 @@ mod tests {
 
     #[test]
     fn fused_forward_is_bit_identical_to_composed() {
+        let _guard = crate::backend::test_lock();
         let x = Tensor::from_vec(
             vec![1.0, -2.5, 3.25, 0.125, 7.5, -0.75, 2.0, 4.5, -1.0, 0.5, 0.25, -3.5],
             &[3, 4],

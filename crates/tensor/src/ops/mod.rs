@@ -18,6 +18,10 @@
 //! - [`kernels`]: raw blocked/threaded matmul kernels the ops dispatch to
 //!   (public so benches and property tests can compare against the naive
 //!   reference directly)
+//!
+//! The hot ops additionally dispatch between portable scalar loops and
+//! AVX2+FMA SIMD implementations (the crate-private `simd` module) according
+//! to the process-wide [`crate::backend::Backend`] setting.
 
 pub mod binary;
 pub mod broadcast;
@@ -27,5 +31,6 @@ pub mod layernorm;
 pub mod matmul;
 pub mod reduce;
 pub mod shape;
+pub(crate) mod simd;
 pub mod softmax;
 pub mod unary;

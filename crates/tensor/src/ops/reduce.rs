@@ -1,12 +1,19 @@
 //! Reductions: sums and means over all elements or one axis of a 2-D tensor.
+//!
+//! Row-wise sums (`sum_all`, `sum_axis1`) go through the crate's canonical
+//! row-sum primitive — sequential under the scalar backend, lane-parallel
+//! partial sums under SIMD. Column sums (`sum_axis0`) accumulate whole rows
+//! with the lane-exact add, so they are bit-identical under both backends
+//! (each column is still summed rows-ascending).
 
+use crate::ops::simd;
 use crate::tensor::Tensor;
 
 impl Tensor {
     /// Sum of all elements, returned as a scalar tensor.
     pub fn sum_all(&self) -> Tensor {
         let n = self.numel();
-        let s: f32 = self.to_vec().iter().sum();
+        let s = simd::row_sum(&self.to_vec());
         Tensor::from_op(vec![s], &[1], vec![self.clone()], Box::new(move |g| vec![vec![g[0]; n]]))
     }
 
@@ -28,9 +35,7 @@ impl Tensor {
         let a = self.to_vec();
         let mut out = vec![0.0f32; n];
         for r in 0..m {
-            for c in 0..n {
-                out[c] += a[r * n + c];
-            }
+            simd::vadd_assign(&mut out, &a[r * n..(r + 1) * n]);
         }
         Tensor::from_op(
             out,
@@ -67,8 +72,8 @@ impl Tensor {
         let (m, n) = (s[0], s[1]);
         let a = self.to_vec();
         let mut out = vec![0.0f32; m];
-        for r in 0..m {
-            out[r] = a[r * n..(r + 1) * n].iter().sum();
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = simd::row_sum(&a[r * n..(r + 1) * n]);
         }
         Tensor::from_op(
             out,

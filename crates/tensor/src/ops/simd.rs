@@ -1,0 +1,1223 @@
+//! AVX2+FMA implementations of the hot-path kernels, plus the safe dispatch
+//! wrappers the portable ops call.
+//!
+//! This module is the SIMD half of the backend split described in
+//! [`crate::backend`]: every function here is a *drop-in* for a scalar loop
+//! somewhere in `ops/` or `nn/`, selected at runtime via
+//! [`crate::backend::simd_active`]. The wrappers in the top half of the file
+//! are safe and portable (they carry the scalar fallback inline, duplicated
+//! from the call sites they serve so the scalar backend stays byte-identical
+//! to the pre-SIMD code); the `avx` submodule at the bottom holds the
+//! `unsafe` `#[target_feature(enable = "avx2,fma")]` kernels and only exists
+//! on `x86_64`.
+//!
+//! ## Accumulation-order contract
+//!
+//! The SAXPY-family matmuls (`ikj`, `blocked`, `tn`) all update each output
+//! element through a single fused-multiply-add chain with `k` ascending —
+//! including the register-tiled microkernel inside the blocked fill and
+//! every scalar tail (tails use [`f32::mul_add`], which compiles to the same
+//! `vfmadd` under the `fma` target feature). That keeps
+//! `matmul_blocked ≡ matmul_ikj` *bit-for-bit* under the SIMD backend, which
+//! the size-dispatch in [`super::matmul`] and the batched-serving
+//! equivalence suite both rely on. The SIMD SAXPY path drops the scalar
+//! kernels' `a == 0.0` skip: with finite inputs `fma(0, b, acc) == acc`
+//! exactly, so results agree; only non-finite propagation (documented out of
+//! scope in [`super::kernels`]) differs.
+//!
+//! Row reductions ([`row_sum`], [`row_dot_nofma`], [`dot`]) use a fixed
+//! four-lane-group accumulator pattern — deterministic, but a different
+//! summation order than the sequential scalar fold, which is exactly the
+//! ≤ 1e-4 SIMD-vs-scalar divergence the property suite bounds. All ops that
+//! must stay bit-identical to a composed formulation under *both* backends
+//! (fused softmax vs. scale→mask→softmax, grouped batch-norm vs. per-block
+//! instance norm, fused layer-norm vs. its op chain) either share one
+//! canonical reduction function or use only per-lane-exact operations
+//! (add/sub/mul/div/max are IEEE-identical lane-wise to their scalar
+//! forms).
+
+use crate::backend::simd_active;
+
+// ---------------------------------------------------------------------------
+// Matmul fills
+// ---------------------------------------------------------------------------
+
+/// SIMD whole-kernel `ikj` matmul. `None` when the SIMD backend is inactive.
+pub(crate) fn try_matmul_ikj(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Option<Vec<f32>> {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return Some(unsafe { avx::matmul_ikj_fma(a, b, m, k, n) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (a, b, m, k, n);
+    None
+}
+
+/// SIMD fill of one row-chunk of the blocked matmul (packed panel +
+/// register-tiled microkernel). Returns `false` when `active` is false and
+/// the caller must run the scalar fill.
+///
+/// `active` is the caller's *one* [`simd_active`] resolution for the whole
+/// kernel invocation: the chunked kernels run this fill once per row chunk,
+/// and re-reading the global here would let a concurrent `set_backend` mix
+/// SIMD and scalar chunks inside a single matmul. `active` may only be true
+/// when [`simd_active`] returned true (it never returns true off x86_64).
+pub(crate) fn try_blocked_fill(
+    active: bool,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    chunk: &mut [f32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if active {
+        // SAFETY: `active` comes from `simd_active`, which implies AVX2+FMA
+        // were detected at runtime.
+        unsafe { avx::blocked_fill_fma(a, b, k, n, row0, chunk) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (active, a, b, k, n, row0, chunk);
+    false
+}
+
+/// SIMD fill of one row-chunk of `matmul_nt` (dot products of contiguous
+/// rows). Returns `false` when `active` is false. See [`try_blocked_fill`]
+/// for the `active` contract.
+pub(crate) fn try_nt_fill(
+    active: bool,
+    a: &[f32],
+    bt: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    chunk: &mut [f32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if active {
+        // SAFETY: `active` comes from `simd_active`, which implies AVX2+FMA
+        // were detected at runtime.
+        unsafe { avx::nt_fill_fma(a, bt, k, n, row0, chunk) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (active, a, bt, k, n, row0, chunk);
+    false
+}
+
+/// SIMD fill of one output row-chunk of `matmul_tn` (`Aᵀ·B` SAXPY rows).
+/// Returns `false` when `active` is false. See [`try_blocked_fill`] for the
+/// `active` contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_tn_fill(
+    active: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    p0: usize,
+    chunk: &mut [f32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if active {
+        // SAFETY: `active` comes from `simd_active`, which implies AVX2+FMA
+        // were detected at runtime.
+        unsafe { avx::tn_fill_fma(a, b, m, k, n, p0, chunk) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (active, a, b, m, k, n, p0, chunk);
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise maps (per-lane-exact: identical results on both backends)
+// ---------------------------------------------------------------------------
+
+macro_rules! vbin {
+    ($name:ident, $avx:ident, $op:tt) => {
+        /// Elementwise binary map (lane-exact; slices must have equal length).
+        pub(crate) fn $name(a: &[f32], b: &[f32]) -> Vec<f32> {
+            debug_assert_eq!(a.len(), b.len());
+            #[cfg(target_arch = "x86_64")]
+            if simd_active() {
+                // SAFETY: `simd_active` implies AVX2+FMA were detected.
+                return unsafe { avx::$avx(a, b) };
+            }
+            a.iter().zip(b).map(|(x, y)| x $op y).collect()
+        }
+    };
+}
+
+vbin!(vadd, vadd_fma, +);
+vbin!(vsub, vsub_fma, -);
+vbin!(vmul, vmul_fma, *);
+vbin!(vdiv, vdiv_fma, /);
+
+/// `x + s` elementwise (lane-exact).
+pub(crate) fn vadd_scalar(x: &[f32], s: f32) -> Vec<f32> {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return unsafe { avx::vadd_scalar_fma(x, s) };
+    }
+    x.iter().map(|v| v + s).collect()
+}
+
+/// `x * s` elementwise (lane-exact).
+pub(crate) fn vmul_scalar(x: &[f32], s: f32) -> Vec<f32> {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return unsafe { avx::vmul_scalar_fma(x, s) };
+    }
+    x.iter().map(|v| v * s).collect()
+}
+
+/// `max(x, 0)` elementwise — the ReLU forward map (lane-exact on finite
+/// input).
+pub(crate) fn vrelu(x: &[f32]) -> Vec<f32> {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return unsafe { avx::vrelu_fma(x) };
+    }
+    x.iter().map(|v| v.max(0.0)).collect()
+}
+
+/// `|x|` elementwise (lane-exact).
+pub(crate) fn vabs(x: &[f32]) -> Vec<f32> {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return unsafe { avx::vabs_fma(x) };
+    }
+    x.iter().map(|v| v.abs()).collect()
+}
+
+/// `out += x` elementwise (lane-exact) — the scatter-add row primitive.
+pub(crate) fn vadd_assign(out: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::vadd_assign_fma(out, x) };
+        return;
+    }
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += v;
+    }
+}
+
+/// `out += a * b` elementwise, multiply-then-add without FMA contraction so
+/// both backends round each product before accumulating (bit-stable vs. the
+/// scalar form).
+pub(crate) fn add_prod_assign(out: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::add_prod_assign_fma(out, a, b) };
+        return;
+    }
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o += x * y;
+    }
+}
+
+/// `dst = a * b` elementwise into a caller-provided buffer (lane-exact).
+pub(crate) fn vmul_into(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::vmul_into_fma(dst, a, b) };
+        return;
+    }
+    for (d, (x, y)) in dst.iter_mut().zip(a.iter().zip(b)) {
+        *d = x * y;
+    }
+}
+
+/// `row *= s` in place (lane-exact).
+pub(crate) fn inplace_scale(row: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::inplace_scale_fma(row, s) };
+        return;
+    }
+    for v in row.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// `row += s` in place (lane-exact; pass `-mean` to center a row, which is
+/// bitwise the same as subtracting).
+pub(crate) fn inplace_add_scalar(row: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::inplace_add_scalar_fma(row, s) };
+        return;
+    }
+    for v in row.iter_mut() {
+        *v += s;
+    }
+}
+
+/// `row += other` in place (lane-exact).
+pub(crate) fn inplace_add(row: &mut [f32], other: &[f32]) {
+    vadd_assign(row, other);
+}
+
+/// `row /= d` in place (lane-exact — IEEE division per lane rounds exactly
+/// like the scalar division).
+pub(crate) fn inplace_div_scalar(row: &mut [f32], d: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::inplace_div_scalar_fma(row, d) };
+        return;
+    }
+    for v in row.iter_mut() {
+        *v /= d;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Sum of a row. The canonical row reduction: every per-row sum in the crate
+/// (`sum_axis1`, the fused layer-norm means) calls this one function, so ops
+/// that must agree bit-for-bit with each other do, under either backend.
+pub(crate) fn row_sum(x: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return unsafe { avx::vsum_fma(x) };
+    }
+    x.iter().sum()
+}
+
+/// Dot product accumulated as round(x·y) then add — no FMA contraction — in
+/// the same lane pattern as [`row_sum`], so `row_dot_nofma(x, y)` is bitwise
+/// `row_sum` of the elementwise products under either backend.
+pub(crate) fn row_dot_nofma(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return unsafe { avx::vdot_nofma(x, y) };
+    }
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Maximum of a row (exact under any evaluation order for finite input).
+pub(crate) fn row_max(x: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        return unsafe { avx::vmax_fma(x) };
+    }
+    x.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+}
+
+// ---------------------------------------------------------------------------
+// Fused-op bodies (softmax backward, layer-norm backward, batch-norm apply)
+// ---------------------------------------------------------------------------
+
+/// One row of the fused-softmax backward: `dx = scale · y · (g − dot)`,
+/// evaluated with the scalar path's exact operation order per element.
+pub(crate) fn softmax_bwd_row(dx: &mut [f32], y: &[f32], g: &[f32], dot: f32, scale: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::softmax_bwd_row_fma(dx, y, g, dot, scale) };
+        return;
+    }
+    for (d, (yv, gv)) in dx.iter_mut().zip(y.iter().zip(g)) {
+        *d = scale * (yv * (gv - dot));
+    }
+}
+
+/// One row of the fused layer-norm backward input gradient:
+/// `dx = inv_std · (dh − mean_dh − x̂ · mean_dh_xhat)`, evaluated with the
+/// scalar path's exact operation order per element.
+pub(crate) fn layernorm_bwd_dx_row(
+    dx: &mut [f32],
+    dh: &[f32],
+    xhat: &[f32],
+    mean_dh: f32,
+    mean_dh_xhat: f32,
+    inv_std: f32,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::layernorm_bwd_dx_row_fma(dx, dh, xhat, mean_dh, mean_dh_xhat, inv_std) };
+        return;
+    }
+    for (d, (h, x)) in dx.iter_mut().zip(dh.iter().zip(xhat)) {
+        *d = inv_std * (h - mean_dh - x * mean_dh_xhat);
+    }
+}
+
+/// One row of the batch-norm application:
+/// `o = ((x − mean) · inv_std) · gamma + beta`, per-lane-exact against the
+/// grouped scalar loop and the composed `add_bias`/`mul_bias` chain.
+pub(crate) fn batchnorm_apply_row(
+    out: &mut [f32],
+    x: &[f32],
+    mean: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::batchnorm_apply_row_fma(out, x, mean, inv_std, gamma, beta) };
+        return;
+    }
+    for c in 0..out.len() {
+        let centered = x[c] - mean[c];
+        out[c] = ((centered * inv_std[c]) * gamma[c]) + beta[c];
+    }
+}
+
+/// Accumulates `var += (x − mean)²` for one row, multiply-then-add (no FMA),
+/// matching the grouped batch-norm scalar loop bit-for-bit.
+pub(crate) fn batchnorm_var_accum_row(var: &mut [f32], x: &[f32], mean: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
+        unsafe { avx::batchnorm_var_accum_row_fma(var, x, mean) };
+        return;
+    }
+    for c in 0..var.len() {
+        let centered = x[c] - mean[c];
+        var[c] += centered * centered;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA kernels (x86_64 only)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use crate::ops::kernels::{KC, NC};
+    use core::arch::x86_64::*;
+
+    /// Microkernel row count: 6 rows × 2 YMM columns = 12 accumulator
+    /// registers, plus two panel vectors and one broadcast — 15 of 16 YMM.
+    const MR: usize = 6;
+
+    /// Fixed-order horizontal sum of one YMM register: low128 + high128,
+    /// then the SSE pairwise tree.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let q = _mm_add_ps(lo, hi);
+        let sh = _mm_movehl_ps(q, q);
+        let s2 = _mm_add_ps(q, sh);
+        let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+        _mm_cvtss_f32(s1)
+    }
+
+    /// Horizontal max of one YMM register (exact for finite lanes).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    unsafe fn hmax256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let q = _mm_max_ps(lo, hi);
+        let sh = _mm_movehl_ps(q, q);
+        let s2 = _mm_max_ps(q, sh);
+        let s1 = _mm_max_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+        _mm_cvtss_f32(s1)
+    }
+
+    /// `out[j] = fma(a, x[j], out[j])` — one SAXPY step of the k-ascending
+    /// accumulation chain. Tail lanes use `f32::mul_add`, which lowers to
+    /// the same `vfmadd` under this function's `fma` feature, so an
+    /// element's result never depends on whether it fell in a vector body
+    /// or a tail.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub(super) unsafe fn axpy_fma(out: &mut [f32], a: f32, x: &[f32]) {
+        debug_assert_eq!(out.len(), x.len());
+        let n = out.len();
+        let va = _mm256_set1_ps(a);
+        let op = out.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            let o = _mm256_loadu_ps(op.add(j));
+            let xv = _mm256_loadu_ps(xp.add(j));
+            _mm256_storeu_ps(op.add(j), _mm256_fmadd_ps(va, xv, o));
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) = a.mul_add(*xp.add(j), *op.add(j));
+            j += 1;
+        }
+    }
+
+    /// Dot product: four 8-lane FMA accumulators over 32-element chunks, one
+    /// 8-lane accumulator for the 8-element remainder, fixed-order combine,
+    /// then a sequential FMA tail. For rows shorter than 8 this degenerates
+    /// to the exact single FMA chain the SAXPY kernels produce.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub(super) unsafe fn dot_fma(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(yp.add(j)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(j + 8)),
+                _mm256_loadu_ps(yp.add(j + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(j + 16)),
+                _mm256_loadu_ps(yp.add(j + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(j + 24)),
+                _mm256_loadu_ps(yp.add(j + 24)),
+                acc3,
+            );
+            j += 32;
+        }
+        while j + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(yp.add(j)), acc0);
+            j += 8;
+        }
+        let combined = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut s = hsum256(combined);
+        while j < n {
+            s = (*xp.add(j)).mul_add(*yp.add(j), s);
+            j += 1;
+        }
+        s
+    }
+
+    /// Whole-kernel `ikj` matmul: k-ascending SAXPY rows via [`axpy_fma`],
+    /// no zero-coefficient skip (see the module docs).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn matmul_ikj_fma(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                axpy_fma(orow, a[i * k + p], &b[p * n..(p + 1) * n]);
+            }
+        }
+        out
+    }
+
+    /// Fills one row-chunk of the blocked matmul: the same packed-panel
+    /// block structure as the scalar fill, with the inner SAXPY replaced by
+    /// a 6×16 register-tiled FMA microkernel (accumulators live in YMM
+    /// across the whole `kc` loop — one C load/store per block instead of
+    /// one per `p`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn blocked_fill_fma(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        chunk: &mut [f32],
+    ) {
+        let rows = chunk.len() / n;
+        let mut panel = vec![0.0f32; KC.min(k) * NC.min(n)];
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                for p in 0..kc {
+                    let src = &b[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+                    panel[p * nc..(p + 1) * nc].copy_from_slice(src);
+                }
+                let mut jr = 0;
+                while jr + 16 <= nc {
+                    let mut ii = 0;
+                    while ii + MR <= rows {
+                        micro_6x16(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &panel, nc, jr);
+                        ii += MR;
+                    }
+                    while ii < rows {
+                        micro_1x16(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &panel, nc, jr);
+                        ii += 1;
+                    }
+                    jr += 16;
+                }
+                while jr + 8 <= nc {
+                    for ii in 0..rows {
+                        micro_1x8(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &panel, nc, jr);
+                    }
+                    jr += 8;
+                }
+                if jr < nc {
+                    // Scalar FMA tail columns: p-ascending per element, same
+                    // chain as every vector path.
+                    for ii in 0..rows {
+                        let arow = &a[(row0 + ii) * k + pc..(row0 + ii) * k + pc + kc];
+                        let orow = &mut chunk[ii * n + jc + jr..ii * n + jc + nc];
+                        for (p, &aip) in arow.iter().enumerate() {
+                            let prow = &panel[p * nc + jr..(p + 1) * nc];
+                            for (o, &bv) in orow.iter_mut().zip(prow) {
+                                *o = aip.mul_add(bv, *o);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// 6-row × 16-column microkernel tile: 12 YMM accumulators carried
+    /// through the `kc` loop.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn micro_6x16(
+        a: &[f32],
+        chunk: &mut [f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        ii: usize,
+        pc: usize,
+        kc: usize,
+        col: usize,
+        panel: &[f32],
+        nc: usize,
+        jr: usize,
+    ) {
+        let cp = chunk.as_mut_ptr();
+        let ap = a.as_ptr();
+        let pp = panel.as_ptr();
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let base = cp.add((ii + r) * n + col);
+            accr[0] = _mm256_loadu_ps(base);
+            accr[1] = _mm256_loadu_ps(base.add(8));
+        }
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(pp.add(p * nc + jr));
+            let b1 = _mm256_loadu_ps(pp.add(p * nc + jr + 8));
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ap.add((row0 + ii + r) * k + pc + p));
+                accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let base = cp.add((ii + r) * n + col);
+            _mm256_storeu_ps(base, accr[0]);
+            _mm256_storeu_ps(base.add(8), accr[1]);
+        }
+    }
+
+    /// 1-row × 16-column microkernel tile (row remainder of the 6×16 sweep).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn micro_1x16(
+        a: &[f32],
+        chunk: &mut [f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        ii: usize,
+        pc: usize,
+        kc: usize,
+        col: usize,
+        panel: &[f32],
+        nc: usize,
+        jr: usize,
+    ) {
+        let base = chunk.as_mut_ptr().add(ii * n + col);
+        let ap = a.as_ptr();
+        let pp = panel.as_ptr();
+        let mut acc0 = _mm256_loadu_ps(base);
+        let mut acc1 = _mm256_loadu_ps(base.add(8));
+        for p in 0..kc {
+            let av = _mm256_set1_ps(*ap.add((row0 + ii) * k + pc + p));
+            acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(pp.add(p * nc + jr)), acc0);
+            acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(pp.add(p * nc + jr + 8)), acc1);
+        }
+        _mm256_storeu_ps(base, acc0);
+        _mm256_storeu_ps(base.add(8), acc1);
+    }
+
+    /// 1-row × 8-column microkernel tile (column remainder strip).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn micro_1x8(
+        a: &[f32],
+        chunk: &mut [f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        ii: usize,
+        pc: usize,
+        kc: usize,
+        col: usize,
+        panel: &[f32],
+        nc: usize,
+        jr: usize,
+    ) {
+        let base = chunk.as_mut_ptr().add(ii * n + col);
+        let ap = a.as_ptr();
+        let pp = panel.as_ptr();
+        let mut acc = _mm256_loadu_ps(base);
+        for p in 0..kc {
+            let av = _mm256_set1_ps(*ap.add((row0 + ii) * k + pc + p));
+            acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(pp.add(p * nc + jr)), acc);
+        }
+        _mm256_storeu_ps(base, acc);
+    }
+
+    /// Fills one row-chunk of `matmul_nt`: each element is [`dot_fma`] of
+    /// two contiguous rows.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn nt_fill_fma(
+        a: &[f32],
+        bt: &[f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        chunk: &mut [f32],
+    ) {
+        let rows = chunk.len() / n;
+        for ii in 0..rows {
+            let arow = &a[(row0 + ii) * k..(row0 + ii + 1) * k];
+            let orow = &mut chunk[ii * n..(ii + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot_fma(arow, &bt[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// Fills one output row-chunk of `matmul_tn` with SAXPY rows (the same
+    /// i-ascending accumulation as the scalar fill, minus the zero skip).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn tn_fill_fma(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        p0: usize,
+        chunk: &mut [f32],
+    ) {
+        let prows = chunk.len() / n;
+        for i in 0..m {
+            let aseg = &a[i * k + p0..i * k + p0 + prows];
+            let brow = &b[i * n..(i + 1) * n];
+            for (pp, &aip) in aseg.iter().enumerate() {
+                axpy_fma(&mut chunk[pp * n..(pp + 1) * n], aip, brow);
+            }
+        }
+    }
+
+    macro_rules! avx_bin {
+        ($name:ident, $lane:ident, $op:tt) => {
+            #[target_feature(enable = "avx2", enable = "fma")]
+            pub(super) unsafe fn $name(a: &[f32], b: &[f32]) -> Vec<f32> {
+                let n = a.len();
+                let mut out = vec![0.0f32; n];
+                let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+                let mut j = 0;
+                while j + 8 <= n {
+                    let v = $lane(_mm256_loadu_ps(ap.add(j)), _mm256_loadu_ps(bp.add(j)));
+                    _mm256_storeu_ps(op.add(j), v);
+                    j += 8;
+                }
+                while j < n {
+                    *op.add(j) = *ap.add(j) $op *bp.add(j);
+                    j += 1;
+                }
+                out
+            }
+        };
+    }
+
+    avx_bin!(vadd_fma, _mm256_add_ps, +);
+    avx_bin!(vsub_fma, _mm256_sub_ps, -);
+    avx_bin!(vmul_fma, _mm256_mul_ps, *);
+    avx_bin!(vdiv_fma, _mm256_div_ps, /);
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn vadd_scalar_fma(x: &[f32], s: f32) -> Vec<f32> {
+        let n = x.len();
+        let mut out = vec![0.0f32; n];
+        let vs = _mm256_set1_ps(s);
+        let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(op.add(j), _mm256_add_ps(_mm256_loadu_ps(xp.add(j)), vs));
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) = *xp.add(j) + s;
+            j += 1;
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn vmul_scalar_fma(x: &[f32], s: f32) -> Vec<f32> {
+        let n = x.len();
+        let mut out = vec![0.0f32; n];
+        let vs = _mm256_set1_ps(s);
+        let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(op.add(j), _mm256_mul_ps(_mm256_loadu_ps(xp.add(j)), vs));
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) = *xp.add(j) * s;
+            j += 1;
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn vrelu_fma(x: &[f32]) -> Vec<f32> {
+        let n = x.len();
+        let mut out = vec![0.0f32; n];
+        let zero = _mm256_setzero_ps();
+        let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(op.add(j), _mm256_max_ps(_mm256_loadu_ps(xp.add(j)), zero));
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) = (*xp.add(j)).max(0.0);
+            j += 1;
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn vabs_fma(x: &[f32]) -> Vec<f32> {
+        let n = x.len();
+        let mut out = vec![0.0f32; n];
+        let mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(op.add(j), _mm256_and_ps(_mm256_loadu_ps(xp.add(j)), mask));
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) = (*xp.add(j)).abs();
+            j += 1;
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn vadd_assign_fma(out: &mut [f32], x: &[f32]) {
+        let n = out.len();
+        let (op, xp) = (out.as_mut_ptr(), x.as_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_add_ps(_mm256_loadu_ps(op.add(j)), _mm256_loadu_ps(xp.add(j)));
+            _mm256_storeu_ps(op.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) += *xp.add(j);
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn add_prod_assign_fma(out: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = out.len();
+        let (op, ap, bp) = (out.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            let prod = _mm256_mul_ps(_mm256_loadu_ps(ap.add(j)), _mm256_loadu_ps(bp.add(j)));
+            _mm256_storeu_ps(op.add(j), _mm256_add_ps(_mm256_loadu_ps(op.add(j)), prod));
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) += *ap.add(j) * *bp.add(j);
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn vmul_into_fma(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = dst.len();
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_mul_ps(_mm256_loadu_ps(ap.add(j)), _mm256_loadu_ps(bp.add(j)));
+            _mm256_storeu_ps(dp.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *dp.add(j) = *ap.add(j) * *bp.add(j);
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn inplace_scale_fma(row: &mut [f32], s: f32) {
+        let n = row.len();
+        let vs = _mm256_set1_ps(s);
+        let rp = row.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(rp.add(j), _mm256_mul_ps(_mm256_loadu_ps(rp.add(j)), vs));
+            j += 8;
+        }
+        while j < n {
+            *rp.add(j) *= s;
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn inplace_add_scalar_fma(row: &mut [f32], s: f32) {
+        let n = row.len();
+        let vs = _mm256_set1_ps(s);
+        let rp = row.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(rp.add(j), _mm256_add_ps(_mm256_loadu_ps(rp.add(j)), vs));
+            j += 8;
+        }
+        while j < n {
+            *rp.add(j) += s;
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn inplace_div_scalar_fma(row: &mut [f32], d: f32) {
+        let n = row.len();
+        let vd = _mm256_set1_ps(d);
+        let rp = row.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(rp.add(j), _mm256_div_ps(_mm256_loadu_ps(rp.add(j)), vd));
+            j += 8;
+        }
+        while j < n {
+            *rp.add(j) /= d;
+            j += 1;
+        }
+    }
+
+    /// The canonical SIMD row sum: four 8-lane accumulators over 32-element
+    /// chunks, one 8-lane accumulator for the 8-element remainder,
+    /// fixed-order combine, sequential tail.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub(super) unsafe fn vsum_fma(x: &[f32]) -> f32 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 32 <= n {
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(xp.add(j)));
+            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(xp.add(j + 8)));
+            acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(xp.add(j + 16)));
+            acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(xp.add(j + 24)));
+            j += 32;
+        }
+        while j + 8 <= n {
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(xp.add(j)));
+            j += 8;
+        }
+        let combined = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut s = hsum256(combined);
+        while j < n {
+            s += *xp.add(j);
+            j += 1;
+        }
+        s
+    }
+
+    /// Multiply-then-add dot in exactly [`vsum_fma`]'s lane pattern: bitwise
+    /// equal to `vsum_fma` over the pre-rounded elementwise products.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub(super) unsafe fn vdot_nofma(x: &[f32], y: &[f32]) -> f32 {
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 32 <= n {
+            let p0 = _mm256_mul_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(yp.add(j)));
+            let p1 = _mm256_mul_ps(_mm256_loadu_ps(xp.add(j + 8)), _mm256_loadu_ps(yp.add(j + 8)));
+            let p2 =
+                _mm256_mul_ps(_mm256_loadu_ps(xp.add(j + 16)), _mm256_loadu_ps(yp.add(j + 16)));
+            let p3 =
+                _mm256_mul_ps(_mm256_loadu_ps(xp.add(j + 24)), _mm256_loadu_ps(yp.add(j + 24)));
+            acc0 = _mm256_add_ps(acc0, p0);
+            acc1 = _mm256_add_ps(acc1, p1);
+            acc2 = _mm256_add_ps(acc2, p2);
+            acc3 = _mm256_add_ps(acc3, p3);
+            j += 32;
+        }
+        while j + 8 <= n {
+            let p = _mm256_mul_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(yp.add(j)));
+            acc0 = _mm256_add_ps(acc0, p);
+            j += 8;
+        }
+        let combined = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut s = hsum256(combined);
+        while j < n {
+            s += *xp.add(j) * *yp.add(j);
+            j += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn vmax_fma(x: &[f32]) -> f32 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut j = 0;
+        while j + 8 <= n {
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(xp.add(j)));
+            j += 8;
+        }
+        let mut s = hmax256(acc);
+        while j < n {
+            s = s.max(*xp.add(j));
+            j += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn softmax_bwd_row_fma(
+        dx: &mut [f32],
+        y: &[f32],
+        g: &[f32],
+        dot: f32,
+        scale: f32,
+    ) {
+        let n = dx.len();
+        let (dp, yp, gp) = (dx.as_mut_ptr(), y.as_ptr(), g.as_ptr());
+        let vdot = _mm256_set1_ps(dot);
+        let vscale = _mm256_set1_ps(scale);
+        let mut j = 0;
+        while j + 8 <= n {
+            let inner = _mm256_sub_ps(_mm256_loadu_ps(gp.add(j)), vdot);
+            let v = _mm256_mul_ps(vscale, _mm256_mul_ps(_mm256_loadu_ps(yp.add(j)), inner));
+            _mm256_storeu_ps(dp.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *dp.add(j) = scale * (*yp.add(j) * (*gp.add(j) - dot));
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn layernorm_bwd_dx_row_fma(
+        dx: &mut [f32],
+        dh: &[f32],
+        xhat: &[f32],
+        mean_dh: f32,
+        mean_dh_xhat: f32,
+        inv_std: f32,
+    ) {
+        let n = dx.len();
+        let (dp, hp, xp) = (dx.as_mut_ptr(), dh.as_ptr(), xhat.as_ptr());
+        let vmean = _mm256_set1_ps(mean_dh);
+        let vmx = _mm256_set1_ps(mean_dh_xhat);
+        let vis = _mm256_set1_ps(inv_std);
+        let mut j = 0;
+        while j + 8 <= n {
+            let centered = _mm256_sub_ps(_mm256_loadu_ps(hp.add(j)), vmean);
+            let xterm = _mm256_mul_ps(_mm256_loadu_ps(xp.add(j)), vmx);
+            let v = _mm256_mul_ps(vis, _mm256_sub_ps(centered, xterm));
+            _mm256_storeu_ps(dp.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *dp.add(j) = inv_std * (*hp.add(j) - mean_dh - *xp.add(j) * mean_dh_xhat);
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn batchnorm_apply_row_fma(
+        out: &mut [f32],
+        x: &[f32],
+        mean: &[f32],
+        inv_std: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+    ) {
+        let n = out.len();
+        let op = out.as_mut_ptr();
+        let (xp, mp, ip, gp, bp) =
+            (x.as_ptr(), mean.as_ptr(), inv_std.as_ptr(), gamma.as_ptr(), beta.as_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            let centered = _mm256_sub_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(mp.add(j)));
+            let scaled = _mm256_mul_ps(
+                _mm256_mul_ps(centered, _mm256_loadu_ps(ip.add(j))),
+                _mm256_loadu_ps(gp.add(j)),
+            );
+            _mm256_storeu_ps(op.add(j), _mm256_add_ps(scaled, _mm256_loadu_ps(bp.add(j))));
+            j += 8;
+        }
+        while j < n {
+            let centered = *xp.add(j) - *mp.add(j);
+            *op.add(j) = ((centered * *ip.add(j)) * *gp.add(j)) + *bp.add(j);
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn batchnorm_var_accum_row_fma(var: &mut [f32], x: &[f32], mean: &[f32]) {
+        let n = var.len();
+        let (vp, xp, mp) = (var.as_mut_ptr(), x.as_ptr(), mean.as_ptr());
+        let mut j = 0;
+        while j + 8 <= n {
+            let centered = _mm256_sub_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(mp.add(j)));
+            let sq = _mm256_mul_ps(centered, centered);
+            _mm256_storeu_ps(vp.add(j), _mm256_add_ps(_mm256_loadu_ps(vp.add(j)), sq));
+            j += 8;
+        }
+        while j < n {
+            let centered = *xp.add(j) - *mp.add(j);
+            *vp.add(j) += centered * centered;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use crate::backend::simd_available;
+
+    fn filled(len: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn avx_primitives_match_scalar_within_tolerance() {
+        if !simd_available() {
+            return;
+        }
+        for len in [1usize, 5, 8, 15, 31, 32, 33, 100] {
+            let x = filled(len, |i| ((i * 7 % 13) as f32 - 6.0) * 0.21);
+            let y = filled(len, |i| ((i * 5 % 11) as f32 - 5.0) * 0.17);
+            // SAFETY: guarded by `simd_available`.
+            unsafe {
+                let s: f32 = x.iter().sum();
+                assert!((avx::vsum_fma(&x) - s).abs() <= 1e-4 * s.abs().max(1.0), "sum len {len}");
+                let d: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+                assert!((avx::dot_fma(&x, &y) - d).abs() <= 1e-4 * d.abs().max(1.0));
+                assert!((avx::vdot_nofma(&x, &y) - d).abs() <= 1e-4 * d.abs().max(1.0));
+                let mx = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                assert_eq!(avx::vmax_fma(&x), mx, "max len {len}");
+                let mut out = y.clone();
+                avx::axpy_fma(&mut out, 0.37, &x);
+                for (i, (o, (yy, xx))) in out.iter().zip(y.iter().zip(&x)).enumerate() {
+                    let expect = 0.37f32.mul_add(*xx, *yy);
+                    assert_eq!(*o, expect, "axpy lane {i} len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx_ikj_matches_scalar_reference() {
+        if !simd_available() {
+            return;
+        }
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (9, 16, 24), (13, 40, 21)] {
+            let a = filled(m * k, |i| ((i * 37 % 19) as f32 - 9.0) * 0.11);
+            let b = filled(k * n, |i| ((i * 23 % 17) as f32 - 8.0) * 0.13);
+            // SAFETY: guarded by `simd_available`.
+            let fast = unsafe { avx::matmul_ikj_fma(&a, &b, m, k, n) };
+            let reference = crate::ops::kernels::matmul_naive(&a, &b, m, k, n);
+            for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                assert!(
+                    (f - r).abs() <= 1e-4 * r.abs().max(1.0),
+                    "[{i}] {f} vs {r} at {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avx_blocked_fill_is_bit_identical_to_avx_ikj() {
+        if !simd_available() {
+            return;
+        }
+        // The invariant the size dispatch and the batched-serving
+        // equivalence rest on: under SIMD, the blocked microkernel and the
+        // SAXPY ikj kernel produce the same bits.
+        for (m, k, n) in [(7, 33, 25), (65, 130, 195), (12, 200, 17), (70, 64, 256)] {
+            let a = filled(m * k, |i| ((i * 31 % 23) as f32 - 11.0) * 0.07);
+            let b = filled(k * n, |i| ((i * 29 % 19) as f32 - 9.0) * 0.09);
+            let mut blocked = vec![0.0f32; m * n];
+            // SAFETY: guarded by `simd_available`.
+            unsafe {
+                avx::blocked_fill_fma(&a, &b, k, n, 0, &mut blocked);
+                let ikj = avx::matmul_ikj_fma(&a, &b, m, k, n);
+                assert_eq!(blocked, ikj, "microkernel diverged at {m}x{k}x{n}");
+            }
+        }
+    }
+}

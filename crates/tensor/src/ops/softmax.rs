@@ -1,5 +1,12 @@
 //! Row-wise softmax, log-softmax and cross-entropy loss.
+//!
+//! The fused kernel's scale, mask, max, and normalize steps run through the
+//! SIMD primitives when the SIMD backend is active. Every one of those steps
+//! is per-lane-exact (mul/add/max/div) and the exp+sum pass stays scalar, so
+//! the softmax *forward* is bit-identical under both backends — only the
+//! backward's `Σ g·y` reduction reorders (within the property-tested 1e-4).
 
+use crate::ops::simd;
 use crate::tensor::Tensor;
 
 fn check_2d(x: &Tensor, op: &str) -> (usize, usize) {
@@ -57,24 +64,18 @@ impl Tensor {
         for r in 0..m {
             let row = &mut data[r * n..(r + 1) * n];
             if scale != 1.0 {
-                for v in row.iter_mut() {
-                    *v *= scale;
-                }
+                simd::inplace_scale(row, scale);
             }
             if let Some(mk) = mask {
-                for (v, mv) in row.iter_mut().zip(&mk[r * n..(r + 1) * n]) {
-                    *v += mv;
-                }
+                simd::inplace_add(row, &mk[r * n..(r + 1) * n]);
             }
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let max = simd::row_max(row);
             let mut sum = 0.0f32;
             for v in row.iter_mut() {
                 *v = (*v - max).exp();
                 sum += *v;
             }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
+            simd::inplace_div_scalar(row, sum);
         }
         // The backward closure needs the output; clone it only when gradients
         // can actually flow (eval-mode scoring skips the copy).
@@ -87,13 +88,10 @@ impl Tensor {
                 // dx = scale * y * (g - sum(g*y)) per row
                 let mut dx = vec![0.0f32; m * n];
                 for r in 0..m {
-                    let mut dot = 0.0f32;
-                    for c in 0..n {
-                        dot += g[r * n + c] * y[r * n + c];
-                    }
-                    for c in 0..n {
-                        dx[r * n + c] = scale * (y[r * n + c] * (g[r * n + c] - dot));
-                    }
+                    let gr = &g[r * n..(r + 1) * n];
+                    let yr = &y[r * n..(r + 1) * n];
+                    let dot = simd::row_dot_nofma(gr, yr);
+                    simd::softmax_bwd_row(&mut dx[r * n..(r + 1) * n], yr, gr, dot, scale);
                 }
                 vec![dx]
             }),
@@ -115,7 +113,7 @@ impl Tensor {
         let mut soft = vec![0.0f32; if tracked { m * n } else { 0 }];
         for r in 0..m {
             let row = &a[r * n..(r + 1) * n];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let max = simd::row_max(row);
             let mut sum = 0.0f32;
             for &v in row {
                 sum += (v - max).exp();

@@ -1,22 +1,39 @@
 //! Elementwise unary maps and activation functions.
+//!
+//! The polynomial maps (`relu`, `square`, `abs`) run their forward pass
+//! through the lane-exact SIMD primitives when the SIMD backend is active —
+//! identical results, wider execution. The transcendental maps stay scalar
+//! (there is no vector `exp`/`tanh` in `std::arch`).
 
+use crate::ops::simd;
 use crate::tensor::Tensor;
 
-/// Builds a unary elementwise op from a forward map and a derivative that
-/// receives the *input* value.
-fn unary_from_input<F, D>(x: &Tensor, f: F, df: D) -> Tensor
+/// Builds a unary elementwise op from a whole-slice forward map (so the
+/// forward can be vectorized) and a per-element derivative that receives
+/// the *input* value.
+fn unary_from_slice<F, D>(x: &Tensor, f: F, df: D) -> Tensor
 where
-    F: Fn(f32) -> f32,
+    F: Fn(&[f32]) -> Vec<f32>,
     D: Fn(f32) -> f32 + 'static,
 {
     let input = x.to_vec();
-    let data: Vec<f32> = input.iter().copied().map(f).collect();
+    let data = f(&input);
     Tensor::from_op(
         data,
         &x.shape(),
         vec![x.clone()],
         Box::new(move |g| vec![g.iter().zip(&input).map(|(gi, xi)| gi * df(*xi)).collect()]),
     )
+}
+
+/// Builds a unary elementwise op from a per-element forward map and a
+/// derivative that receives the *input* value.
+fn unary_from_input<F, D>(x: &Tensor, f: F, df: D) -> Tensor
+where
+    F: Fn(f32) -> f32,
+    D: Fn(f32) -> f32 + 'static,
+{
+    unary_from_slice(x, |xs| xs.iter().copied().map(&f).collect(), df)
 }
 
 impl Tensor {
@@ -42,7 +59,7 @@ impl Tensor {
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
-        unary_from_input(self, |x| x * x, |x| 2.0 * x)
+        unary_from_slice(self, |xs| simd::vmul(xs, xs), |x| 2.0 * x)
     }
 
     /// Elementwise reciprocal `1/x`.
@@ -52,24 +69,20 @@ impl Tensor {
 
     /// Elementwise absolute value. The derivative at zero is taken as 0.
     pub fn abs(&self) -> Tensor {
-        unary_from_input(
-            self,
-            |x| x.abs(),
-            |x| {
-                if x > 0.0 {
-                    1.0
-                } else if x < 0.0 {
-                    -1.0
-                } else {
-                    0.0
-                }
-            },
-        )
+        unary_from_slice(self, simd::vabs, |x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        unary_from_input(self, |x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+        unary_from_slice(self, simd::vrelu, |x| if x > 0.0 { 1.0 } else { 0.0 })
     }
 
     /// Exponential linear unit with `alpha = 1` (the activation used by the

@@ -70,6 +70,14 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
+        // warm-up: the first invocations pay worker-thread spawns, page
+        // faults on fresh buffers, and i-cache fill. Running them unmeasured
+        // keeps that cost out of the samples *and* out of the calibration
+        // below (a slow first call used to satisfy the target time at
+        // iters = 1, locking small kernels into maximally noisy samples).
+        for _ in 0..2 {
+            std_black_box(routine());
+        }
         // calibration: find an iteration count filling ~target_sample_time
         let mut iters = 1u64;
         loop {
