@@ -321,11 +321,51 @@ impl ContinuousAdapter {
         self.push_embedding(engine, embedding)
     }
 
-    fn push_embedding(&mut self, engine: &Engine, embedding: Vec<f32>) -> Vec<Vec<f32>> {
+    /// The ingest half of [`ContinuousAdapter::begin_frame`] without
+    /// materializing a window: embeds the frame through the session's RNG
+    /// and pushes it into the stream's buffer. The batching runtime pairs
+    /// this with [`ContinuousAdapter::fill_window_refs`] — together they are
+    /// `begin_frame` minus the per-frame window clones.
+    pub fn ingest_frame(
+        &mut self,
+        engine: &Engine,
+        session: &mut Session,
+        frame: &akg_data::Frame,
+    ) {
+        let embedding = engine.embed_frame(session, frame);
+        self.push_rotating(embedding);
+    }
+
+    /// The one rolling-buffer rotation both ingest paths share.
+    fn push_rotating(&mut self, embedding: Vec<f32>) {
         if self.buffer.len() == self.cfg.n_window {
             self.buffer.pop_front();
         }
         self.buffer.push_back(embedding);
+    }
+
+    /// Appends the current rolling score window (ending at the newest
+    /// ingested frame, front-padded to the model's window length by
+    /// borrowing the oldest in-window frame) to `out` as borrowed slices —
+    /// zero embedding copies. `out` is cleared first so a caller-reused
+    /// buffer always carries exactly one window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame has been ingested yet.
+    pub fn fill_window_refs<'a>(&'a self, engine: &Engine, out: &mut Vec<&'a [f32]>) {
+        assert!(!self.buffer.is_empty(), "fill_window_refs: no frame ingested");
+        let window_len = engine.model.config().window;
+        let end = self.buffer.len() - 1;
+        let start = end.saturating_sub(window_len - 1);
+        out.clear();
+        let oldest = self.buffer[start].as_slice();
+        out.resize(window_len - (end - start + 1), oldest);
+        out.extend((start..=end).map(|i| self.buffer[i].as_slice()));
+    }
+
+    fn push_embedding(&mut self, engine: &Engine, embedding: Vec<f32>) -> Vec<Vec<f32>> {
+        self.push_rotating(embedding);
         self.current_window(engine, self.buffer.len() - 1)
     }
 
@@ -340,14 +380,17 @@ impl ContinuousAdapter {
         }
     }
 
-    /// Rolling window (length = model window) ending at buffer index `end`.
+    /// Rolling window (length = model window) ending at buffer index `end`,
+    /// front-padded by repeating the oldest in-window frame — built
+    /// front-to-back (no `insert(0, …)` shifting).
     fn current_window(&self, engine: &Engine, end: usize) -> Vec<Vec<f32>> {
         let window_len = engine.model.config().window;
         let start = end.saturating_sub(window_len - 1);
-        let mut out: Vec<Vec<f32>> = (start..=end).map(|i| self.buffer[i].clone()).collect();
-        while out.len() < window_len {
-            out.insert(0, out[0].clone());
+        let mut out: Vec<Vec<f32>> = Vec::with_capacity(window_len);
+        for _ in (end - start + 1)..window_len {
+            out.push(self.buffer[start].clone());
         }
+        out.extend((start..=end).map(|i| self.buffer[i].clone()));
         out
     }
 

@@ -15,14 +15,16 @@
 //! `akg-runtime`).
 
 use crate::config::ModelConfig;
-use crate::model::{DecisionModel, KgLayout, WindowBatchItem};
+use crate::model::{DecisionModel, InferWindowItem, KgLayout};
 use crate::pipeline::{SystemConfig, FRAME_NOISE_STD};
 use crate::tokenize::{TokenTable, TokenizedKg};
 use akg_data::Frame;
 use akg_embed::{BpeTokenizer, JointSpace, JointSpaceBuilder};
 use akg_kg::{generate_kg, AnomalyClass, Ontology, SyntheticOracle};
+use akg_tensor::{Workspace, WorkspaceStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// The shareable, immutable-after-build half of a deployed system.
@@ -70,6 +72,11 @@ pub struct Session {
     /// The stream's frame-embedding noise generator. Per-stream, so scoring
     /// one stream never perturbs another stream's embedding sequence.
     pub frame_rng: StdRng,
+    /// The stream's reusable inference workspace: scratch buffers for the
+    /// single-stream scoring paths, pooled so steady-state serving
+    /// allocates nothing. Interior-mutable because scratch is not semantic
+    /// session state — scoring stays `&self` / `&Session` everywhere.
+    workspace: RefCell<Workspace>,
 }
 
 impl Session {
@@ -82,6 +89,12 @@ impl Session {
     /// stream).
     pub fn reseed(&mut self, seed: u64) {
         self.frame_rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Allocation counters of the session's inference workspace (the
+    /// high-water mark stabilizes once every serving shape has been seen).
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.borrow().stats()
     }
 }
 
@@ -163,6 +176,7 @@ impl Engine {
             kgs: self.kgs.clone(),
             layouts: self.layouts.clone(),
             frame_rng: StdRng::seed_from_u64(frame_seed),
+            workspace: RefCell::new(Workspace::new()),
         }
     }
 
@@ -175,17 +189,45 @@ impl Engine {
 
     /// Scores one window of frame embeddings against a session's adaptive
     /// state (anomaly score `p_A` of the last frame).
+    ///
+    /// Serving runs on the inference data plane (raw-slice forwards over
+    /// the session's pooled workspace — no autograd, no steady-state
+    /// allocation), bit-identical per backend to the autograd plane that
+    /// training and adaptation still use.
     pub fn score_window(&self, session: &Session, window: &[Vec<f32>]) -> f32 {
-        let kgs: Vec<&TokenizedKg> = session.kgs.iter().collect();
-        let layouts: Vec<&KgLayout> = session.layouts.iter().collect();
-        self.model.anomaly_score(&kgs, &layouts, &session.table, window)
+        let refs: Vec<&[f32]> = window.iter().map(Vec::as_slice).collect();
+        self.score_window_refs(session, &refs)
     }
 
-    /// Class-probability prediction for one window.
+    /// [`Engine::score_window`] over borrowed frame slices — the rolling
+    /// window / pre-pad callers use this to score without cloning a single
+    /// embedding buffer.
+    pub fn score_window_refs(&self, session: &Session, window: &[&[f32]]) -> f32 {
+        let mut ws = session.workspace.borrow_mut();
+        self.model.anomaly_score_infer(
+            &session.kgs,
+            &session.layouts,
+            &session.table,
+            window,
+            &mut ws,
+        )
+    }
+
+    /// Class-probability prediction for one window (inference plane; see
+    /// [`Engine::score_window`]).
     pub fn predict_window(&self, session: &Session, window: &[Vec<f32>]) -> Vec<f32> {
-        let kgs: Vec<&TokenizedKg> = session.kgs.iter().collect();
-        let layouts: Vec<&KgLayout> = session.layouts.iter().collect();
-        self.model.predict(&kgs, &layouts, &session.table, window)
+        let refs: Vec<&[f32]> = window.iter().map(Vec::as_slice).collect();
+        let mut ws = session.workspace.borrow_mut();
+        let mut out = Vec::new();
+        self.model.predict_infer(
+            &session.kgs,
+            &session.layouts,
+            &session.table,
+            &refs,
+            &mut ws,
+            &mut out,
+        );
+        out
     }
 
     /// Differentiable logits for one window (training and adaptation run
@@ -207,20 +249,51 @@ impl Engine {
     /// over all windows. Returns one anomaly score per pair, bit-identical
     /// to calling [`Engine::score_window`] on each pair alone.
     ///
+    /// Runs on the inference data plane, scratch coming from the *first*
+    /// session's workspace (workspace contents never affect results).
+    ///
     /// # Panics
     ///
     /// Panics if `batch` is empty or any window is empty.
     pub fn score_windows_batch(&self, batch: &[(&Session, &[Vec<f32>])]) -> Vec<f32> {
-        let items: Vec<WindowBatchItem<'_>> = batch
+        assert!(!batch.is_empty(), "score_windows_batch: empty batch");
+        let ref_windows: Vec<Vec<&[f32]>> =
+            batch.iter().map(|(_, window)| window.iter().map(Vec::as_slice).collect()).collect();
+        let ref_batch: Vec<(&Session, &[&[f32]])> = batch
             .iter()
-            .map(|(session, window)| WindowBatchItem {
+            .zip(&ref_windows)
+            .map(|(&(session, _), refs)| (session, refs.as_slice()))
+            .collect();
+        let mut ws = batch[0].0.workspace.borrow_mut();
+        let mut out = Vec::with_capacity(batch.len());
+        self.score_windows_batch_refs(&ref_batch, &mut ws, &mut out);
+        out
+    }
+
+    /// The allocation-free core of [`Engine::score_windows_batch`]:
+    /// borrowed frame slices in, scores appended to a caller-reused `out`
+    /// (cleared first), scratch from a caller-held [`Workspace`]. This is
+    /// the entry point the multi-stream runtime serves through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty or any window is empty.
+    pub fn score_windows_batch_refs(
+        &self,
+        batch: &[(&Session, &[&[f32]])],
+        ws: &mut Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let items: Vec<InferWindowItem<'_>> = batch
+            .iter()
+            .map(|(session, window)| InferWindowItem {
                 kgs: &session.kgs,
                 layouts: &session.layouts,
                 table: &session.table,
                 window,
             })
             .collect();
-        self.model.anomaly_scores_batch(&items)
+        self.model.anomaly_scores_batch_infer(&items, ws, out);
     }
 
     /// Scores every frame of a video with a rolling window, returning
@@ -243,11 +316,15 @@ impl Engine {
                 window.pop_front();
             }
             window.push_back(emb);
-            let mut padded: Vec<Vec<f32>> = window.iter().cloned().collect();
-            while padded.len() < window_len {
-                padded.insert(0, padded[0].clone());
-            }
-            scores.push(self.score_window(session, &padded));
+            // Rolling pre-pad without data movement: the partial window is
+            // front-padded by *borrowing* the oldest frame — no per-frame
+            // embedding clones, no O(window) front-insert shifts (the old
+            // `padded.insert(0, …)` repeated both every frame).
+            let oldest = window.front().expect("window is non-empty").as_slice();
+            let mut refs: Vec<&[f32]> = Vec::with_capacity(window_len);
+            refs.resize(window_len - window.len(), oldest);
+            refs.extend(window.iter().map(Vec::as_slice));
+            scores.push(self.score_window_refs(session, &refs));
             labels.push(frame.is_anomalous());
         }
         (scores, labels)

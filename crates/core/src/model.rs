@@ -6,10 +6,11 @@
 use crate::config::ModelConfig;
 use crate::tokenize::{TokenTable, TokenizedKg};
 use akg_kg::{NodeId, NodeKind};
+use akg_tensor::inference as inf;
 use akg_tensor::nn::attention::TransformerEncoder;
 use akg_tensor::nn::norm::BatchNorm1d;
 use akg_tensor::nn::{Linear, Module};
-use akg_tensor::Tensor;
+use akg_tensor::{Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -307,6 +308,116 @@ impl HierarchicalGnn {
         let embedding_rows: Vec<usize> =
             layouts.iter().enumerate().map(|(bi, l)| bi * v + l.embedding_row).collect();
         x.index_select_rows(&embedding_rows)
+    }
+
+    /// Inference-plane form of [`HierarchicalGnn::forward_batch`]: the same
+    /// stacked forward over raw slices and workspace-leased buffers — one
+    /// dense matmul per layer across all replicas, per-replica grouped
+    /// normalization, the same gather ⊙ gather → scatter-add → average →
+    /// passthrough message combine — with zero `Rc`/`RefCell` and zero
+    /// steady-state allocation. **Bit-identical per backend** to the
+    /// autograd path: every op either shares the autograd op's kernel or
+    /// replicates its exact accumulation order (property-tested in
+    /// `tests/infer_equivalence.rs`).
+    ///
+    /// `x0` is the stacked `[B·|V|, embed_dim]` node-feature matrix; `out`
+    /// receives the `[B, gnn_dim]` embedding-node outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`HierarchicalGnn::forward_batch`]'s conditions, or if
+    /// `out` is not `B × gnn_dim`.
+    pub fn forward_batch_infer(
+        &self,
+        layouts: &[&KgLayout],
+        x0: &[f32],
+        out: &mut [f32],
+        ws: &mut Workspace,
+    ) {
+        assert!(!layouts.is_empty(), "forward_batch_infer: no replicas");
+        let b = layouts.len();
+        let v = layouts[0].node_count();
+        for layout in layouts {
+            assert_eq!(layout.node_count(), v, "forward_batch_infer: node-count mismatch");
+            assert_eq!(
+                layout.levels.len(),
+                self.message_layers.len(),
+                "layout depth {} != model depth {}",
+                layout.levels.len(),
+                self.message_layers.len()
+            );
+        }
+        let rows = b * v;
+        let gd = self.gnn_dim;
+        assert_eq!(
+            x0.len(),
+            rows * self.input_layer.dense.in_features(),
+            "forward_batch_infer: x0 must be B·|V| × embed_dim"
+        );
+        assert_eq!(out.len(), b * gd, "forward_batch_infer: out must be B × gnn_dim");
+        let mut h = ws.lease(rows * gd);
+        let mut x = ws.lease(rows * gd);
+        self.input_layer.dense.forward_infer(x0, rows, &mut h);
+        self.input_layer.norm.forward_instance_grouped_infer(&h, b, &mut x, ws);
+        inf::elu_inplace(&mut x);
+        let mut srcs = ws.lease_idx();
+        let mut dsts = ws.lease_idx();
+        let mut inv_counts = ws.lease(rows);
+        let mut keep_mask = ws.lease(rows);
+        for (li, layer) in self.message_layers.iter().enumerate() {
+            layer.dense.forward_infer(&x, rows, &mut h); // Eq. 1
+            srcs.clear();
+            dsts.clear();
+            for (bi, layout) in layouts.iter().enumerate() {
+                let plan = &layout.levels[li];
+                let off = bi * v;
+                if plan.srcs.is_empty() {
+                    // Edgeless level: all-ones keep + zero averages pass `h`
+                    // through unchanged for this replica's rows.
+                    inv_counts[off..off + v].fill(0.0);
+                    keep_mask[off..off + v].fill(1.0);
+                } else {
+                    srcs.extend(plan.srcs.iter().map(|&s| s + off));
+                    dsts.extend(plan.dsts.iter().map(|&d| d + off));
+                    inv_counts[off..off + v].copy_from_slice(&plan.inv_counts);
+                    keep_mask[off..off + v].copy_from_slice(&plan.keep_mask);
+                }
+            }
+            if !srcs.is_empty() {
+                // The raw `propagate_messages`: gather both endpoints,
+                // multiply into edge messages, scatter-add, average, blend
+                // with the passthrough rows — the combined result lands in
+                // `h`, exactly where the autograd path's `combined` goes.
+                let e = srcs.len();
+                let mut src_rows = ws.lease(e * gd);
+                let mut dst_rows = ws.lease(e * gd);
+                let mut messages = ws.lease(e * gd);
+                inf::gather_rows_into(&mut src_rows, &h, gd, &srcs);
+                inf::gather_rows_into(&mut dst_rows, &h, gd, &dsts);
+                inf::hadamard_into(&mut messages, &src_rows, &dst_rows); // Eq. 2
+                let mut summed = ws.lease(rows * gd);
+                inf::scatter_add_rows_into(&mut summed, &messages, gd, &dsts);
+                inf::scale_rows_inplace(&mut summed, &inv_counts, gd); // Eq. 3 mean
+                inf::scale_rows_inplace(&mut h, &keep_mask, gd); // passthrough
+                inf::add_assign(&mut h, &summed);
+                ws.release(src_rows);
+                ws.release(dst_rows);
+                ws.release(messages);
+                ws.release(summed);
+            }
+            layer.norm.forward_instance_grouped_infer(&h, b, &mut x, ws); // Eq. 4
+            inf::elu_inplace(&mut x);
+        }
+        for (bi, layout) in layouts.iter().enumerate() {
+            let r = bi * v + layout.embedding_row;
+            out[bi * gd..(bi + 1) * gd].copy_from_slice(&x[r * gd..(r + 1) * gd]);
+        }
+        ws.release(h);
+        ws.release(x);
+        ws.release(inv_counts);
+        ws.release(keep_mask);
+        ws.release_idx(srcs);
+        ws.release_idx(dsts);
     }
 }
 
@@ -633,6 +744,230 @@ impl DecisionModel {
     pub fn anomaly_scores_batch(&self, items: &[WindowBatchItem<'_>]) -> Vec<f32> {
         self.predict_batch(items).iter().map(|p| 1.0 - p[0]).collect()
     }
+
+    // ----------------------------------------------------------------
+    // Inference data plane: the serving path. No autograd, no Rc/RefCell,
+    // zero steady-state allocation — and bit-identical per backend to the
+    // autograd plane above, which remains the training/adaptation path and
+    // the equivalence oracle (tests/infer_equivalence.rs).
+    // ----------------------------------------------------------------
+
+    /// Inference-plane form of [`DecisionModel::node_features_batch`]:
+    /// stacked `[F·|V|, embed_dim]` node features for `frames.len()`
+    /// replicas of one KG, written into `out`. Frame-independent rows are
+    /// computed once into a workspace-leased template (reasoning rows via
+    /// [`TokenTable::node_embedding_mean_into`] — the same arithmetic as the
+    /// autograd path) and copied per replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty, a frame or `out` has the wrong length,
+    /// or a layout row refers to a dead node.
+    pub fn node_features_batch_into(
+        &self,
+        tkg: &TokenizedKg,
+        layout: &KgLayout,
+        table: &TokenTable,
+        frames: &[&[f32]],
+        out: &mut [f32],
+        ws: &mut Workspace,
+    ) {
+        assert!(!frames.is_empty(), "node_features_batch_into: no frames");
+        let dim = self.config.embed_dim;
+        let v = layout.node_count();
+        assert_eq!(out.len(), frames.len() * v * dim, "node_features_batch_into: out size");
+        let mut template = ws.lease(v * dim);
+        let mut sensor_rows = ws.lease_idx();
+        for (r, &id) in layout.rows.iter().enumerate() {
+            let node = tkg.kg.node(id).expect("layout row refers to live node");
+            let slot = &mut template[r * dim..(r + 1) * dim];
+            match node.kind {
+                NodeKind::Sensor => sensor_rows.push(r),
+                NodeKind::Embedding => slot.copy_from_slice(&tkg.mission_embedding),
+                NodeKind::Reasoning => {
+                    let tokens = tkg.tokens_of(id).expect("reasoning node tokenized");
+                    table.node_embedding_mean_into(tokens, slot);
+                }
+            }
+        }
+        for (t, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.len(), dim, "node_features_batch_into: frame dim mismatch");
+            let block = &mut out[t * v * dim..(t + 1) * v * dim];
+            block.copy_from_slice(&template);
+            for &r in sensor_rows.iter() {
+                block[r * dim..(r + 1) * dim].copy_from_slice(frame);
+            }
+        }
+        ws.release(template);
+        ws.release_idx(sensor_rows);
+    }
+
+    /// Inference-plane batched full forward: class probabilities for the
+    /// last frame of each item's window, flattened `[B · (n + 1)]` into
+    /// `out` (cleared first). Mirrors [`DecisionModel::predict_batch`]
+    /// stage-for-stage — stacked GNN forward per mission KG, per-sequence
+    /// temporal model, one head matmul, fused row softmax — and is
+    /// **bit-identical per backend** to it (and therefore, via the PR 3
+    /// batched-equals-single contract, to [`DecisionModel::predict`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, any window is empty, or shapes mismatch
+    /// the model.
+    pub fn predict_probs_batch_infer(
+        &self,
+        items: &[InferWindowItem<'_>],
+        ws: &mut Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(!items.is_empty(), "predict_probs_batch_infer: empty batch");
+        for item in items {
+            assert_eq!(item.kgs.len(), self.gnns.len(), "KG count mismatch");
+            assert_eq!(item.layouts.len(), self.gnns.len(), "layout count mismatch");
+            assert!(!item.window.is_empty(), "predict_probs_batch_infer: empty window");
+        }
+        let total: usize = items.iter().map(|i| i.window.len()).sum();
+        let d = self.reasoning_dim();
+        let gd = self.config.gnn_dim;
+        let dim = self.config.embed_dim;
+        // Per-frame reasoning embeddings `[Σ windows, D]`, one stacked GNN
+        // forward per mission KG (the column-concat of the per-KG outputs).
+        let mut joined = ws.lease(total * d);
+        for i in 0..self.gnns.len() {
+            let v = items[0].layouts[i].node_count();
+            let mut x0 = ws.lease(total * v * dim);
+            let mut layout_refs: Vec<&KgLayout> = Vec::with_capacity(total);
+            let mut row0 = 0usize;
+            for item in items {
+                let f = item.window.len();
+                self.node_features_batch_into(
+                    &item.kgs[i],
+                    &item.layouts[i],
+                    item.table,
+                    item.window,
+                    &mut x0[row0 * v * dim..(row0 + f) * v * dim],
+                    ws,
+                );
+                layout_refs.extend(std::iter::repeat_n(&item.layouts[i], f));
+                row0 += f;
+            }
+            let mut gout = ws.lease(total * gd);
+            self.gnns[i].forward_batch_infer(&layout_refs, &x0, &mut gout, ws);
+            for r in 0..total {
+                joined[r * d + i * gd..r * d + (i + 1) * gd]
+                    .copy_from_slice(&gout[r * gd..(r + 1) * gd]);
+            }
+            ws.release(x0);
+            ws.release(gout);
+        }
+        // Temporal model per item (attention never crosses streams), last
+        // step of each window stacked `[B, D]`.
+        let b = items.len();
+        let mut tstack = ws.lease(b * d);
+        let mut row0 = 0usize;
+        for (bi, item) in items.iter().enumerate() {
+            let w = item.window.len();
+            let mut seq = ws.lease(w * d);
+            seq.copy_from_slice(&joined[row0 * d..(row0 + w) * d]);
+            self.temporal.forward_last_infer(&mut seq, w, &mut tstack[bi * d..(bi + 1) * d], ws);
+            ws.release(seq);
+            row0 += w;
+        }
+        // Head + softmax: one matmul over the whole batch, fused row
+        // softmax (scale 1, no mask) — exactly `logits_batch` +
+        // `softmax_rows`.
+        let c = self.n_classes();
+        let mut logits = ws.lease(b * c);
+        self.head.forward_infer(&tstack, b, &mut logits);
+        inf::softmax_rows_scaled_masked_inplace(&mut logits, b, c, 1.0, None);
+        out.clear();
+        out.extend_from_slice(&logits);
+        ws.release(joined);
+        ws.release(tstack);
+        ws.release(logits);
+    }
+
+    /// Inference-plane batched anomaly scores `p_A = 1 − p_N` into `out`
+    /// (cleared first), one per item — the serving entry point behind
+    /// `Engine::score_windows_batch`. Bit-identical per backend to
+    /// [`DecisionModel::anomaly_scores_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`DecisionModel::predict_probs_batch_infer`]'s
+    /// conditions.
+    pub fn anomaly_scores_batch_infer(
+        &self,
+        items: &[InferWindowItem<'_>],
+        ws: &mut Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let mut probs = ws.lease_vec();
+        self.predict_probs_batch_infer(items, ws, &mut probs);
+        let c = self.n_classes();
+        out.clear();
+        out.extend(probs.chunks_exact(c).map(|p| 1.0 - p[0]));
+        ws.release_vec(probs);
+    }
+
+    /// Inference-plane single-window anomaly score — a batch of one through
+    /// [`DecisionModel::anomaly_scores_batch_infer`]. Bit-identical per
+    /// backend to [`DecisionModel::anomaly_score`] (single and batched
+    /// autograd paths agree bitwise by the PR 3 contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or shapes mismatch the model.
+    pub fn anomaly_score_infer(
+        &self,
+        kgs: &[TokenizedKg],
+        layouts: &[KgLayout],
+        table: &TokenTable,
+        window: &[&[f32]],
+        ws: &mut Workspace,
+    ) -> f32 {
+        let items = [InferWindowItem { kgs, layouts, table, window }];
+        let mut out = ws.lease_vec();
+        self.anomaly_scores_batch_infer(&items, ws, &mut out);
+        let score = out[0];
+        ws.release_vec(out);
+        score
+    }
+
+    /// Inference-plane single-window class probabilities — the serving form
+    /// of [`DecisionModel::predict`], written into `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or shapes mismatch the model.
+    pub fn predict_infer(
+        &self,
+        kgs: &[TokenizedKg],
+        layouts: &[KgLayout],
+        table: &TokenTable,
+        window: &[&[f32]],
+        ws: &mut Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let items = [InferWindowItem { kgs, layouts, table, window }];
+        self.predict_probs_batch_infer(&items, ws, out);
+    }
+}
+
+/// One window of a cross-stream *inference-plane* serving batch: the same
+/// adaptive state as [`WindowBatchItem`], but with the window as borrowed
+/// frame slices so callers (rolling windows, pre-pad paths) never clone
+/// embedding buffers just to score them.
+#[derive(Debug, Clone, Copy)]
+pub struct InferWindowItem<'a> {
+    /// The stream's tokenized mission KGs.
+    pub kgs: &'a [TokenizedKg],
+    /// The stream's execution layouts (aligned with `kgs`).
+    pub layouts: &'a [KgLayout],
+    /// The stream's token-embedding table.
+    pub table: &'a TokenTable,
+    /// The window of frame embeddings, oldest first.
+    pub window: &'a [&'a [f32]],
 }
 
 /// One window of a cross-stream serving batch: the stream's adaptive state

@@ -90,10 +90,25 @@ impl TokenTable {
     ///
     /// Panics if `rows` is empty or any row is out of bounds.
     pub fn node_embedding_mean(&self, rows: &[usize]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim()];
+        self.node_embedding_mean_into(rows, &mut out);
+        out
+    }
+
+    /// [`TokenTable::node_embedding_mean`] into a caller-provided buffer —
+    /// the allocation-free form the inference data plane's node-feature
+    /// assembly uses. Same arithmetic, same accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, `out` is not `dim` long, or any row is out
+    /// of bounds.
+    pub fn node_embedding_mean_into(&self, rows: &[usize], out: &mut [f32]) {
         assert!(!rows.is_empty(), "node_embedding_mean: empty row list");
         let dim = self.dim();
+        assert_eq!(out.len(), dim, "node_embedding_mean_into: out must be [dim]");
         self.emb.weight().with_data(|w| {
-            let mut out = vec![0.0f32; dim];
+            out.fill(0.0);
             for &r in rows {
                 let row = &w[r * dim..(r + 1) * dim];
                 for (o, v) in out.iter_mut().zip(row) {
@@ -101,11 +116,10 @@ impl TokenTable {
                 }
             }
             let inv = 1.0 / rows.len() as f32;
-            for o in &mut out {
+            for o in out.iter_mut() {
                 *o *= inv;
             }
-            out
-        })
+        });
     }
 
     /// Embedding dimensionality.

@@ -1,0 +1,210 @@
+//! The data-plane/training-plane split's load-bearing contract: the
+//! inference plane (`DecisionModel::*_infer`, raw slices + workspace
+//! buffers, what `Engine::score_window` / `score_windows_batch` serve
+//! through) must be **bit-identical** to the autograd plane
+//! (`DecisionModel::predict` / `anomaly_scores_batch`, the training and
+//! adaptation path) — per backend, at every batch size.
+//!
+//! Tests here flip the process-wide compute backend, so they follow the
+//! `BACKEND_LOCK` discipline of `tensor/tests/proptest_kernels.rs`: every
+//! test that changes (or depends bitwise on) the backend holds the lock,
+//! and the backend is restored before releasing it.
+
+use akg_core::engine::{Engine, Session};
+use akg_core::model::WindowBatchItem;
+use akg_core::pipeline::SystemConfig;
+use akg_kg::AnomalyClass;
+use akg_tensor::backend::{backend, set_backend, Backend};
+use akg_tensor::nn::Module;
+use proptest::prelude::*;
+use proptest::{run_property, ProptestConfig};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes every test that changes (or depends bitwise on) the
+/// process-wide backend setting.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_backend() -> MutexGuard<'static, ()> {
+    BACKEND_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `f` under the given backend, restoring the previous policy after.
+/// Callers must hold [`BACKEND_LOCK`].
+fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
+    let prev = backend();
+    set_backend(b);
+    let r = f();
+    set_backend(prev);
+    r
+}
+
+/// Both serving backends. `Simd` resolves to scalar on hosts without
+/// AVX2+FMA, so this is safe (and still meaningful) everywhere.
+const BACKENDS: [Backend; 2] = [Backend::Scalar, Backend::Simd];
+
+fn build_engine(b: Backend) -> Engine {
+    // `Engine::build` applies its config's backend process-wide, which is
+    // exactly what we want inside the lock.
+    let engine = Engine::build(
+        &[AnomalyClass::Stealing],
+        &SystemConfig { backend: b, ..Default::default() },
+    );
+    engine.model.set_frozen(true);
+    engine
+}
+
+/// A deterministic window of `window_len` frame embeddings.
+fn make_window(engine: &Engine, salt: usize) -> Vec<Vec<f32>> {
+    let dim = engine.config().embed_dim;
+    let w = engine.config().window;
+    (0..w)
+        .map(|t| (0..dim).map(|c| ((salt * 31 + t * 7 + c) % 13) as f32 * 0.05 - 0.2).collect())
+        .collect()
+}
+
+/// The autograd plane's single-window score (the pre-split serving path).
+fn autograd_score(engine: &Engine, session: &Session, window: &[Vec<f32>]) -> f32 {
+    let kgs: Vec<_> = session.kgs.iter().collect();
+    let layouts: Vec<_> = session.layouts.iter().collect();
+    engine.model.anomaly_score(&kgs, &layouts, &session.table, window)
+}
+
+/// The autograd plane's batched scores.
+fn autograd_scores_batch(engine: &Engine, batch: &[(&Session, &[Vec<f32>])]) -> Vec<f32> {
+    let items: Vec<WindowBatchItem<'_>> = batch
+        .iter()
+        .map(|(session, window)| WindowBatchItem {
+            kgs: &session.kgs,
+            layouts: &session.layouts,
+            table: &session.table,
+            window,
+        })
+        .collect();
+    engine.model.anomaly_scores_batch(&items)
+}
+
+#[test]
+fn inference_plane_matches_autograd_plane_bitwise_at_batch_1_4_16() {
+    let _guard = lock_backend();
+    for b in BACKENDS {
+        with_backend(b, || {
+            let engine = build_engine(b);
+            for n_streams in [1usize, 4, 16] {
+                let sessions: Vec<Session> =
+                    (0..n_streams).map(|i| engine.new_session(i as u64)).collect();
+                let windows: Vec<Vec<Vec<f32>>> =
+                    (0..n_streams).map(|s| make_window(&engine, s)).collect();
+                let batch: Vec<(&Session, &[Vec<f32>])> =
+                    sessions.iter().zip(&windows).map(|(s, w)| (s, w.as_slice())).collect();
+                // Inference plane: the serving entry points.
+                let infer_batched = engine.score_windows_batch(&batch);
+                // Autograd plane: the oracle.
+                let auto_batched = autograd_scores_batch(&engine, &batch);
+                assert_eq!(
+                    infer_batched, auto_batched,
+                    "batched inference diverged from autograd at B={n_streams} under {b:?}"
+                );
+                for (i, (session, window)) in batch.iter().enumerate() {
+                    let infer_single = engine.score_window(session, window);
+                    let auto_single = autograd_score(&engine, session, window);
+                    assert_eq!(
+                        infer_single, auto_single,
+                        "single-window inference diverged at item {i} under {b:?}"
+                    );
+                    assert_eq!(
+                        infer_batched[i], infer_single,
+                        "batched vs single inference diverged at item {i} under {b:?}"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn predict_window_matches_autograd_predict_bitwise() {
+    let _guard = lock_backend();
+    for b in BACKENDS {
+        with_backend(b, || {
+            let engine = build_engine(b);
+            let session = engine.new_session(3);
+            let window = make_window(&engine, 7);
+            let infer = engine.predict_window(&session, &window);
+            let kgs: Vec<_> = session.kgs.iter().collect();
+            let layouts: Vec<_> = session.layouts.iter().collect();
+            let auto = engine.model.predict(&kgs, &layouts, &session.table, &window);
+            assert_eq!(infer, auto, "predict_window diverged from autograd predict under {b:?}");
+        });
+    }
+}
+
+#[test]
+fn random_windows_property_inference_equals_autograd_bitwise() {
+    let _guard = lock_backend();
+    for b in BACKENDS {
+        with_backend(b, || {
+            let engine = build_engine(b);
+            let dim = engine.config().embed_dim;
+            let w = engine.config().window;
+            let sessions: Vec<Session> = (0..4).map(|i| engine.new_session(40 + i)).collect();
+            let frame = proptest::collection::vec(-2.0f32..2.0, dim);
+            run_property(
+                &format!("infer_equals_autograd_{b:?}"),
+                &ProptestConfig::with_cases(12),
+                |rng, _case| {
+                    let windows: Vec<Vec<Vec<f32>>> =
+                        (0..4).map(|_| (0..w).map(|_| frame.generate(rng)).collect()).collect();
+                    let batch: Vec<(&Session, &[Vec<f32>])> =
+                        sessions.iter().zip(&windows).map(|(s, w)| (s, w.as_slice())).collect();
+                    let infer = engine.score_windows_batch(&batch);
+                    let auto = autograd_scores_batch(&engine, &batch);
+                    prop_assert_eq!(&infer, &auto);
+                    for (i, (session, window)) in batch.iter().enumerate() {
+                        prop_assert_eq!(infer[i], autograd_score(&engine, session, window));
+                    }
+                    Ok(())
+                },
+            );
+        });
+    }
+}
+
+/// Adapted state must not break the equivalence: after real token updates
+/// and possible restructures, the session's fork differs from the engine's
+/// template — the planes must still agree bit-for-bit.
+#[test]
+fn equivalence_holds_on_adapted_sessions() {
+    use akg_core::adapt::{AdaptConfig, ContinuousAdapter};
+    use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
+    let _guard = lock_backend();
+    let ds = SyntheticUcfCrime::generate(
+        DatasetConfig::scaled(0.01)
+            .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
+            .with_seed(9),
+    );
+    for b in BACKENDS {
+        with_backend(b, || {
+            let engine = build_engine(b);
+            let mut session = engine.new_session(11);
+            let mut adapter = ContinuousAdapter::attach(
+                &engine,
+                &mut session,
+                AdaptConfig { n_window: 16, lag: 8, interval: 8, min_k: 1, ..Default::default() },
+            );
+            let mut stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.5, 21);
+            for i in 0..48 {
+                if i == 24 {
+                    stream.shift_to(AnomalyClass::Robbery);
+                }
+                let (frame, _) = stream.next_frame();
+                adapter.observe_stream(&engine, &mut session, &frame);
+            }
+            let window = make_window(&engine, 5);
+            assert_eq!(
+                engine.score_window(&session, &window),
+                autograd_score(&engine, &session, &window),
+                "planes diverged on an adapted session under {b:?}"
+            );
+        });
+    }
+}

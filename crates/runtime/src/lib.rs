@@ -56,6 +56,7 @@
 use akg_core::adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
 use akg_core::engine::{Engine, Session};
 use akg_data::{AdaptationStream, Frame};
+use akg_tensor::{Workspace, WorkspaceStats};
 use serde::Serialize;
 
 /// A source of deployment frames: anything that can hand the runtime one
@@ -147,6 +148,13 @@ pub struct MultiStreamRuntime<S: FrameSource> {
     slots: Vec<StreamSlot<S>>,
     config: RuntimeConfig,
     counters: ServeCounters,
+    /// One inference workspace per runtime, leased across every batch of
+    /// every tick: batched scoring runs on the inference data plane with a
+    /// fixed steady-state memory high-water mark and no per-frame
+    /// allocation.
+    workspace: Workspace,
+    /// Reused per-dispatch score output (cleared per batch).
+    score_scratch: Vec<f32>,
 }
 
 impl<S: FrameSource> MultiStreamRuntime<S> {
@@ -158,7 +166,14 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
     /// Panics if `config.max_batch == 0`.
     pub fn new(engine: Engine, config: RuntimeConfig) -> Self {
         assert!(config.max_batch > 0, "RuntimeConfig::max_batch must be positive");
-        MultiStreamRuntime { engine, slots: Vec::new(), config, counters: ServeCounters::default() }
+        MultiStreamRuntime {
+            engine,
+            slots: Vec::new(),
+            config,
+            counters: ServeCounters::default(),
+            workspace: Workspace::new(),
+            score_scratch: Vec::new(),
+        }
     }
 
     /// Registers a stream: forks a fresh session off the engine (seeded with
@@ -203,6 +218,14 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
         self.counters
     }
 
+    /// Allocation counters of the runtime's shared inference workspace.
+    /// The high-water mark ([`WorkspaceStats::high_water_bytes`])
+    /// stabilizes once every serving shape has been seen — the fixed-memory
+    /// property the soak test asserts.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
+    }
+
     /// One scheduler round: pulls one frame from every stream (round-robin),
     /// embeds each through its own session, scores all windows — batched
     /// across streams up to `max_batch`, or one by one in baseline mode —
@@ -219,28 +242,50 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
     pub fn tick(&mut self) -> Vec<f32> {
         assert!(!self.slots.is_empty(), "tick: no streams registered");
         let n = self.slots.len();
+        let window_len = self.engine.model.config().window;
         // Phase 1 — ingest: one frame per stream, embedded through the
-        // stream's own RNG into its rolling window.
-        let mut windows: Vec<Vec<Vec<f32>>> = Vec::with_capacity(n);
+        // stream's own RNG into its rolling buffer. No windows are
+        // materialized: scoring borrows the buffers in place (phase 2), so
+        // the per-frame window clones of the pre-data-plane runtime are
+        // gone and the tick's footprint is fixed.
         for slot in &mut self.slots {
             let (frame, _label) = slot.source.next_frame();
-            windows.push(slot.adapter.begin_frame(&self.engine, &mut slot.session, &frame));
+            slot.adapter.ingest_frame(&self.engine, &mut slot.session, &frame);
         }
-        // Phase 2 — score: cross-stream batches (or the per-frame baseline).
+        // Phase 2 — score: cross-stream batches (or the per-frame
+        // baseline), through the inference data plane with the runtime's
+        // shared workspace. One flat ref buffer carries a whole batch's
+        // windows (stream `i`'s window is `window_len` consecutive slices).
         let mut scores = vec![0.0f32; n];
         if self.config.batched {
             for start in (0..n).step_by(self.config.max_batch) {
                 let end = (start + self.config.max_batch).min(n);
-                let batch: Vec<(&Session, &[Vec<f32>])> =
-                    (start..end).map(|i| (&self.slots[i].session, windows[i].as_slice())).collect();
-                let batch_scores = self.engine.score_windows_batch(&batch);
-                scores[start..end].copy_from_slice(&batch_scores);
+                let mut flat_refs: Vec<&[f32]> = Vec::with_capacity((end - start) * window_len);
+                let mut one: Vec<&[f32]> = Vec::with_capacity(window_len);
+                for slot in &self.slots[start..end] {
+                    slot.adapter.fill_window_refs(&self.engine, &mut one);
+                    flat_refs.extend_from_slice(&one);
+                }
+                let batch: Vec<(&Session, &[&[f32]])> = (start..end)
+                    .map(|i| {
+                        let w = &flat_refs[(i - start) * window_len..(i - start + 1) * window_len];
+                        (&self.slots[i].session, w)
+                    })
+                    .collect();
+                self.engine.score_windows_batch_refs(
+                    &batch,
+                    &mut self.workspace,
+                    &mut self.score_scratch,
+                );
+                scores[start..end].copy_from_slice(&self.score_scratch);
                 self.counters.dispatches += 1;
                 self.counters.max_batch_seen = self.counters.max_batch_seen.max(end - start);
             }
         } else {
-            for (i, window) in windows.iter().enumerate() {
-                scores[i] = self.engine.score_window(&self.slots[i].session, window);
+            let mut one: Vec<&[f32]> = Vec::with_capacity(window_len);
+            for (i, slot) in self.slots.iter().enumerate() {
+                slot.adapter.fill_window_refs(&self.engine, &mut one);
+                scores[i] = self.engine.score_window_refs(&slot.session, &one);
                 self.counters.dispatches += 1;
                 self.counters.max_batch_seen = self.counters.max_batch_seen.max(1);
             }

@@ -14,10 +14,21 @@ use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
 use akg_runtime::{MultiStreamRuntime, RuntimeConfig};
-use std::sync::Arc;
+use akg_tensor::Backend;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 const FRAMES_PER_STREAM: usize = 48;
 const SHIFT_AT: usize = 24;
+
+/// `MissionSystem::build` applies its config's backend process-wide, and the
+/// suite now runs under both `Auto` and forced-`Scalar` — serialize the
+/// tests so a concurrent build can never flip the backend mid-comparison
+/// (the `BACKEND_LOCK` discipline of `tensor/tests/proptest_kernels.rs`).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_backend() -> MutexGuard<'static, ()> {
+    BACKEND_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 fn dataset() -> Arc<SyntheticUcfCrime> {
     Arc::new(SyntheticUcfCrime::generate(
@@ -39,8 +50,8 @@ fn adapt_cfg(stream: usize) -> AdaptConfig {
     }
 }
 
-fn system_cfg() -> SystemConfig {
-    SystemConfig { seed: 5, ..SystemConfig::default() }
+fn system_cfg(backend: Backend) -> SystemConfig {
+    SystemConfig { seed: 5, backend, ..SystemConfig::default() }
 }
 
 fn frame_seed(stream: usize) -> u64 {
@@ -53,8 +64,12 @@ fn stream_seed(stream: usize) -> u64 {
 
 /// The legacy path: one single-tenant `MissionSystem` per stream, frames
 /// observed one at a time.
-fn run_standalone(ds: &Arc<SyntheticUcfCrime>, stream: usize) -> (Vec<f32>, Vec<f32>, usize) {
-    let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg());
+fn run_standalone(
+    ds: &Arc<SyntheticUcfCrime>,
+    stream: usize,
+    backend: Backend,
+) -> (Vec<f32>, Vec<f32>, usize) {
+    let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend));
     // align the stream's embedding RNG with the runtime's session seeding
     sys.session = sys.engine.new_session(frame_seed(stream));
     let mut adapter = ContinuousAdapter::new(&mut sys, adapt_cfg(stream));
@@ -77,8 +92,13 @@ struct RuntimeOutcome {
     replacements: Vec<usize>,
 }
 
-fn run_runtime(ds: &Arc<SyntheticUcfCrime>, n_streams: usize, max_batch: usize) -> RuntimeOutcome {
-    let sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg());
+fn run_runtime(
+    ds: &Arc<SyntheticUcfCrime>,
+    n_streams: usize,
+    max_batch: usize,
+    backend: Backend,
+) -> RuntimeOutcome {
+    let sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend));
     let mut rt = MultiStreamRuntime::new(sys.engine, RuntimeConfig { max_batch, batched: true });
     for s in 0..n_streams {
         let source =
@@ -108,17 +128,18 @@ fn run_runtime(ds: &Arc<SyntheticUcfCrime>, n_streams: usize, max_batch: usize) 
     RuntimeOutcome { scores, tables, replacements }
 }
 
-fn check_equivalence(n_streams: usize, max_batch: usize) {
+fn check_equivalence(n_streams: usize, max_batch: usize, backend: Backend) {
+    let _guard = lock_backend();
     let ds = dataset();
-    let batched = run_runtime(&ds, n_streams, max_batch);
-    let pristine_table = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg())
+    let batched = run_runtime(&ds, n_streams, max_batch, backend);
+    let pristine_table = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend))
         .session
         .table
         .param()
         .to_vec();
     let mut any_adapted = false;
     for s in 0..n_streams {
-        let (solo_scores, solo_table, solo_replacements) = run_standalone(&ds, s);
+        let (solo_scores, solo_table, solo_replacements) = run_standalone(&ds, s, backend);
         assert_eq!(
             batched.scores[s], solo_scores,
             "stream {s}/{n_streams}: batched scores diverged from the legacy path"
@@ -138,17 +159,25 @@ fn check_equivalence(n_streams: usize, max_batch: usize) {
 
 #[test]
 fn one_stream_matches_legacy_path() {
-    check_equivalence(1, 16);
+    check_equivalence(1, 16, Backend::Auto);
 }
 
 #[test]
 fn four_streams_match_legacy_path() {
-    check_equivalence(4, 16);
+    check_equivalence(4, 16, Backend::Auto);
 }
 
 #[test]
 fn sixteen_streams_match_legacy_path_with_chunked_batches() {
     // max_batch 8 forces ⌈16/8⌉ = 2 dispatches per tick — chunking must not
     // change a single bit either.
-    check_equivalence(16, 8);
+    check_equivalence(16, 8, Backend::Auto);
+}
+
+#[test]
+fn four_streams_match_legacy_path_forced_scalar() {
+    // The forced-scalar leg: the equivalence must hold on the portable
+    // kernels too (and on AVX2 hosts this is a genuinely different backend
+    // than the `Auto` runs above).
+    check_equivalence(4, 16, Backend::Scalar);
 }

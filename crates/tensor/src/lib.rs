@@ -15,6 +15,10 @@
 //! - [`ops`]: differentiable operations (arithmetic, matmul, reductions,
 //!   shape, gather/scatter, softmax/cross-entropy), with the raw
 //!   blocked/threaded matmul kernels exposed in [`ops::kernels`]
+//! - [`inference`] + [`workspace`]: the serving data plane — raw-slice
+//!   forward ops writing into [`Workspace`]-pooled buffers, zero autograd
+//!   bookkeeping and zero steady-state allocation, bit-identical per backend
+//!   to the autograd ops (the training/adaptation plane stays on [`Tensor`])
 //! - [`par`]: the [`Parallelism`] configuration and the scoped-thread worker
 //!   pool the kernels use
 //! - [`backend`]: the runtime-selected [`Backend`] (portable scalar kernels
@@ -50,13 +54,16 @@ mod tensor;
 
 pub mod backend;
 pub mod gradcheck;
+pub mod inference;
 pub mod init;
 pub mod nn;
 pub mod ops;
 pub mod optim;
 pub mod par;
+pub mod workspace;
 
 pub use backend::Backend;
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use par::Parallelism;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};

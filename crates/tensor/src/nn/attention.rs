@@ -79,6 +79,83 @@ impl MultiHeadAttention {
         let joined = Tensor::concat_cols(&head_outputs);
         self.wo.forward(&joined)
     }
+
+    /// Inference-plane forward: self-attention over the raw `[t, d_model]`
+    /// matrix `x` into `out`, using only workspace-leased buffers — no graph
+    /// nodes, no allocation. Replicates [`MultiHeadAttention::forward`]
+    /// op-for-op (same dispatching `Q·Kᵀ` kernel, same fused softmax, same
+    /// per-head column slicing and concatenation), so it is bit-identical
+    /// per backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`/`out` lengths are not `t × d_model`.
+    pub fn forward_infer(
+        &self,
+        x: &[f32],
+        t: usize,
+        out: &mut [f32],
+        ws: &mut crate::workspace::Workspace,
+    ) {
+        use crate::inference as inf;
+        let d_model = self.wq.in_features();
+        assert_eq!(x.len(), t * d_model, "MultiHeadAttention::forward_infer: x is not t × d");
+        assert_eq!(out.len(), t * d_model, "MultiHeadAttention::forward_infer: out is not t × d");
+        let inner = self.inner_dim;
+        let dk = inner / self.heads;
+        let mut q = ws.lease(t * inner);
+        let mut k = ws.lease(t * inner);
+        let mut v = ws.lease(t * inner);
+        self.wq.forward_infer(x, t, &mut q);
+        self.wk.forward_infer(x, t, &mut k);
+        self.wv.forward_infer(x, t, &mut v);
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mask = if self.causal {
+            let mut m = ws.lease(t * t); // zeroed: on/below diagonal stays 0
+            for r in 0..t {
+                m[r * t + r + 1..(r + 1) * t].fill(-1e9);
+            }
+            Some(m)
+        } else {
+            None
+        };
+        let mut qh = ws.lease(t * dk);
+        let mut kh = ws.lease(t * dk);
+        let mut vh = ws.lease(t * dk);
+        let mut attn = ws.lease(t * t);
+        let mut head = ws.lease(t * dk);
+        let mut joined = ws.lease(t * inner);
+        for h in 0..self.heads {
+            let lo = h * dk;
+            // Column slices of q/k/v, exactly `slice_cols(lo, lo + dk)`.
+            for r in 0..t {
+                qh[r * dk..(r + 1) * dk].copy_from_slice(&q[r * inner + lo..r * inner + lo + dk]);
+                kh[r * dk..(r + 1) * dk].copy_from_slice(&k[r * inner + lo..r * inner + lo + dk]);
+                vh[r * dk..(r + 1) * dk].copy_from_slice(&v[r * inner + lo..r * inner + lo + dk]);
+            }
+            inf::matmul_t_into(&mut attn, &qh, &kh, t, dk, t);
+            inf::softmax_rows_scaled_masked_inplace(&mut attn, t, t, scale, mask.as_deref());
+            inf::matmul_into(&mut head, &attn, &vh, t, t, dk);
+            // concat_cols: head h occupies columns lo..lo+dk of `joined`.
+            for r in 0..t {
+                joined[r * inner + lo..r * inner + lo + dk]
+                    .copy_from_slice(&head[r * dk..(r + 1) * dk]);
+            }
+        }
+        self.wo.forward_infer(&joined, t, out);
+        ws.release(q);
+        ws.release(k);
+        ws.release(v);
+        if let Some(m) = mask {
+            ws.release(m);
+        }
+        ws.release(qh);
+        ws.release(kh);
+        ws.release(vh);
+        ws.release(attn);
+        ws.release(head);
+        ws.release(joined);
+    }
 }
 
 /// Additive causal mask: 0 on/below the diagonal, a large negative value
@@ -128,6 +205,30 @@ impl TransformerEncoderLayer {
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let h = x.add(&self.attn.forward(&self.ln1.forward(x)));
         h.add(&self.ffn.forward(&self.ln2.forward(&h)))
+    }
+
+    /// Inference-plane forward: transforms the raw `[t, d]` sequence in
+    /// place through the same pre-norm residual structure as
+    /// [`TransformerEncoderLayer::forward`], bit-identical per backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of `t`.
+    pub fn forward_infer(&self, x: &mut [f32], t: usize, ws: &mut crate::workspace::Workspace) {
+        let mut normed = ws.lease(x.len());
+        let mut sub_out = ws.lease(x.len());
+        // x += MHA(LN1(x))
+        normed.copy_from_slice(x);
+        self.ln1.forward_infer(&mut normed);
+        self.attn.forward_infer(&normed, t, &mut sub_out, ws);
+        crate::inference::add_assign(x, &sub_out);
+        // x += FFN(LN2(x))
+        normed.copy_from_slice(x);
+        self.ln2.forward_infer(&mut normed);
+        self.ffn.forward_infer(&normed, t, &mut sub_out, ws);
+        crate::inference::add_assign(x, &sub_out);
+        ws.release(normed);
+        ws.release(sub_out);
     }
 
     /// Access to the attention block (e.g. to toggle causality).
@@ -183,6 +284,39 @@ impl TransformerEncoder {
     pub fn forward_last(&self, x: &Tensor) -> Tensor {
         let t = x.shape()[0];
         self.forward(x).slice_rows(t - 1, t).flatten()
+    }
+
+    /// Inference-plane form of [`TransformerEncoder::forward_last`]: runs
+    /// the layer stack over the raw `[t, model_dim]` sequence in `seq` (in
+    /// place) and copies the final time step into `out`. Bit-identical per
+    /// backend to the autograd path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq.len() != t * model_dim`, `out.len() != model_dim`, or
+    /// `t == 0`.
+    pub fn forward_last_infer(
+        &self,
+        seq: &mut [f32],
+        t: usize,
+        out: &mut [f32],
+        ws: &mut crate::workspace::Workspace,
+    ) {
+        assert!(t > 0, "TransformerEncoder::forward_last_infer: empty sequence");
+        assert_eq!(
+            seq.len(),
+            t * self.model_dim,
+            "TransformerEncoder::forward_last_infer: seq is not t × model_dim"
+        );
+        assert_eq!(
+            out.len(),
+            self.model_dim,
+            "TransformerEncoder::forward_last_infer: out is not model_dim"
+        );
+        for layer in &self.layers {
+            layer.forward_infer(seq, t, ws);
+        }
+        out.copy_from_slice(&seq[(t - 1) * self.model_dim..t * self.model_dim]);
     }
 
     /// Model dimensionality.
@@ -257,6 +391,41 @@ mod tests {
             assert!(p.grad().is_some(), "param missing grad");
         }
         assert!(x.grad().is_some());
+    }
+
+    #[test]
+    fn encoder_infer_matches_autograd_bitwise() {
+        let _guard = crate::backend::test_lock();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (t, d) = (5, 8);
+        let enc = TransformerEncoder::new(d, 16, 4, 2, &mut rng);
+        let data: Vec<f32> = (0..t * d).map(|i| ((i * 13 % 23) as f32 - 11.0) * 0.07).collect();
+        let reference = enc.forward_last(&Tensor::from_vec(data.clone(), &[t, d])).to_vec();
+        let mut ws = crate::workspace::Workspace::new();
+        let mut seq = data;
+        let mut out = vec![0.0f32; d];
+        enc.forward_last_infer(&mut seq, t, &mut out, &mut ws);
+        assert_eq!(out, reference, "inference encoder diverged from the autograd encoder");
+        // Steady state: a second identical forward leases only pooled
+        // buffers.
+        let created = ws.stats().buffers_created;
+        let mut seq2: Vec<f32> = (0..t * d).map(|i| (i as f32 * 0.11).sin()).collect();
+        enc.forward_last_infer(&mut seq2, t, &mut out, &mut ws);
+        assert_eq!(ws.stats().buffers_created, created, "second forward allocated new buffers");
+    }
+
+    #[test]
+    fn attention_infer_matches_autograd_bitwise() {
+        let _guard = crate::backend::test_lock();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (t, d) = (4, 6);
+        let mha = MultiHeadAttention::new(d, 8, 2, &mut rng);
+        let data: Vec<f32> = (0..t * d).map(|i| ((i * 7 % 19) as f32 - 9.0) * 0.13).collect();
+        let reference = mha.forward(&Tensor::from_vec(data.clone(), &[t, d])).to_vec();
+        let mut ws = crate::workspace::Workspace::new();
+        let mut out = vec![0.0f32; t * d];
+        mha.forward_infer(&data, t, &mut out, &mut ws);
+        assert_eq!(out, reference, "inference attention diverged from the autograd attention");
     }
 
     #[test]

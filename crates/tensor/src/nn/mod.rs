@@ -81,6 +81,36 @@ impl Linear {
         }
     }
 
+    /// Inference-plane forward: applies the layer to the raw `[rows,
+    /// in_features]` matrix `x`, writing `[rows, out_features]` into `out`
+    /// (zeroed here) with no autograd bookkeeping and no allocation.
+    /// Bit-identical to [`Linear::forward`] per backend: the same
+    /// dispatching matmul kernel reads the weight storage directly, followed
+    /// by the same per-element bias add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` length mismatches `rows` × the layer's
+    /// feature counts.
+    pub fn forward_infer(&self, x: &[f32], rows: usize, out: &mut [f32]) {
+        assert_eq!(
+            x.len(),
+            rows * self.in_features,
+            "Linear::forward_infer: input is not rows × in_features"
+        );
+        assert_eq!(
+            out.len(),
+            rows * self.out_features,
+            "Linear::forward_infer: out is not rows × out_features"
+        );
+        self.weight.with_data(|w| {
+            crate::inference::matmul_into(out, x, w, rows, self.in_features, self.out_features);
+        });
+        if let Some(b) = &self.bias {
+            b.with_data(|bv| crate::inference::add_bias_rows(out, bv, self.out_features));
+        }
+    }
+
     /// Input feature count.
     pub fn in_features(&self) -> usize {
         self.in_features
@@ -192,6 +222,27 @@ impl FeedForward {
     /// Applies the block to `[m, dim]`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         self.lin2.forward(&self.lin1.forward(x).gelu())
+    }
+
+    /// Inference-plane forward into `out` — the same linear → GELU → linear
+    /// chain as [`FeedForward::forward`] over workspace-leased scratch,
+    /// bit-identical per backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`/`out` lengths mismatch `rows` × the block's widths.
+    pub fn forward_infer(
+        &self,
+        x: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        ws: &mut crate::workspace::Workspace,
+    ) {
+        let mut hidden = ws.lease(rows * self.lin1.out_features());
+        self.lin1.forward_infer(x, rows, &mut hidden);
+        crate::inference::gelu_inplace(&mut hidden);
+        self.lin2.forward_infer(&hidden, rows, out);
+        ws.release(hidden);
     }
 }
 

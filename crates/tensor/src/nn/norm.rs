@@ -2,7 +2,6 @@
 //! and [`LayerNorm`] (the temporal transformer's normalizer).
 
 use crate::nn::Module;
-use crate::ops::simd;
 use crate::tensor::Tensor;
 
 /// Batch normalization over the rows of an `[m, n]` input (per-feature
@@ -145,46 +144,76 @@ impl BatchNorm1d {
         let m = s[0] / groups;
         assert!(m > 1, "BatchNorm1d: training-mode batch must have >1 rows");
         let n = self.features;
-        let a = x.to_vec();
-        let gamma = self.gamma.to_vec();
-        let beta = self.beta.to_vec();
-        let inv_m = 1.0 / m as f32;
-        let mut out = vec![0.0f32; a.len()];
+        let mut out = vec![0.0f32; x.numel()];
         let mut mean = vec![0.0f32; n];
         let mut var = vec![0.0f32; n];
         let mut inv_std = vec![0.0f32; n];
-        for g in 0..groups {
-            let block = &a[g * m * n..(g + 1) * m * n];
-            // mean: rows ascending, then scale by the reciprocal — exactly
-            // `sum_axis0().mul_scalar(1/m)` under either backend (the
-            // lane-parallel add keeps each column's row-ascending order).
-            mean.iter_mut().for_each(|v| *v = 0.0);
-            for r in 0..m {
-                simd::vadd_assign(&mut mean, &block[r * n..(r + 1) * n]);
-            }
-            simd::inplace_scale(&mut mean, inv_m);
-            // biased variance of the centered block, same op order.
-            var.iter_mut().for_each(|v| *v = 0.0);
-            for r in 0..m {
-                simd::batchnorm_var_accum_row(&mut var, &block[r * n..(r + 1) * n], &mean);
-            }
-            simd::inplace_scale(&mut var, inv_m);
-            for (is, v) in inv_std.iter_mut().zip(&var) {
-                *is = 1.0 / (v + self.eps).sqrt();
-            }
-            let oblock = &mut out[g * m * n..(g + 1) * m * n];
-            for r in 0..m {
-                simd::batchnorm_apply_row(
-                    &mut oblock[r * n..(r + 1) * n],
-                    &block[r * n..(r + 1) * n],
-                    &mean,
-                    &inv_std,
-                    &gamma,
-                    &beta,
-                );
-            }
-        }
+        x.with_data(|a| {
+            self.forward_instance_grouped_raw(
+                a,
+                groups,
+                &mut out,
+                &mut mean,
+                &mut var,
+                &mut inv_std,
+            )
+        });
         Tensor::from_vec(out, &s)
+    }
+
+    /// Inference-plane grouped instance normalization: the shared raw body
+    /// behind [`BatchNorm1d::forward_instance_grouped`] over
+    /// workspace-leased scratch — no tensors, no allocation, bit-identical
+    /// per backend (it *is* the same code).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`BatchNorm1d::forward_instance_grouped`], or if `out` length
+    /// mismatches `x`.
+    pub fn forward_instance_grouped_infer(
+        &self,
+        x: &[f32],
+        groups: usize,
+        out: &mut [f32],
+        ws: &mut crate::workspace::Workspace,
+    ) {
+        let n = self.features;
+        let mut mean = ws.lease(n);
+        let mut var = ws.lease(n);
+        let mut inv_std = ws.lease(n);
+        self.forward_instance_grouped_raw(x, groups, out, &mut mean, &mut var, &mut inv_std);
+        ws.release(mean);
+        ws.release(var);
+        ws.release(inv_std);
+    }
+
+    /// The one grouped-normalization body both planes run.
+    fn forward_instance_grouped_raw(
+        &self,
+        x: &[f32],
+        groups: usize,
+        out: &mut [f32],
+        mean: &mut [f32],
+        var: &mut [f32],
+        inv_std: &mut [f32],
+    ) {
+        self.gamma.with_data(|gamma| {
+            self.beta.with_data(|beta| {
+                crate::inference::instance_norm_grouped_into(
+                    out,
+                    x,
+                    groups,
+                    self.features,
+                    gamma,
+                    beta,
+                    self.eps,
+                    mean,
+                    var,
+                    inv_std,
+                );
+            })
+        });
     }
 
     /// Whether the layer is in training mode.
@@ -245,6 +274,23 @@ impl LayerNorm {
         assert_eq!(s.len(), 2, "LayerNorm: expected 2-D input");
         assert_eq!(s[1], self.features, "LayerNorm: feature mismatch");
         x.layer_norm(&self.gamma, &self.beta, self.eps)
+    }
+
+    /// Inference-plane forward: normalizes the raw `[rows, features]`
+    /// matrix in place via
+    /// [`layer_norm_rows_inplace`](crate::inference::layer_norm_rows_inplace)
+    /// — the same fused arithmetic as [`LayerNorm::forward`], bit-identical
+    /// per backend, with no graph node and no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of `features`.
+    pub fn forward_infer(&self, x: &mut [f32]) {
+        self.gamma.with_data(|gamma| {
+            self.beta.with_data(|beta| {
+                crate::inference::layer_norm_rows_inplace(x, self.features, gamma, beta, self.eps);
+            })
+        });
     }
 }
 
@@ -343,6 +389,29 @@ mod tests {
             let solo = bn.forward_instance(&block).to_vec();
             assert_eq!(&grouped[g * 12..(g + 1) * 12], &solo[..], "group {g} not bit-identical");
         }
+    }
+
+    #[test]
+    fn grouped_infer_matches_grouped_forward_bitwise() {
+        let _guard = crate::backend::test_lock();
+        let bn = BatchNorm1d::new(3);
+        let data: Vec<f32> = (0..24).map(|i| (i as f32 * 0.29).sin() * 4.0).collect();
+        let reference = bn.forward_instance_grouped(&Tensor::from_vec(data.clone(), &[8, 3]), 2);
+        let mut ws = crate::workspace::Workspace::new();
+        let mut out = vec![0.0f32; 24];
+        bn.forward_instance_grouped_infer(&data, 2, &mut out, &mut ws);
+        assert_eq!(out, reference.to_vec());
+    }
+
+    #[test]
+    fn layernorm_infer_matches_forward_bitwise() {
+        let _guard = crate::backend::test_lock();
+        let ln = LayerNorm::new(4);
+        let data: Vec<f32> = (0..12).map(|i| (i as f32 * 0.77).cos() * 3.0).collect();
+        let reference = ln.forward(&Tensor::from_vec(data.clone(), &[3, 4])).to_vec();
+        let mut raw = data;
+        ln.forward_infer(&mut raw);
+        assert_eq!(raw, reference);
     }
 
     #[test]

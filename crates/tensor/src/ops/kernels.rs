@@ -69,6 +69,32 @@ pub(crate) fn check_dims(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, who
     assert_eq!(b.len(), k * n, "{who}: rhs has {} elements, expected k*n = {}", b.len(), k * n);
 }
 
+fn check_out(out: &[f32], m: usize, n: usize, who: &str) {
+    assert_eq!(out.len(), m * n, "{who}: out has {} elements, expected m*n = {}", out.len(), m * n);
+}
+
+std::thread_local! {
+    /// Per-thread reusable packing panel for the blocked kernel. The panel
+    /// is scratch whose packed region is fully overwritten before every
+    /// read, so reuse is invisible to the numerics; pooling it removes the
+    /// last steady-state allocation from the blocked matmul on its calling
+    /// thread (worker threads spawned by [`crate::par::for_each_row_chunk`]
+    /// are short-lived and still allocate one panel per spawn).
+    static PACK_PANEL: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over this thread's reusable packing panel, grown to at least
+/// `len` elements. Not reentrant (the kernels never nest matmuls).
+pub(crate) fn with_panel<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    PACK_PANEL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
+
 /// Textbook triple-loop matrix product `[m,k] × [k,n] → [m,n]`: one dot
 /// product per output element, walking a column of `b` with stride `n`.
 ///
@@ -124,10 +150,30 @@ pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f
 /// ```
 pub fn matmul_ikj(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     check_dims(a, b, m, k, n, "matmul_ikj");
-    if let Some(out) = simd::try_matmul_ikj(a, b, m, k, n) {
-        return out;
-    }
     let mut out = vec![0.0f32; m * n];
+    ikj_fill(&mut out, a, b, m, k, n);
+    out
+}
+
+/// [`matmul_ikj`] writing into a caller-provided buffer (zeroed here) — the
+/// allocation-free form the inference data plane uses. Bit-identical to the
+/// allocating form under either backend.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_ikj_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, m, k, n, "matmul_ikj_into");
+    check_out(out, m, n, "matmul_ikj_into");
+    out.fill(0.0);
+    ikj_fill(out, a, b, m, k, n);
+}
+
+/// The shared `ikj` kernel body over a zeroed output buffer.
+fn ikj_fill(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    if simd::try_ikj_fill(out, a, b, m, k, n) {
+        return;
+    }
     for i in 0..m {
         let orow = &mut out[i * n..(i + 1) * n];
         for p in 0..k {
@@ -141,7 +187,6 @@ pub fn matmul_ikj(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32
             }
         }
     }
-    out
 }
 
 /// Cache-blocked, panel-packed, row-parallel matrix product
@@ -175,52 +220,72 @@ pub fn matmul_ikj(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32
 pub fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     check_dims(a, b, m, k, n, "matmul_blocked");
     let mut out = vec![0.0f32; m * n];
+    blocked_fill(&mut out, a, b, m, k, n);
+    out
+}
+
+/// [`matmul_blocked`] writing into a caller-provided buffer (zeroed here) —
+/// the allocation-free form the inference data plane uses. Bit-identical to
+/// the allocating form under either backend.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_blocked_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, m, k, n, "matmul_blocked_into");
+    check_out(out, m, n, "matmul_blocked_into");
+    out.fill(0.0);
+    blocked_fill(out, a, b, m, k, n);
+}
+
+/// The shared blocked-kernel body over a zeroed output buffer.
+fn blocked_fill(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     if m == 0 || n == 0 || k == 0 {
-        return out;
+        return;
     }
     // Resolve the backend once for the whole kernel call: chunks of one
     // matmul must never mix SIMD and scalar arithmetic, even if another
     // thread re-configures the backend mid-call.
     let use_simd = crate::backend::simd_active();
-    for_each_row_chunk(&mut out, m, n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+    for_each_row_chunk(out, m, n, MIN_ROWS_PER_THREAD, |row0, chunk| {
         if simd::try_blocked_fill(use_simd, a, b, k, n, row0, chunk) {
             return;
         }
         let rows = chunk.len() / n;
-        let mut panel = vec![0.0f32; KC.min(k) * NC.min(n)];
-        // k-blocks ascending on the outside keeps the per-element
-        // accumulation order identical to the reference kernels.
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            for jc in (0..n).step_by(NC) {
-                let nc = NC.min(n - jc);
-                // Pack the KC×NC block of b into a contiguous panel.
-                for p in 0..kc {
-                    let src = &b[(pc + p) * n + jc..(pc + p) * n + jc + nc];
-                    panel[p * nc..(p + 1) * nc].copy_from_slice(src);
-                }
-                for ii in 0..rows {
-                    let arow = &a[(row0 + ii) * k + pc..(row0 + ii) * k + pc + kc];
-                    let orow = &mut chunk[ii * n + jc..ii * n + jc + nc];
-                    for (p, &aip) in arow.iter().enumerate() {
-                        // Zero-coefficient SAXPYs are skipped, matching
-                        // `matmul_ikj` exactly — the forward result must not
-                        // change when a product crosses the dispatch
-                        // threshold (the skip is also where they differ on
-                        // non-finite inputs: 0·Inf terms are dropped).
-                        if aip == 0.0 {
-                            continue;
-                        }
-                        let prow = &panel[p * nc..(p + 1) * nc];
-                        for (o, bv) in orow.iter_mut().zip(prow) {
-                            *o += aip * bv;
+        with_panel(KC.min(k) * NC.min(n), |panel| {
+            // k-blocks ascending on the outside keeps the per-element
+            // accumulation order identical to the reference kernels.
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                for jc in (0..n).step_by(NC) {
+                    let nc = NC.min(n - jc);
+                    // Pack the KC×NC block of b into a contiguous panel.
+                    for p in 0..kc {
+                        let src = &b[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+                        panel[p * nc..(p + 1) * nc].copy_from_slice(src);
+                    }
+                    for ii in 0..rows {
+                        let arow = &a[(row0 + ii) * k + pc..(row0 + ii) * k + pc + kc];
+                        let orow = &mut chunk[ii * n + jc..ii * n + jc + nc];
+                        for (p, &aip) in arow.iter().enumerate() {
+                            // Zero-coefficient SAXPYs are skipped, matching
+                            // `matmul_ikj` exactly — the forward result must not
+                            // change when a product crosses the dispatch
+                            // threshold (the skip is also where they differ on
+                            // non-finite inputs: 0·Inf terms are dropped).
+                            if aip == 0.0 {
+                                continue;
+                            }
+                            let prow = &panel[p * nc..(p + 1) * nc];
+                            for (o, bv) in orow.iter_mut().zip(prow) {
+                                *o += aip * bv;
+                            }
                         }
                     }
                 }
             }
-        }
+        });
     });
-    out
 }
 
 /// Unrolled dot product with four deterministic partial accumulators
@@ -268,12 +333,33 @@ pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
     assert_eq!(a.len(), m * k, "matmul_nt: lhs has {} elements, expected m*k = {}", a.len(), m * k);
     assert_eq!(b.len(), n * k, "matmul_nt: rhs has {} elements, expected n*k = {}", b.len(), n * k);
     let mut out = vec![0.0f32; m * n];
+    nt_fill(&mut out, a, b, m, k, n);
+    out
+}
+
+/// [`matmul_nt`] writing into a caller-provided buffer — the
+/// allocation-free form the inference data plane's attention path uses.
+/// Every element is overwritten (dot-product fill), so the buffer need not
+/// be zeroed. Bit-identical to the allocating form under either backend.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m*k`, `b.len() != n*k`, or `out.len() != m*n`.
+pub fn matmul_nt_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_nt_into: lhs has {} elements, expected m*k", a.len());
+    assert_eq!(b.len(), n * k, "matmul_nt_into: rhs has {} elements, expected n*k", b.len());
+    check_out(out, m, n, "matmul_nt_into");
+    nt_fill(out, a, b, m, k, n);
+}
+
+/// The shared `nt` kernel body (overwrites every output element).
+fn nt_fill(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     if m == 0 || n == 0 {
-        return out;
+        return;
     }
     // One backend resolution per call — see `matmul_blocked`.
     let use_simd = crate::backend::simd_active();
-    for_each_row_chunk(&mut out, m, n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+    for_each_row_chunk(out, m, n, MIN_ROWS_PER_THREAD, |row0, chunk| {
         if simd::try_nt_fill(use_simd, a, b, k, n, row0, chunk) {
             return;
         }
@@ -286,7 +372,6 @@ pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
             }
         }
     });
-    out
 }
 
 /// Transposed-input fast path `Aᵀ × B → [k,n]` where `a` is `[m,k]` and `b`

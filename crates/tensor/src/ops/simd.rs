@@ -42,22 +42,25 @@ use crate::backend::simd_active;
 // Matmul fills
 // ---------------------------------------------------------------------------
 
-/// SIMD whole-kernel `ikj` matmul. `None` when the SIMD backend is inactive.
-pub(crate) fn try_matmul_ikj(
+/// SIMD whole-kernel `ikj` fill over a zeroed output. Returns `false` when
+/// the SIMD backend is inactive and the caller must run the scalar fill.
+pub(crate) fn try_ikj_fill(
+    out: &mut [f32],
     a: &[f32],
     b: &[f32],
     m: usize,
     k: usize,
     n: usize,
-) -> Option<Vec<f32>> {
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     if simd_active() {
         // SAFETY: `simd_active` implies AVX2+FMA were detected at runtime.
-        return Some(unsafe { avx::matmul_ikj_fma(a, b, m, k, n) });
+        unsafe { avx::ikj_fill_fma(out, a, b, m, k, n) };
+        return true;
     }
     #[cfg(not(target_arch = "x86_64"))]
-    let _ = (a, b, m, k, n);
-    None
+    let _ = (out, a, b, m, k, n);
+    false
 }
 
 /// SIMD fill of one row-chunk of the blocked matmul (packed panel +
@@ -528,24 +531,23 @@ mod avx {
         s
     }
 
-    /// Whole-kernel `ikj` matmul: k-ascending SAXPY rows via [`axpy_fma`],
-    /// no zero-coefficient skip (see the module docs).
+    /// Whole-kernel `ikj` fill over a zeroed output: k-ascending SAXPY rows
+    /// via [`axpy_fma`], no zero-coefficient skip (see the module docs).
     #[target_feature(enable = "avx2", enable = "fma")]
-    pub(super) unsafe fn matmul_ikj_fma(
+    pub(super) unsafe fn ikj_fill_fma(
+        out: &mut [f32],
         a: &[f32],
         b: &[f32],
         m: usize,
         k: usize,
         n: usize,
-    ) -> Vec<f32> {
-        let mut out = vec![0.0f32; m * n];
+    ) {
         for i in 0..m {
             let orow = &mut out[i * n..(i + 1) * n];
             for p in 0..k {
                 axpy_fma(orow, a[i * k + p], &b[p * n..(p + 1) * n]);
             }
         }
-        out
     }
 
     /// Fills one row-chunk of the blocked matmul: the same packed-panel
@@ -553,7 +555,6 @@ mod avx {
     /// a 6×16 register-tiled FMA microkernel (accumulators live in YMM
     /// across the whole `kc` loop — one C load/store per block instead of
     /// one per `p`).
-    #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn blocked_fill_fma(
         a: &[f32],
         b: &[f32],
@@ -562,8 +563,28 @@ mod avx {
         row0: usize,
         chunk: &mut [f32],
     ) {
+        // The packing panel comes from the thread-local pool so the blocked
+        // kernel allocates nothing in steady state on its calling thread.
+        crate::ops::kernels::with_panel(KC.min(k) * NC.min(n), |panel| {
+            // SAFETY: only called with `blocked_fill_fma`'s own contract —
+            // the caller detected AVX2+FMA at runtime.
+            unsafe { blocked_fill_fma_panel(a, b, k, n, row0, chunk, panel) }
+        });
+    }
+
+    /// The blocked fill body over a caller-provided packing panel.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn blocked_fill_fma_panel(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        chunk: &mut [f32],
+        panel: &mut [f32],
+    ) {
         let rows = chunk.len() / n;
-        let mut panel = vec![0.0f32; KC.min(k) * NC.min(n)];
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             for jc in (0..n).step_by(NC) {
@@ -576,18 +597,18 @@ mod avx {
                 while jr + 16 <= nc {
                     let mut ii = 0;
                     while ii + MR <= rows {
-                        micro_6x16(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &panel, nc, jr);
+                        micro_6x16(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &*panel, nc, jr);
                         ii += MR;
                     }
                     while ii < rows {
-                        micro_1x16(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &panel, nc, jr);
+                        micro_1x16(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &*panel, nc, jr);
                         ii += 1;
                     }
                     jr += 16;
                 }
                 while jr + 8 <= nc {
                     for ii in 0..rows {
-                        micro_1x8(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &panel, nc, jr);
+                        micro_1x8(a, chunk, k, n, row0, ii, pc, kc, jc + jr, &*panel, nc, jr);
                     }
                     jr += 8;
                 }
@@ -1188,8 +1209,9 @@ mod tests {
         for (m, k, n) in [(1, 1, 1), (3, 5, 7), (9, 16, 24), (13, 40, 21)] {
             let a = filled(m * k, |i| ((i * 37 % 19) as f32 - 9.0) * 0.11);
             let b = filled(k * n, |i| ((i * 23 % 17) as f32 - 8.0) * 0.13);
+            let mut fast = vec![0.0f32; m * n];
             // SAFETY: guarded by `simd_available`.
-            let fast = unsafe { avx::matmul_ikj_fma(&a, &b, m, k, n) };
+            unsafe { avx::ikj_fill_fma(&mut fast, &a, &b, m, k, n) };
             let reference = crate::ops::kernels::matmul_naive(&a, &b, m, k, n);
             for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
                 assert!(
@@ -1212,12 +1234,13 @@ mod tests {
             let a = filled(m * k, |i| ((i * 31 % 23) as f32 - 11.0) * 0.07);
             let b = filled(k * n, |i| ((i * 29 % 19) as f32 - 9.0) * 0.09);
             let mut blocked = vec![0.0f32; m * n];
+            let mut ikj = vec![0.0f32; m * n];
             // SAFETY: guarded by `simd_available`.
             unsafe {
                 avx::blocked_fill_fma(&a, &b, k, n, 0, &mut blocked);
-                let ikj = avx::matmul_ikj_fma(&a, &b, m, k, n);
-                assert_eq!(blocked, ikj, "microkernel diverged at {m}x{k}x{n}");
+                avx::ikj_fill_fma(&mut ikj, &a, &b, m, k, n);
             }
+            assert_eq!(blocked, ikj, "microkernel diverged at {m}x{k}x{n}");
         }
     }
 }

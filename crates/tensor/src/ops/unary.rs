@@ -8,6 +8,27 @@
 use crate::ops::simd;
 use crate::tensor::Tensor;
 
+/// The ELU forward map — shared by the autograd op and the inference data
+/// plane so the two planes are bit-identical by construction.
+#[inline]
+pub(crate) fn elu_scalar(x: f32, alpha: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        alpha * (x.exp() - 1.0)
+    }
+}
+
+/// `sqrt(2/pi)` of the tanh-approximated GELU.
+pub(crate) const GELU_C: f32 = 0.797_884_6;
+
+/// The GELU forward map (tanh approximation) — shared by the autograd op
+/// and the inference data plane.
+#[inline]
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
 /// Builds a unary elementwise op from a whole-slice forward map (so the
 /// forward can be vectorized) and a per-element derivative that receives
 /// the *input* value.
@@ -95,7 +116,7 @@ impl Tensor {
     pub fn elu_with_alpha(&self, alpha: f32) -> Tensor {
         unary_from_input(
             self,
-            move |x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) },
+            move |x| elu_scalar(x, alpha),
             move |x| if x > 0.0 { 1.0 } else { alpha * x.exp() },
         )
     }
@@ -120,17 +141,13 @@ impl Tensor {
     /// Gaussian error linear unit (tanh approximation), used by the temporal
     /// transformer's feed-forward block.
     pub fn gelu(&self) -> Tensor {
-        const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        unary_from_input(
-            self,
-            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
-            |x| {
-                let inner = C * (x + 0.044715 * x * x * x);
-                let t = inner.tanh();
-                let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
-                0.5 * (1.0 + t) + 0.5 * x * dt
-            },
-        )
+        const C: f32 = GELU_C;
+        unary_from_input(self, gelu_scalar, |x| {
+            let inner = C * (x + 0.044715 * x * x * x);
+            let t = inner.tanh();
+            let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
+            0.5 * (1.0 + t) + 0.5 * x * dt
+        })
     }
 }
 

@@ -70,9 +70,19 @@ pub fn set_parallelism(p: Parallelism) {
 }
 
 /// The number of worker threads kernels will currently use (>= 1).
+///
+/// The `Auto` resolution is detected once and cached: every raw kernel call
+/// consults this function, and `std::thread::available_parallelism` probes
+/// the OS (and allocates) on each call — which used to put one allocation
+/// under *every* chunked kernel invocation, breaking the inference data
+/// plane's zero-steady-state-allocation property under the default policy.
 pub fn effective_threads() -> usize {
     match THREADS.load(Ordering::Relaxed) {
-        AUTO => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        AUTO => {
+            static DETECTED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+            *DETECTED
+                .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        }
         n => n,
     }
 }

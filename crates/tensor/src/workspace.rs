@@ -1,0 +1,198 @@
+//! Size-keyed pools of reusable `f32` buffers for the inference data plane.
+//!
+//! The serving path (see [`crate::inference`]) never allocates in steady
+//! state: every intermediate activation lives in a buffer leased from a
+//! [`Workspace`] and returned after use. Because a deployed model's shapes
+//! are fixed, the set of distinct buffer sizes a forward pass needs is
+//! finite — after the first few frames the pools contain one buffer per
+//! (size, simultaneous-use) pair and every subsequent lease is a pop + a
+//! `memset`, so a long-lived deployment reaches a **fixed memory high-water
+//! mark** ([`WorkspaceStats::high_water_bytes`] stabilizes; the runtime soak
+//! test asserts this).
+//!
+//! Pools are intentionally dumb: exact-size matching, LIFO reuse, no eviction
+//! (an edge deployment wants a stable footprint, not a shrinking one).
+//!
+//! # Examples
+//!
+//! ```
+//! use akg_tensor::workspace::Workspace;
+//!
+//! let mut ws = Workspace::new();
+//! let a = ws.lease(64); // zeroed, freshly allocated
+//! ws.release(a);
+//! let b = ws.lease(64); // reused: no new allocation
+//! assert_eq!(ws.stats().buffers_created, 1);
+//! assert_eq!(ws.stats().leases, 2);
+//! ws.release(b);
+//! ```
+
+use std::collections::HashMap;
+
+/// Counters describing a [`Workspace`]'s allocation behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkspaceStats {
+    /// Fixed-size `f32` buffer leases served (pool hits + misses).
+    pub leases: u64,
+    /// Fixed-size `f32` buffers ever allocated (pool misses).
+    pub buffers_created: usize,
+    /// Bytes backing the fixed-size `f32` buffers ever allocated. Since
+    /// every buffer returns to its pool, this is the workspace's memory
+    /// high-water mark; it stabilizes once the deployment has seen every
+    /// shape it will ever serve.
+    pub bytes_created: usize,
+    /// Growable scratch vectors (`f32` and index) ever allocated.
+    pub scratch_created: usize,
+}
+
+impl WorkspaceStats {
+    /// The workspace's fixed-size-pool memory high-water mark in bytes.
+    pub fn high_water_bytes(&self) -> usize {
+        self.bytes_created
+    }
+}
+
+/// A pool of reusable buffers backing the allocation-free inference path.
+///
+/// Three kinds of scratch are pooled:
+///
+/// - **fixed-size `f32` buffers** ([`Workspace::lease`] /
+///   [`Workspace::release`]): keyed by exact length, handed out **zeroed**
+///   (the contract every op in [`crate::inference`] assumes for its outputs);
+/// - **growable `f32` vectors** ([`Workspace::lease_vec`]): handed out
+///   empty with retained capacity, for `clear()`/`extend` result buffers;
+/// - **growable index vectors** ([`Workspace::lease_idx`]): the same, for
+///   `usize` gather/scatter index scratch.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pools: HashMap<usize, Vec<Vec<f32>>>,
+    vec_pool: Vec<Vec<f32>>,
+    idx_pool: Vec<Vec<usize>>,
+    stats: WorkspaceStats,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Leases a zeroed buffer of exactly `len` elements. Reuses a pooled
+    /// buffer of that size when one is free; allocates (and counts) one
+    /// otherwise. Pair with [`Workspace::release`].
+    pub fn lease(&mut self, len: usize) -> Vec<f32> {
+        self.stats.leases += 1;
+        if let Some(pool) = self.pools.get_mut(&len) {
+            if let Some(mut buf) = pool.pop() {
+                buf.fill(0.0);
+                return buf;
+            }
+        }
+        self.stats.buffers_created += 1;
+        self.stats.bytes_created += len * std::mem::size_of::<f32>();
+        vec![0.0f32; len]
+    }
+
+    /// Returns a buffer obtained from [`Workspace::lease`] to its size pool.
+    /// The buffer's length must not have been changed while leased.
+    pub fn release(&mut self, buf: Vec<f32>) {
+        self.pools.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Leases an empty growable `f32` vector (capacity retained across
+    /// reuses). Pair with [`Workspace::release_vec`].
+    pub fn lease_vec(&mut self) -> Vec<f32> {
+        match self.vec_pool.pop() {
+            Some(v) => v,
+            None => {
+                self.stats.scratch_created += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a growable `f32` vector to the pool (cleared, capacity kept).
+    pub fn release_vec(&mut self, mut v: Vec<f32>) {
+        v.clear();
+        self.vec_pool.push(v);
+    }
+
+    /// Leases an empty growable index vector (capacity retained across
+    /// reuses). Pair with [`Workspace::release_idx`].
+    pub fn lease_idx(&mut self) -> Vec<usize> {
+        match self.idx_pool.pop() {
+            Some(v) => v,
+            None => {
+                self.stats.scratch_created += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns an index vector to the pool (cleared, capacity kept).
+    pub fn release_idx(&mut self, mut v: Vec<usize>) {
+        v.clear();
+        self.idx_pool.push(v);
+    }
+
+    /// Allocation counters so far.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_is_zeroed_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut a = ws.lease(8);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        ws.release(a);
+        let b = ws.lease(8);
+        assert!(b.iter().all(|&v| v == 0.0), "reused buffer not zeroed");
+        ws.release(b);
+    }
+
+    #[test]
+    fn high_water_stabilizes_under_repeated_shapes() {
+        let mut ws = Workspace::new();
+        for _ in 0..100 {
+            let a = ws.lease(16);
+            let b = ws.lease(32);
+            ws.release(a);
+            ws.release(b);
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.buffers_created, 2);
+        assert_eq!(stats.high_water_bytes(), (16 + 32) * 4);
+        assert_eq!(stats.leases, 200);
+    }
+
+    #[test]
+    fn simultaneous_leases_of_one_size_get_distinct_buffers() {
+        let mut ws = Workspace::new();
+        let a = ws.lease(4);
+        let b = ws.lease(4);
+        assert_eq!(ws.stats().buffers_created, 2);
+        ws.release(a);
+        ws.release(b);
+        let _ = ws.lease(4);
+        assert_eq!(ws.stats().buffers_created, 2);
+    }
+
+    #[test]
+    fn scratch_vectors_retain_capacity() {
+        let mut ws = Workspace::new();
+        let mut v = ws.lease_idx();
+        v.extend(0..100);
+        ws.release_idx(v);
+        let v = ws.lease_idx();
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 100);
+        ws.release_idx(v);
+        assert_eq!(ws.stats().scratch_created, 1);
+    }
+}
