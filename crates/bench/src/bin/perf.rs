@@ -5,7 +5,7 @@
 //! `docs/PERFORMANCE.md` for how to read them).
 //!
 //! Usage: `perf [--smoke] [--threads N] [--backend B] [--streams N]
-//! [--alloc-stats] [--out PATH] [--serve-out PATH]`
+//! [--shards N] [--alloc-stats] [--out PATH] [--serve-out PATH]`
 //!
 //! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
 //!   the full measurement sizes. Smoke output is for validating the harness
@@ -17,6 +17,11 @@
 //!   say which instruction set produced them.
 //! - `--streams N`: cap on the serving-bench stream counts (default 16; the
 //!   bench measures 1, 4, and 16 streams up to this cap).
+//! - `--shards N`: cap on the sharded-scaling sweep (default 4; the bench
+//!   measures shard counts 1, 2, 4, and 8 up to this cap, all serving the
+//!   same 16-stream deployment). Each point lands in the schema v4
+//!   `scaling` array; `speedup_vs_one_shard` only exceeds 1 on multi-core
+//!   hosts — the recorded `cores` field says what the host had.
 //! - `--alloc-stats`: measure steady-state serving allocations through the
 //!   process-wide counting allocator and record them in `BENCH_serve.json`
 //!   (`alloc` object). Exits non-zero if the scoring data plane exceeds
@@ -32,7 +37,10 @@ use akg_core::engine::{Engine, Session};
 use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
-use akg_runtime::{MultiStreamRuntime, OwnedStreamRuntime, RuntimeConfig};
+use akg_runtime::{
+    EngineSpec, MultiStreamRuntime, OwnedShardedRuntime, OwnedStreamRuntime, RuntimeConfig,
+    ShardedConfig, ShardedRuntime,
+};
 use akg_tensor::backend::{cpu_features, effective_backend, set_backend, Backend};
 use akg_tensor::nn::Module;
 use akg_tensor::ops::kernels::{matmul_blocked, matmul_ikj, matmul_naive, matmul_nt};
@@ -177,6 +185,24 @@ struct ServePoint {
     batching_speedup: f64,
 }
 
+/// One shard-count measurement of the sharded-scaling sweep (schema v4):
+/// aggregate frames/s serving the same fixed deployment through
+/// `ShardedRuntime` at this worker count.
+#[derive(Debug, Serialize)]
+struct ScalingPoint {
+    /// Shard worker threads.
+    shards: usize,
+    /// Concurrent streams served (fixed across the sweep).
+    streams: usize,
+    /// Scheduler ticks measured (frames = streams × ticks).
+    ticks: usize,
+    /// Aggregate throughput at this shard count.
+    frames_per_sec: f64,
+    /// `frames_per_sec / frames_per_sec(shards = 1)` — above 1 only when
+    /// the host actually has cores to scale onto (see `ServeReport::cores`).
+    speedup_vs_one_shard: f64,
+}
+
 /// Steady-state serving allocation counters (schema v3, `--alloc-stats`).
 #[derive(Debug, Serialize)]
 struct AllocStats {
@@ -214,8 +240,14 @@ struct ServeReport {
     backend: String,
     /// Largest cross-stream batch the scheduler may form.
     max_batch: usize,
+    /// CPU cores the host exposed (`available_parallelism`) — the context
+    /// for reading `scaling`: a 1-core host cannot show a multi-shard
+    /// speedup no matter how good the runtime is.
+    cores: usize,
     /// Per-stream-count measurements.
     points: Vec<ServePoint>,
+    /// Frames/s vs shard count through `ShardedRuntime` (schema v4).
+    scaling: Vec<ScalingPoint>,
     /// Headline: batched aggregate fps at the largest stream count divided
     /// by the per-frame fps at 1 stream. (PR 3's ≥ 2 gate was judged against
     /// the autograd per-frame baseline; since PR 5 both modes ride the
@@ -249,9 +281,69 @@ fn serve_runtime(
     rt
 }
 
+/// Builds a sharded runtime over the same deployment shape (same dataset,
+/// seeds, and feeds) as [`serve_runtime`] in batched mode — so `scaling`
+/// and `points` measure the same work, differing only in worker topology.
+fn sharded_serve_runtime(
+    ds: &Arc<SyntheticUcfCrime>,
+    streams: usize,
+    shards: usize,
+    parallelism: Parallelism,
+    backend: Backend,
+) -> OwnedShardedRuntime {
+    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
+    let spec = EngineSpec::new(&[AnomalyClass::Stealing], config);
+    let mut rt = ShardedRuntime::new(
+        spec,
+        ShardedConfig { shards, max_batch: 16, queue_depth: 2, inner_threads: None },
+    );
+    for s in 0..streams {
+        let source =
+            AdaptationStream::owned(Arc::clone(ds), AnomalyClass::Stealing, 0.3, 900 + s as u64);
+        rt.add_stream(source, 0x5EED ^ s as u64, AdaptConfig::default());
+    }
+    rt
+}
+
+/// The frames/s-vs-shards sweep: shard counts {1, 2, 4, 8} up to
+/// `max_shards`, all serving the same `streams`-stream deployment.
+fn bench_scaling(
+    smoke: bool,
+    ds: &Arc<SyntheticUcfCrime>,
+    streams: usize,
+    max_shards: usize,
+    parallelism: Parallelism,
+    backend: Backend,
+) -> Vec<ScalingPoint> {
+    let ticks = if smoke { 12 } else { 96 };
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        if shards > max_shards {
+            continue;
+        }
+        let mut rt = sharded_serve_runtime(ds, streams, shards, parallelism, backend);
+        // warm-up tick: worker engine builds, caches, stream buffers
+        let _ = rt.tick();
+        let t0 = Instant::now();
+        black_box(rt.run(ticks));
+        let secs = t0.elapsed().as_secs_f64();
+        let fps = (streams * ticks) as f64 / secs.max(1e-9);
+        let base = points.first().map(|p: &ScalingPoint| p.frames_per_sec).unwrap_or(fps);
+        points.push(ScalingPoint {
+            shards,
+            streams,
+            ticks,
+            frames_per_sec: fps,
+            speedup_vs_one_shard: fps / base.max(1e-9),
+        });
+    }
+    points
+}
+
 fn bench_serving(
     smoke: bool,
     max_streams: usize,
+    max_shards: usize,
     parallelism: Parallelism,
     backend: Backend,
 ) -> ServeReport {
@@ -285,15 +377,19 @@ fn bench_serving(
             batching_speedup: fps[0] / fps[1].max(1e-9),
         });
     }
+    let scaling_streams = 16usize.min(max_streams.max(1));
+    let scaling = bench_scaling(smoke, &ds, scaling_streams, max_shards, parallelism, backend);
     let single_per_frame = points.first().map(|p| p.per_frame_frames_per_sec).unwrap_or(f64::NAN);
     let largest_batched = points.last().map(|p| p.batched_frames_per_sec).unwrap_or(f64::NAN);
     ServeReport {
-        schema_version: 3,
+        schema_version: 4,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
         backend: backend_name(),
         max_batch: 16,
+        cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         points,
+        scaling,
         batched_aggregate_vs_single_per_frame: largest_batched / single_per_frame.max(1e-9),
         alloc: None,
     }
@@ -548,6 +644,8 @@ fn main() {
         flag_value(&args, "--serve-out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let max_streams =
         flag_value(&args, "--streams").and_then(|v| v.parse::<usize>().ok()).unwrap_or(16);
+    let max_shards =
+        flag_value(&args, "--shards").and_then(|v| v.parse::<usize>().ok()).unwrap_or(4);
     let parallelism = match flag_value(&args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
         Some(n) => Parallelism::Threads(n),
         None => Parallelism::Auto,
@@ -631,7 +729,7 @@ fn main() {
     std::fs::write(&out, json).expect("write report");
     println!("perf: wrote {out}");
 
-    let mut serve = bench_serving(smoke, max_streams, parallelism, backend);
+    let mut serve = bench_serving(smoke, max_streams, max_shards, parallelism, backend);
     for p in &serve.points {
         println!(
             "  serve {:>2} stream(s): batched {:>7.0} f/s | per-frame {:>7.0} f/s | {:.2}x",
@@ -642,6 +740,12 @@ fn main() {
         "  serve headline: batched aggregate vs single-stream per-frame = {:.2}x",
         serve.batched_aggregate_vs_single_per_frame
     );
+    for p in &serve.scaling {
+        println!(
+            "  scale {:>2} shard(s) x {:>2} streams: {:>7.0} f/s | {:.2}x vs 1 shard ({} core(s))",
+            p.shards, p.streams, p.frames_per_sec, p.speedup_vs_one_shard, serve.cores
+        );
+    }
     let mut over_budget = false;
     if alloc_stats {
         let a = measure_alloc_stats(smoke, parallelism, backend);

@@ -50,8 +50,23 @@
 //! assert_eq!(scores.len(), 2);
 //! assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
 //! ```
+//!
+//! ## Scaling out: the sharded runtime
+//!
+//! [`MultiStreamRuntime`] is single-core by design (tensors are `Rc`-based).
+//! [`ShardedRuntime`] (the [`shard`] module) partitions the streams across N
+//! worker threads — each running its own `MultiStreamRuntime` over its
+//! shard — wired by bounded [`spsc`] queues, with a test-enforced contract
+//! that sharding never changes any stream's results bit-for-bit.
 
 #![warn(missing_docs)]
+
+pub mod shard;
+pub mod spsc;
+
+pub use shard::{
+    EngineSpec, OwnedShardedRuntime, ShardSnapshot, ShardedConfig, ShardedRuntime, StreamSnapshot,
+};
 
 use akg_core::adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
 use akg_core::engine::{Engine, Session};

@@ -1,0 +1,694 @@
+//! Sharded multi-core serving: N worker threads, each owning an isolated
+//! shard of the deployment's streams, wired to an ingest front-end by
+//! bounded SPSC queues.
+//!
+//! ## Topology
+//!
+//! ```text
+//!             ┌────────────── ShardedRuntime (caller thread) ──────────────┐
+//!             │  sources (FrameSource per stream)       counters, drain    │
+//!             └──┬─────────────────┬─────────────────────▲────────▲────────┘
+//!    tick frames │                 │                     │ scores │
+//!     (bounded   ▼                 ▼                     │ (bounded SPSC
+//!      SPSC)  ┌──────┐          ┌──────┐                 │  per shard)
+//!             │shard0│          │shard1│  … one OS thread per shard,
+//!             │worker│          │worker│    each owning: its own Engine
+//!             └──────┘          └──────┘    replica, its streams' Sessions
+//!                                           + adapters, one Workspace
+//! ```
+//!
+//! The front-end owns every [`FrameSource`] and pulls one frame per stream
+//! per tick; frames cross to the owning shard over a bounded SPSC queue (one
+//! message per shard per tick, so queue traffic is O(shards), not
+//! O(frames)); each worker runs the tick exactly as the single-threaded
+//! [`MultiStreamRuntime`] would over its subset of streams — a shard *is* a
+//! `MultiStreamRuntime` fed by a queue — and sends the scores back over its
+//! result queue, where the drain path reassembles the per-stream score
+//! vector and aggregates [`ServeCounters`].
+//!
+//! ## Why each worker builds its own engine
+//!
+//! Tensors are `Rc`-based (not `Send`), so an [`Engine`] cannot be shared
+//! across threads or even moved to one. Instead every worker *builds* its
+//! own engine replica on its own thread from the same [`EngineSpec`];
+//! [`Engine::build`] is fully deterministic given a config (every RNG is
+//! seeded), so all replicas are bit-identical — unit-tested here. Sessions
+//! and adapters are created worker-side too, seeded by the same
+//! `(frame_seed, AdaptConfig)` the single-threaded runtime would use.
+//!
+//! ## The shard-equivalence contract
+//!
+//! Serving at **any** shard count is bit-identical per stream — scores,
+//! adapted token tables, replacement counts — to single-shard (and to the
+//! pre-sharding [`MultiStreamRuntime`], and to the legacy single-stream
+//! path). The argument is structural:
+//!
+//! 1. shard engines are bit-identical replicas (deterministic build);
+//! 2. streams are share-nothing: a session's adaptation touches only its
+//!    own table fork and KG copies, so co-residence on a worker is
+//!    unobservable;
+//! 3. batch composition never changes results (`score_windows_batch` is
+//!    bit-identical per item — the PR 3 contract), so how a shard's streams
+//!    chunk into dispatches is unobservable;
+//! 4. per-stream frame order is preserved end-to-end: assignment is stable
+//!    (stream id → shard, fixed at [`ShardedRuntime::add_stream`]), and the
+//!    SPSC queues are FIFO.
+//!
+//! `tests/equivalence.rs` enforces the contract at shard counts {1, 2, 4}
+//! under both Scalar and SIMD backends across a mid-run trend shift;
+//! `tests/proptest_shard.rs` fuzzes stream/shard counts and arrival
+//! interleavings.
+//!
+//! ## Oversubscription (the shards × threads rule)
+//!
+//! Every kernel call resolves the process-wide thread-pool setting, so `S`
+//! shard workers would otherwise *each* spawn the full-width inner row pool:
+//! `S × threads` runnable threads on `threads` cores. Each worker therefore
+//! caps its own kernels via [`akg_tensor::par::set_thread_cap`] at
+//! `max(1, effective_threads() / shards)` (overridable through
+//! [`ShardedConfig::inner_threads`]), keeping `shards × inner-threads` at or
+//! below the machine width. The cap is thread-local: the training plane and
+//! other threads are unaffected.
+
+use crate::spsc;
+use crate::{FrameSource, MultiStreamRuntime, RuntimeConfig, ServeCounters, StreamId};
+use akg_core::adapt::{AdaptConfig, AdaptEvent};
+use akg_core::engine::Engine;
+use akg_core::pipeline::SystemConfig;
+use akg_data::Frame;
+use akg_kg::AnomalyClass;
+use akg_tensor::WorkspaceStats;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::thread::JoinHandle;
+
+/// Everything a shard worker needs to rebuild the deployment's engine on its
+/// own thread: the mission list and the full system configuration.
+/// [`Engine::build`] is deterministic, so every worker's replica is
+/// bit-identical to every other's (and to one built by the caller).
+#[derive(Debug, Clone)]
+pub struct EngineSpec {
+    /// The deployed missions (one KG each).
+    pub missions: Vec<AnomalyClass>,
+    /// The system configuration (model dims, seeds, backend, parallelism).
+    pub config: SystemConfig,
+}
+
+impl EngineSpec {
+    /// Bundles missions and configuration into a spec.
+    pub fn new(missions: &[AnomalyClass], config: SystemConfig) -> Self {
+        EngineSpec { missions: missions.to_vec(), config }
+    }
+
+    /// Builds one engine replica from this spec (what every shard worker
+    /// does at startup).
+    pub fn build(&self) -> Engine {
+        Engine::build(&self.missions, &self.config)
+    }
+}
+
+/// Sharded-runtime knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Worker threads to partition the streams across (≥ 1).
+    pub shards: usize,
+    /// Largest cross-stream batch one dispatch may carry *within* a shard
+    /// (the [`RuntimeConfig::max_batch`] of each worker's inner runtime).
+    pub max_batch: usize,
+    /// Bounded depth of each shard's frame queue, in ticks. [`tick`]
+    /// (`ShardedRuntime::tick`) always drains synchronously;
+    /// [`ShardedRuntime::run`] pipelines up to this many ticks ahead of the
+    /// slowest shard before blocking (backpressure instead of unbounded
+    /// backlog).
+    pub queue_depth: usize,
+    /// Per-worker cap on the inner kernel thread pool. `None` applies the
+    /// oversubscription rule `max(1, effective_threads() / shards)` (see
+    /// the module docs).
+    pub inner_threads: Option<usize>,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: akg_tensor::par::effective_threads().max(1),
+            max_batch: 16,
+            queue_depth: 2,
+            inner_threads: None,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A config with exactly `shards` workers and the other knobs at their
+    /// defaults.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedConfig { shards, ..ShardedConfig::default() }
+    }
+}
+
+/// Commands the front-end sends a shard worker (FIFO per shard).
+enum ToShard {
+    /// Register a stream (worker creates the session + adapter).
+    AddStream {
+        frame_seed: u64,
+        adapt: AdaptConfig,
+    },
+    /// One tick's frames, one per local stream, in local registration
+    /// order. The `bool` is the frame label riding along (never read by
+    /// serving, preserved for API fidelity with [`FrameSource`]).
+    Tick {
+        frames: Vec<(Frame, bool)>,
+    },
+    Query,
+}
+
+/// Worker → drain messages.
+enum FromShard {
+    /// One processed tick: per-local-stream scores plus the worker's
+    /// cumulative counters.
+    Tick {
+        scores: Vec<f32>,
+        counters: ServeCounters,
+    },
+    Snapshot(ShardSnapshot),
+}
+
+/// A point-in-time view of one shard's state, taken on the worker thread.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// The shard's serving-workspace counters (scoring scratch high-water).
+    pub workspace: WorkspaceStats,
+    /// Per-stream state, in the shard's local registration order.
+    pub streams: Vec<StreamSnapshot>,
+}
+
+/// A point-in-time view of one stream's adaptive state.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// The stream's adapted token table (full parameter data).
+    pub table: Vec<f32>,
+    /// Structural node replacements performed so far.
+    pub replacements: usize,
+    /// Token-update adaptation events so far.
+    pub token_updates: usize,
+    /// The session's inference-workspace counters.
+    pub workspace: WorkspaceStats,
+}
+
+/// The shared handle behind one stream's [`TickFeed`]: the worker deposits
+/// the tick's frame, the feed pops it from inside the inner runtime.
+type FeedQueue = Rc<RefCell<VecDeque<(Frame, bool)>>>;
+
+/// A per-tick frame feed: the worker-side [`FrameSource`] backed by the
+/// frames the front-end shipped over the queue. `tick` deposits exactly one
+/// frame per stream before invoking the inner runtime, so the pop never
+/// underflows.
+struct TickFeed(FeedQueue);
+
+impl FrameSource for TickFeed {
+    fn next_frame(&mut self) -> (Frame, bool) {
+        self.0.borrow_mut().pop_front().expect("TickFeed: no frame deposited for this tick")
+    }
+}
+
+struct ShardHandle {
+    /// `Some` until drop; dropping the sender is the shutdown signal.
+    commands: Option<spsc::Sender<ToShard>>,
+    results: spsc::Receiver<FromShard>,
+    thread: Option<JoinHandle<()>>,
+    /// Global [`StreamId`]s in this shard's local registration order.
+    locals: Vec<StreamId>,
+    /// Cumulative counters as of the last drained tick.
+    counters: ServeCounters,
+}
+
+impl ShardHandle {
+    fn send(&self, msg: ToShard) {
+        if let Some(tx) = &self.commands {
+            if tx.send(msg).is_ok() {
+                return;
+            }
+        }
+        panic!("shard worker terminated unexpectedly");
+    }
+
+    fn recv(&self) -> FromShard {
+        self.results.recv().expect("shard worker terminated unexpectedly")
+    }
+}
+
+/// The sharded multi-core serving runtime: stream sources and shard workers
+/// wired by bounded SPSC queues (see the module docs for the topology and
+/// the shard-equivalence contract).
+///
+/// # Examples
+///
+/// ```
+/// use akg_core::adapt::AdaptConfig;
+/// use akg_core::pipeline::SystemConfig;
+/// use akg_kg::AnomalyClass;
+/// use akg_runtime::{EngineSpec, FnSource, ShardedConfig, ShardedRuntime};
+///
+/// let spec = EngineSpec::new(&[AnomalyClass::Stealing], SystemConfig::default());
+/// let mut rt = ShardedRuntime::new(spec, ShardedConfig::with_shards(2));
+/// let frame = akg_data::Frame { concepts: vec![("walking".into(), 1.0)], label: None };
+/// for i in 0..4 {
+///     let f = frame.clone();
+///     rt.add_stream(FnSource(move || (f.clone(), false)), i, AdaptConfig::default());
+/// }
+/// let scores = rt.tick();
+/// assert_eq!(scores.len(), 4);
+/// assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+/// ```
+pub struct ShardedRuntime<S: FrameSource> {
+    sources: Vec<S>,
+    /// `assignment[stream] = (shard, local index within the shard)` — fixed
+    /// at registration, never rebalanced (stability is part of the
+    /// contract: a stream's frames always flow through one FIFO).
+    assignment: Vec<(usize, usize)>,
+    shards: Vec<ShardHandle>,
+    ticks: usize,
+    /// Ticks pushed but not yet drained ([`ShardedRuntime::run`] pipelining).
+    in_flight: usize,
+    config: ShardedConfig,
+}
+
+/// A sharded runtime over owned dataset-backed streams — the common
+/// deployment shape (mirrors [`crate::OwnedStreamRuntime`]).
+pub type OwnedShardedRuntime = ShardedRuntime<akg_data::OwnedAdaptationStream>;
+
+impl<S: FrameSource> ShardedRuntime<S> {
+    /// Spawns `config.shards` workers, each building its own engine replica
+    /// from `spec` (see the module docs for why engines are replicated
+    /// rather than shared).
+    ///
+    /// The process-global kernel policies (thread pool, compute backend) are
+    /// applied and hardware-resolved **once, here, on the calling thread**
+    /// before any worker starts: workers re-apply the same values when they
+    /// build (idempotent atomic stores), so no worker ever observes a
+    /// half-resolved backend, and the one-time SIMD/`available_parallelism`
+    /// detections are already cached when they first score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`, `config.max_batch == 0`, or
+    /// `config.queue_depth == 0`.
+    pub fn new(spec: EngineSpec, config: ShardedConfig) -> Self {
+        assert!(config.shards > 0, "ShardedConfig::shards must be positive");
+        assert!(config.max_batch > 0, "ShardedConfig::max_batch must be positive");
+        assert!(config.queue_depth > 0, "ShardedConfig::queue_depth must be positive");
+        // Resolve the global knobs once, before any worker can race the
+        // first-use detection paths.
+        akg_tensor::par::set_parallelism(spec.config.parallelism);
+        akg_tensor::backend::set_backend(spec.config.backend);
+        let _ = akg_tensor::backend::effective_backend();
+        let width = akg_tensor::par::effective_threads();
+        // The oversubscription rule: shards × inner-threads ≤ machine width.
+        let inner = config.inner_threads.unwrap_or_else(|| (width / config.shards).max(1));
+        let shards = (0..config.shards)
+            .map(|_| {
+                // queue_depth ticks may be in flight, plus one slot of slack
+                // so a control message never waits on a full tick pipeline.
+                let (cmd_tx, cmd_rx) = spsc::channel::<ToShard>(config.queue_depth + 1);
+                let (res_tx, res_rx) = spsc::channel::<FromShard>(config.queue_depth + 1);
+                let worker_spec = spec.clone();
+                let max_batch = config.max_batch;
+                let thread = std::thread::spawn(move || {
+                    shard_worker(worker_spec, max_batch, inner, cmd_rx, res_tx)
+                });
+                ShardHandle {
+                    commands: Some(cmd_tx),
+                    results: res_rx,
+                    thread: Some(thread),
+                    locals: Vec::new(),
+                    counters: ServeCounters::default(),
+                }
+            })
+            .collect();
+        ShardedRuntime {
+            sources: Vec::new(),
+            assignment: Vec::new(),
+            shards,
+            ticks: 0,
+            in_flight: 0,
+            config,
+        }
+    }
+
+    /// Registers a stream: assigns it to shard `stream_id % shards` (stable
+    /// for the runtime's lifetime) and has that worker fork a session seeded
+    /// with `frame_seed` and attach its continuous-adaptation loop — exactly
+    /// as [`MultiStreamRuntime::add_stream`] would. Returns the stream's id.
+    pub fn add_stream(&mut self, source: S, frame_seed: u64, adapt: AdaptConfig) -> StreamId {
+        let id = self.sources.len();
+        let shard = id % self.shards.len();
+        let local = self.shards[shard].locals.len();
+        self.sources.push(source);
+        self.assignment.push((shard, local));
+        self.shards[shard].locals.push(id);
+        self.shards[shard].send(ToShard::AddStream { frame_seed, adapt });
+        id
+    }
+
+    /// Number of registered streams.
+    pub fn stream_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a stream is assigned to (stable: `stream_id % shards`).
+    pub fn shard_of(&self, id: StreamId) -> usize {
+        self.assignment[id].0
+    }
+
+    /// Mutable access to a stream's frame source (e.g. to trigger a trend
+    /// shift mid-run). Sources live on the caller thread, never cross to
+    /// workers.
+    pub fn source_mut(&mut self, id: StreamId) -> &mut S {
+        &mut self.sources[id]
+    }
+
+    /// Aggregate throughput counters across all shards: `frames`,
+    /// `dispatches`, `token_updates` and `node_replacements` are summed,
+    /// `max_batch_seen` is the max, and `ticks` counts full cross-shard
+    /// scheduler rounds. Note `dispatches` depends on the shard layout
+    /// (each shard chunks its own streams by `max_batch`), so it is *not*
+    /// invariant across shard counts the way the semantic counters are.
+    pub fn counters(&self) -> ServeCounters {
+        let mut agg = ServeCounters { ticks: self.ticks, ..ServeCounters::default() };
+        for shard in &self.shards {
+            agg.frames += shard.counters.frames;
+            agg.dispatches += shard.counters.dispatches;
+            agg.max_batch_seen = agg.max_batch_seen.max(shard.counters.max_batch_seen);
+            agg.token_updates += shard.counters.token_updates;
+            agg.node_replacements += shard.counters.node_replacements;
+        }
+        agg
+    }
+
+    /// One scheduler round: pulls one frame per stream from its source,
+    /// ships each shard its frames (one message per shard), waits for every
+    /// shard's scores, and returns them indexed by [`StreamId`] — the
+    /// sharded analogue of [`MultiStreamRuntime::tick`], bit-identical to it
+    /// per stream at any shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no streams are registered.
+    pub fn tick(&mut self) -> Vec<f32> {
+        self.push_tick();
+        self.drain_tick()
+    }
+
+    /// Runs `ticks` scheduler rounds, returning per-stream score sequences
+    /// (`result[stream][tick]`). Unlike [`ShardedRuntime::tick`], rounds are
+    /// **pipelined**: the front-end keeps up to
+    /// [`ShardedConfig::queue_depth`] ticks in flight, pulling source frames
+    /// that far ahead of the slowest shard, so workers never idle between
+    /// rounds. Results are identical to calling `tick` in a loop (frame
+    /// content never depends on scores).
+    pub fn run(&mut self, ticks: usize) -> Vec<Vec<f32>> {
+        let mut out = vec![Vec::with_capacity(ticks); self.sources.len()];
+        let depth = self.config.queue_depth;
+        let mut pushed = 0usize;
+        let mut drained = 0usize;
+        while drained < ticks {
+            while pushed < ticks && pushed - drained < depth {
+                self.push_tick();
+                pushed += 1;
+            }
+            for (stream, score) in self.drain_tick().into_iter().enumerate() {
+                out[stream].push(score);
+            }
+            drained += 1;
+        }
+        out
+    }
+
+    /// Pulls one frame per stream and ships each shard its tick message.
+    fn push_tick(&mut self) {
+        assert!(!self.sources.is_empty(), "tick: no streams registered");
+        let mut per_shard: Vec<Vec<(Frame, bool)>> =
+            self.shards.iter().map(|shard| Vec::with_capacity(shard.locals.len())).collect();
+        // Iterate streams in id order; within a shard this is exactly the
+        // local registration order the worker's slots use.
+        for (id, source) in self.sources.iter_mut().enumerate() {
+            per_shard[self.assignment[id].0].push(source.next_frame());
+        }
+        for (shard, frames) in self.shards.iter().zip(per_shard) {
+            shard.send(ToShard::Tick { frames });
+        }
+        self.in_flight += 1;
+    }
+
+    /// Receives one processed tick from every shard and reassembles the
+    /// per-stream score vector.
+    fn drain_tick(&mut self) -> Vec<f32> {
+        debug_assert!(self.in_flight > 0, "drain_tick without a pushed tick");
+        let mut scores = vec![0.0f32; self.sources.len()];
+        for shard in &mut self.shards {
+            match shard.recv() {
+                FromShard::Tick { scores: shard_scores, counters } => {
+                    assert_eq!(
+                        shard_scores.len(),
+                        shard.locals.len(),
+                        "shard returned a partial tick"
+                    );
+                    for (local, score) in shard_scores.into_iter().enumerate() {
+                        scores[shard.locals[local]] = score;
+                    }
+                    shard.counters = counters;
+                }
+                FromShard::Snapshot(_) => unreachable!("snapshot reply during tick drain"),
+            }
+        }
+        self.in_flight -= 1;
+        self.ticks += 1;
+        scores
+    }
+
+    /// Point-in-time state of every shard (workspace counters plus each
+    /// stream's adapted table, event counts, and session workspace), taken
+    /// on the worker threads. Only callable between ticks — `tick` and `run`
+    /// always drain fully, so this never interleaves with tick replies.
+    pub fn shard_snapshots(&mut self) -> Vec<ShardSnapshot> {
+        debug_assert_eq!(self.in_flight, 0, "snapshot with ticks in flight");
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard.send(ToShard::Query);
+                match shard.recv() {
+                    FromShard::Snapshot(snap) => snap,
+                    FromShard::Tick { .. } => unreachable!("tick reply during snapshot"),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-stream state snapshots indexed by [`StreamId`] (reassembled from
+    /// [`ShardedRuntime::shard_snapshots`]).
+    pub fn stream_snapshots(&mut self) -> Vec<StreamSnapshot> {
+        let per_shard = self.shard_snapshots();
+        let mut out: Vec<Option<StreamSnapshot>> = vec![None; self.sources.len()];
+        for (shard, snap) in self.shards.iter().zip(per_shard) {
+            for (local, stream) in snap.streams.into_iter().enumerate() {
+                out[shard.locals[local]] = Some(stream);
+            }
+        }
+        out.into_iter().map(|s| s.expect("stream missing from shard snapshot")).collect()
+    }
+}
+
+impl<S: FrameSource> Drop for ShardedRuntime<S> {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            // Dropping the command sender is the shutdown signal; the worker
+            // drains its queue and exits.
+            shard.commands = None;
+            if let Some(thread) = shard.thread.take() {
+                // Don't double-panic during unwinding; worker panics already
+                // surfaced as recv() failures while the runtime was live.
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// The worker body: builds this shard's engine replica (under the inner
+/// thread cap), then serves its streams through a private
+/// [`MultiStreamRuntime`] fed by the command queue until the front-end
+/// disconnects.
+fn shard_worker(
+    spec: EngineSpec,
+    max_batch: usize,
+    inner_threads: usize,
+    commands: spsc::Receiver<ToShard>,
+    results: spsc::Sender<FromShard>,
+) {
+    // Cap this thread's kernel pool *before* the engine build so even
+    // build-time matmuls obey the shards × threads rule.
+    akg_tensor::par::set_thread_cap(inner_threads);
+    let engine = spec.build();
+    let mut rt: MultiStreamRuntime<TickFeed> =
+        MultiStreamRuntime::new(engine, RuntimeConfig { max_batch, batched: true });
+    let mut feeds: Vec<FeedQueue> = Vec::new();
+    while let Some(msg) = commands.recv() {
+        match msg {
+            ToShard::AddStream { frame_seed, adapt } => {
+                let feed = Rc::new(RefCell::new(VecDeque::new()));
+                feeds.push(Rc::clone(&feed));
+                rt.add_stream(TickFeed(feed), frame_seed, adapt);
+            }
+            ToShard::Tick { frames } => {
+                assert_eq!(frames.len(), feeds.len(), "tick frames do not match shard streams");
+                for (feed, frame) in feeds.iter().zip(frames) {
+                    feed.borrow_mut().push_back(frame);
+                }
+                // A shard with no streams still acknowledges the round so
+                // the drain barrier stays uniform.
+                let scores = if feeds.is_empty() { Vec::new() } else { rt.tick() };
+                if results.send(FromShard::Tick { scores, counters: rt.counters() }).is_err() {
+                    return; // front-end gone
+                }
+            }
+            ToShard::Query => {
+                let streams = (0..rt.stream_count())
+                    .map(|local| {
+                        let events = rt.adapt_events(local);
+                        StreamSnapshot {
+                            table: rt.session(local).table.param().to_vec(),
+                            replacements: events
+                                .iter()
+                                .filter(|e| matches!(e, AdaptEvent::NodeReplaced { .. }))
+                                .count(),
+                            token_updates: events
+                                .iter()
+                                .filter(|e| matches!(e, AdaptEvent::TokenUpdate { .. }))
+                                .count(),
+                            workspace: rt.session(local).workspace_stats(),
+                        }
+                    })
+                    .collect();
+                let snap = ShardSnapshot { workspace: rt.workspace_stats(), streams };
+                if results.send(FromShard::Snapshot(snap)).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSource;
+
+    fn frame(salt: usize) -> Frame {
+        let concepts = if salt.is_multiple_of(3) {
+            vec![("walking".into(), 1.0)]
+        } else {
+            vec![("person".into(), 0.8), ("vehicle".into(), 0.4)]
+        };
+        Frame { concepts, label: None }
+    }
+
+    fn spec() -> EngineSpec {
+        EngineSpec::new(&[AnomalyClass::Stealing], SystemConfig::default())
+    }
+
+    fn counting_source(stream: usize) -> FnSource<impl FnMut() -> (Frame, bool)> {
+        let mut k = 7 * stream;
+        FnSource(move || {
+            k += 1;
+            (frame(k), false)
+        })
+    }
+
+    #[test]
+    fn engine_builds_are_bit_identical_replicas() {
+        // The keystone of the shard-equivalence contract: two builds from
+        // one spec must agree on every trained parameter.
+        let spec = spec();
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.table.param().to_vec(), b.table.param().to_vec(), "token tables diverged");
+        assert_eq!(a.kgs.len(), b.kgs.len());
+    }
+
+    #[test]
+    fn assignment_is_stable_round_robin() {
+        let mut rt = ShardedRuntime::new(spec(), ShardedConfig::with_shards(3));
+        for i in 0..7usize {
+            let id = rt.add_stream(counting_source(i), i as u64, AdaptConfig::default());
+            assert_eq!(id, i);
+        }
+        for i in 0..7 {
+            assert_eq!(rt.shard_of(i), i % 3);
+        }
+        assert_eq!(rt.stream_count(), 7);
+        assert_eq!(rt.shard_count(), 3);
+    }
+
+    #[test]
+    fn counters_aggregate_across_shards() {
+        let mut rt = ShardedRuntime::new(
+            spec(),
+            ShardedConfig { shards: 2, max_batch: 2, queue_depth: 2, inner_threads: Some(1) },
+        );
+        for i in 0..5usize {
+            rt.add_stream(counting_source(i), i as u64, AdaptConfig::default());
+        }
+        let scores = rt.run(3);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|s| s.len() == 3));
+        let c = rt.counters();
+        assert_eq!(c.frames, 15);
+        assert_eq!(c.ticks, 3);
+        // shard 0 has 3 streams (⌈3/2⌉ = 2 dispatches), shard 1 has 2 (1)
+        assert_eq!(c.dispatches, 9);
+        assert_eq!(c.max_batch_seen, 2);
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        // 4 shards, 2 streams: two workers serve, two idle-acknowledge.
+        let mut rt = ShardedRuntime::new(spec(), ShardedConfig::with_shards(4));
+        for i in 0..2usize {
+            rt.add_stream(counting_source(i), i as u64, AdaptConfig::default());
+        }
+        let scores = rt.tick();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert_eq!(rt.counters().frames, 2);
+    }
+
+    type EmptySource = FnSource<fn() -> (Frame, bool)>;
+
+    #[test]
+    #[should_panic(expected = "no streams registered")]
+    fn tick_requires_streams() {
+        let mut rt: ShardedRuntime<EmptySource> =
+            ShardedRuntime::new(spec(), ShardedConfig::with_shards(1));
+        let _ = rt.tick();
+    }
+
+    #[test]
+    fn snapshots_cover_every_stream() {
+        let mut rt = ShardedRuntime::new(spec(), ShardedConfig::with_shards(2));
+        for i in 0..3usize {
+            rt.add_stream(counting_source(i), i as u64, AdaptConfig::default());
+        }
+        let _ = rt.tick();
+        let snaps = rt.stream_snapshots();
+        assert_eq!(snaps.len(), 3);
+        assert!(snaps.iter().all(|s| !s.table.is_empty()));
+        let shard_snaps = rt.shard_snapshots();
+        assert_eq!(shard_snaps.len(), 2);
+        assert_eq!(shard_snaps.iter().map(|s| s.streams.len()).sum::<usize>(), 3);
+    }
+}

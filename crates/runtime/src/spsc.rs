@@ -1,0 +1,275 @@
+//! A minimal bounded single-producer/single-consumer channel.
+//!
+//! The sharded runtime wires its ingest front-end to each shard worker (and
+//! each worker back to the drain) with exactly one producer and one consumer
+//! per queue, so this is all the channel machinery it needs — and the build
+//! environment has no crates.io access (no `crossbeam`), so it is
+//! hand-rolled here. The SPSC discipline is enforced by construction:
+//! [`Sender`] and [`Receiver`] are not `Clone`, so each endpoint has exactly
+//! one owner.
+//!
+//! ## Design
+//!
+//! A `Mutex<VecDeque>` plus two condvars, not a lock-free ring. The sharded
+//! runtime exchanges **one message per shard per tick** (a whole tick's
+//! frames travel together), so the lock is uncontended in steady state and
+//! the fancy version would buy nothing; what matters is the *bounded*
+//! capacity, which is what gives the runtime backpressure — a front-end
+//! that runs ahead of a slow shard blocks on [`Sender::send`] instead of
+//! growing an unbounded backlog (the edge-deployment memory discipline).
+//!
+//! ## Shutdown
+//!
+//! Dropping the [`Sender`] lets the receiver drain what was queued and then
+//! observe disconnection (`recv() == None`). Dropping the [`Receiver`] makes
+//! further sends fail fast, handing the unsent message back.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    /// Signalled when the queue shrinks or the receiver goes away.
+    not_full: Condvar,
+    /// Signalled when the queue grows or the sender goes away.
+    not_empty: Condvar,
+}
+
+/// The producing endpoint of a bounded SPSC channel. Not `Clone` — single
+/// producer by construction.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming endpoint of a bounded SPSC channel. Not `Clone` — single
+/// consumer by construction.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries the
+/// unsent message back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Disconnected<T>(pub T);
+
+/// Creates a bounded SPSC channel holding at most `capacity` queued
+/// messages.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0` (a zero-capacity rendezvous is never what the
+/// tick pipeline wants: it would serialize producer and consumer).
+///
+/// # Examples
+///
+/// ```
+/// let (tx, rx) = akg_runtime::spsc::channel(2);
+/// tx.send(1).unwrap();
+/// tx.send(2).unwrap();
+/// drop(tx);
+/// assert_eq!(rx.recv(), Some(1));
+/// assert_eq!(rx.recv(), Some(2));
+/// assert_eq!(rx.recv(), None); // sender gone, queue drained
+/// ```
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "spsc::channel: capacity must be positive");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, blocking while the channel is at capacity.
+    /// Returns the message back inside [`Disconnected`] if the receiver has
+    /// been dropped (immediately, or while waiting for space).
+    pub fn send(&self, value: T) -> Result<(), Disconnected<T>> {
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if !state.receiver_alive {
+                return Err(Disconnected(value));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state =
+                self.shared.not_full.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.sender_alive = false;
+        drop(state);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    /// Returns `None` once the sender has been dropped **and** every queued
+    /// message has been drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if !state.sender_alive {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues the next message if one is queued; never blocks. `None`
+    /// means "empty right now or disconnected" — callers that must
+    /// distinguish should use [`Receiver::recv`].
+    pub fn try_recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let value = state.queue.pop_front();
+        drop(state);
+        if value.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        value
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.receiver_alive = false;
+        drop(state);
+        self.shared.not_full.notify_one();
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("spsc::Sender").field("capacity", &self.shared.capacity).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("spsc::Receiver").field("capacity", &self.shared.capacity).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_order_within_capacity() {
+        let (tx, rx) = channel(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+    }
+
+    #[test]
+    fn blocks_at_capacity_until_drained() {
+        let (tx, rx) = channel(2);
+        tx.send(0u32).unwrap();
+        tx.send(1).unwrap();
+        let producer = std::thread::spawn(move || {
+            // this send must block until the consumer below makes room
+            tx.send(2).unwrap();
+            tx.send(3).unwrap();
+        });
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(rx.recv().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn receiver_sees_disconnect_after_drain() {
+        let (tx, rx) = channel(3);
+        tx.send("a").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "disconnect must be sticky");
+    }
+
+    #[test]
+    fn send_fails_fast_when_receiver_gone() {
+        let (tx, rx) = channel(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(Disconnected(7)));
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = channel(1);
+        tx.send(1).unwrap();
+        let producer = std::thread::spawn(move || tx.send(2));
+        // give the producer time to block on the full queue, then drop
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(producer.join().unwrap(), Err(Disconnected(2)));
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = channel(2);
+        assert_eq!(rx.try_recv(), None);
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Some(5));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn cross_thread_stress_delivers_every_message_once() {
+        for capacity in [1usize, 2, 7] {
+            let (tx, rx) = channel(capacity);
+            const N: usize = 10_000;
+            let producer = std::thread::spawn(move || {
+                for i in 0..N {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut next = 0usize;
+            while let Some(v) = rx.recv() {
+                assert_eq!(v, next, "capacity {capacity}: out of order or duplicated");
+                next += 1;
+            }
+            assert_eq!(next, N, "capacity {capacity}: dropped messages");
+            producer.join().unwrap();
+        }
+    }
+}

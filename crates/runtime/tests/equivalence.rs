@@ -8,12 +8,19 @@
 //! The streams carry a mid-run trend shift so the continuous-adaptation
 //! loop actually fires (token updates, possibly restructures) during the
 //! comparison — per-stream isolation is load-bearing, not vacuous.
+//!
+//! The sharded legs extend the same chain one layer up: `ShardedRuntime` at
+//! shard counts {1, 2, 4} must be bit-identical per stream — scores, final
+//! adapted token tables, replacement counts — to the single-threaded
+//! `MultiStreamRuntime` (itself proven ≡ the legacy path above), under both
+//! forced-Scalar and forced-SIMD backends, across the same mid-run trend
+//! shift, with the pipelined `run()` path exercised.
 
 use akg_core::adapt::{AdaptConfig, ContinuousAdapter};
 use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
-use akg_runtime::{MultiStreamRuntime, RuntimeConfig};
+use akg_runtime::{EngineSpec, MultiStreamRuntime, RuntimeConfig, ShardedConfig, ShardedRuntime};
 use akg_tensor::Backend;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -157,6 +164,76 @@ fn check_equivalence(n_streams: usize, max_batch: usize, backend: Backend) {
     assert!(any_adapted, "no stream adapted — the equivalence check was vacuous");
 }
 
+/// The sharded path: same streams, partitioned across `shards` worker
+/// threads, with the pipelined `run()` entry point (the trend shift lands on
+/// the tick boundary between the two `run` calls, exactly where the
+/// single-threaded loop applies it).
+fn run_sharded(
+    ds: &Arc<SyntheticUcfCrime>,
+    n_streams: usize,
+    shards: usize,
+    backend: Backend,
+) -> RuntimeOutcome {
+    let spec = EngineSpec::new(&[AnomalyClass::Stealing], system_cfg(backend));
+    let mut rt = ShardedRuntime::new(
+        spec,
+        ShardedConfig { shards, max_batch: 16, queue_depth: 2, inner_threads: None },
+    );
+    for s in 0..n_streams {
+        let source =
+            AdaptationStream::owned(Arc::clone(ds), AnomalyClass::Stealing, 0.5, stream_seed(s));
+        rt.add_stream(source, frame_seed(s), adapt_cfg(s));
+    }
+    let mut scores = rt.run(SHIFT_AT);
+    for s in 0..n_streams {
+        rt.source_mut(s).shift_to(AnomalyClass::Robbery);
+    }
+    for (s, tail) in rt.run(FRAMES_PER_STREAM - SHIFT_AT).into_iter().enumerate() {
+        scores[s].extend(tail);
+    }
+    let snapshots = rt.stream_snapshots();
+    RuntimeOutcome {
+        scores,
+        tables: snapshots.iter().map(|s| s.table.clone()).collect(),
+        replacements: snapshots.iter().map(|s| s.replacements).collect(),
+    }
+}
+
+/// The shard-equivalence contract: serving at shard counts {1, 2, 4} is
+/// bit-identical per stream to the single-threaded multi-stream runtime
+/// (which the legs above prove bit-identical to the legacy single-stream
+/// path — so the whole chain holds by transitivity).
+fn check_shard_equivalence(n_streams: usize, backend: Backend) {
+    let _guard = lock_backend();
+    let ds = dataset();
+    let reference = run_runtime(&ds, n_streams, 16, backend);
+    let pristine_table = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend))
+        .session
+        .table
+        .param()
+        .to_vec();
+    let mut any_adapted = false;
+    for shards in [1usize, 2, 4] {
+        let sharded = run_sharded(&ds, n_streams, shards, backend);
+        for s in 0..n_streams {
+            assert_eq!(
+                sharded.scores[s], reference.scores[s],
+                "stream {s}/{n_streams} at {shards} shards: scores diverged from single-shard"
+            );
+            assert_eq!(
+                sharded.tables[s], reference.tables[s],
+                "stream {s}/{n_streams} at {shards} shards: adapted token table diverged"
+            );
+            assert_eq!(
+                sharded.replacements[s], reference.replacements[s],
+                "stream {s} at {shards} shards: replacement counts diverged"
+            );
+            any_adapted |= sharded.tables[s] != pristine_table;
+        }
+    }
+    assert!(any_adapted, "no stream adapted — the shard-equivalence check was vacuous");
+}
+
 #[test]
 fn one_stream_matches_legacy_path() {
     check_equivalence(1, 16, Backend::Auto);
@@ -180,4 +257,17 @@ fn four_streams_match_legacy_path_forced_scalar() {
     // kernels too (and on AVX2 hosts this is a genuinely different backend
     // than the `Auto` runs above).
     check_equivalence(4, 16, Backend::Scalar);
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_to_single_shard_scalar() {
+    check_shard_equivalence(16, Backend::Scalar);
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_to_single_shard_simd() {
+    // On non-AVX2 hosts `Backend::Simd` resolves to the scalar kernels, so
+    // this leg never crashes anywhere but is a genuinely different backend
+    // wherever the SIMD path exists.
+    check_shard_equivalence(16, Backend::Simd);
 }

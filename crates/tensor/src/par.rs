@@ -23,7 +23,23 @@
 //! parallelism lives entirely inside raw `f32` kernels, beneath the autograd
 //! graph, so a single knob governs every op. `akg-core`'s `SystemConfig`
 //! plumbs its `parallelism` field here when a system is built.
+//!
+//! ## Nested parallelism (the shards × threads rule)
+//!
+//! A serving layer that shards work across its *own* worker threads (the
+//! sharded runtime in `akg-runtime`) nests two levels of parallelism: `S`
+//! shard workers, each issuing kernel calls that would *each* resolve the
+//! process-wide setting and spawn up to that many inner row-pool threads —
+//! `S × effective_threads()` runnable threads on hardware that has only
+//! `effective_threads()` cores. [`set_thread_cap`] is the per-thread brake:
+//! a shard worker caps its own kernels at `max(1, effective/S)` so the
+//! product `shards × inner-threads` never exceeds the machine, while
+//! unrelated threads (training on the main thread, other shards) keep their
+//! own caps. The cap is thread-local, composes with the global setting by
+//! `min`, and never affects numerics (results are bit-identical at any
+//! thread count).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How many worker threads the raw kernels may use.
@@ -69,7 +85,46 @@ pub fn set_parallelism(p: Parallelism) {
     THREADS.store(v, Ordering::Relaxed);
 }
 
-/// The number of worker threads kernels will currently use (>= 1).
+thread_local! {
+    /// Per-thread ceiling on kernel workers; `usize::MAX` = uncapped.
+    static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Caps the number of kernel worker threads **on the calling thread only**
+/// (clamped to at least 1). The effective count becomes
+/// `min(process-wide setting, cap)`; other threads are unaffected.
+///
+/// This is how a sharding layer avoids oversubscription: with `S` shard
+/// workers on a machine whose global setting resolves to `T` threads, each
+/// worker sets its cap to `max(1, T / S)` so the nested product
+/// `shards × inner-threads` stays ≤ `T` (see the module docs). Pass
+/// `usize::MAX` to lift the cap.
+///
+/// # Examples
+///
+/// ```
+/// use akg_tensor::par::{effective_threads, set_parallelism, set_thread_cap, Parallelism};
+///
+/// set_parallelism(Parallelism::Threads(8));
+/// set_thread_cap(2);
+/// assert_eq!(effective_threads(), 2); // capped on this thread
+/// set_thread_cap(usize::MAX);
+/// assert_eq!(effective_threads(), 8); // cap lifted
+/// # set_parallelism(Parallelism::Auto);
+/// ```
+pub fn set_thread_cap(cap: usize) {
+    THREAD_CAP.with(|c| c.set(cap.max(1)));
+}
+
+/// The calling thread's kernel-worker cap (`usize::MAX` when uncapped). See
+/// [`set_thread_cap`].
+pub fn thread_cap() -> usize {
+    THREAD_CAP.with(Cell::get)
+}
+
+/// The number of worker threads kernels will currently use on the calling
+/// thread (>= 1): the process-wide policy, clamped by the thread-local
+/// [`set_thread_cap`].
 ///
 /// The `Auto` resolution is detected once and cached: every raw kernel call
 /// consults this function, and `std::thread::available_parallelism` probes
@@ -77,14 +132,15 @@ pub fn set_parallelism(p: Parallelism) {
 /// under *every* chunked kernel invocation, breaking the inference data
 /// plane's zero-steady-state-allocation property under the default policy.
 pub fn effective_threads() -> usize {
-    match THREADS.load(Ordering::Relaxed) {
+    let global = match THREADS.load(Ordering::Relaxed) {
         AUTO => {
             static DETECTED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
             *DETECTED
                 .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
         }
         n => n,
-    }
+    };
+    global.min(THREAD_CAP.with(Cell::get)).max(1)
 }
 
 /// Splits `out` into contiguous chunks of whole rows (`row_len` elements
@@ -163,8 +219,17 @@ pub fn for_each_row_chunk<F>(
 mod tests {
     use super::*;
 
+    /// Serializes tests that mutate the process-wide parallelism setting (or
+    /// assert values derived from it) — the in-crate analogue of the
+    /// `BACKEND_LOCK` discipline.
+    fn par_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn sequential_runs_inline() {
+        let _guard = par_lock();
         set_parallelism(Parallelism::Sequential);
         let mut out = vec![0.0f32; 8];
         for_each_row_chunk(&mut out, 4, 2, 0, |first, chunk| {
@@ -178,6 +243,7 @@ mod tests {
 
     #[test]
     fn more_threads_than_rows_is_fine() {
+        let _guard = par_lock();
         set_parallelism(Parallelism::Threads(16));
         let mut out = vec![0.0f32; 3];
         for_each_row_chunk(&mut out, 3, 1, 0, |first, chunk| {
@@ -211,6 +277,7 @@ mod tests {
 
     #[test]
     fn min_rows_per_thread_throttles() {
+        let _guard = par_lock();
         set_parallelism(Parallelism::Threads(8));
         // 4 rows with min 4 rows/thread -> 1 thread; just verify correctness.
         let mut out = vec![0.0f32; 4];
@@ -227,5 +294,69 @@ mod tests {
     #[should_panic(expected = "rows * row_len")]
     fn rejects_bad_buffer_size() {
         for_each_row_chunk(&mut [0.0f32; 5], 2, 3, 0, |_, _| {});
+    }
+
+    #[test]
+    fn thread_cap_clamps_the_global_setting() {
+        let _guard = par_lock();
+        set_parallelism(Parallelism::Threads(8));
+        assert_eq!(effective_threads(), 8);
+        set_thread_cap(2);
+        assert_eq!(effective_threads(), 2);
+        // a cap above the global setting does not raise it
+        set_thread_cap(64);
+        assert_eq!(effective_threads(), 8);
+        // zero clamps to one, never zero
+        set_thread_cap(0);
+        assert_eq!(thread_cap(), 1);
+        assert_eq!(effective_threads(), 1);
+        set_thread_cap(usize::MAX);
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn thread_cap_is_thread_local() {
+        let _guard = par_lock();
+        set_parallelism(Parallelism::Threads(6));
+        set_thread_cap(usize::MAX);
+        // a capped spawned thread (a "shard worker") must not affect this one
+        let inner = std::thread::spawn(|| {
+            set_thread_cap(1);
+            effective_threads()
+        })
+        .join()
+        .expect("worker");
+        assert_eq!(inner, 1);
+        assert_eq!(effective_threads(), 6, "worker's cap leaked to the spawning thread");
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn capped_thread_still_computes_correctly() {
+        let _guard = par_lock();
+        set_parallelism(Parallelism::Threads(8));
+        let out = std::thread::spawn(|| {
+            set_thread_cap(2);
+            let mut out = vec![0.0f32; 64 * 3];
+            for_each_row_chunk(&mut out, 64, 3, 0, |first, chunk| {
+                for (i, row) in chunk.chunks_mut(3).enumerate() {
+                    let r = (first + i) as f32;
+                    row.copy_from_slice(&[r, r * 0.5, r * r]);
+                }
+            });
+            out
+        })
+        .join()
+        .expect("worker");
+        set_parallelism(Parallelism::Sequential);
+        let mut expect = vec![0.0f32; 64 * 3];
+        for_each_row_chunk(&mut expect, 64, 3, 0, |first, chunk| {
+            for (i, row) in chunk.chunks_mut(3).enumerate() {
+                let r = (first + i) as f32;
+                row.copy_from_slice(&[r, r * 0.5, r * r]);
+            }
+        });
+        assert_eq!(out, expect, "thread cap changed results");
+        set_parallelism(Parallelism::Auto);
     }
 }
