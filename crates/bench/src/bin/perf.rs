@@ -5,7 +5,8 @@
 //! `docs/PERFORMANCE.md` for how to read them).
 //!
 //! Usage: `perf [--smoke] [--threads N] [--backend B] [--streams N]
-//! [--shards N] [--alloc-stats] [--out PATH] [--serve-out PATH]`
+//! [--shards N] [--alloc-stats] [--load PATTERN] [--slo-out PATH]
+//! [--out PATH] [--serve-out PATH]`
 //!
 //! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
 //!   the full measurement sizes. Smoke output is for validating the harness
@@ -27,6 +28,18 @@
 //!   (`alloc` object). Exits non-zero if the scoring data plane exceeds
 //!   [`ALLOC_BUDGET_PER_FRAME`] allocations per frame — the CI regression
 //!   gate for the allocation-free inference path.
+//! - `--load PATTERN`: restrict the loaded-latency sweep to one arrival
+//!   pattern (`poisson`, `bursty`, or `ramp`). By default the sweep runs
+//!   `poisson` and `bursty`; each pattern is measured at 1 shard
+//!   (single-node) and 2 shards, and every cell lands in the schema v5
+//!   `latency` array of `BENCH_serve.json`. Two hard gates run on every
+//!   cell regardless of mode: the frame ledger must balance exactly (no
+//!   silently dropped frame) and the wait-tick histogram must be populated
+//!   — either failure exits non-zero, the CI regression gate for the
+//!   latency-SLO harness.
+//! - `--slo-out PATH`: also dump the raw non-zero histogram buckets
+//!   (wait-ticks and wall-clock nanoseconds) of every latency cell to
+//!   `PATH` — the full-distribution record behind the percentile summary.
 //! - `--out PATH`: where to write the tensor JSON (default
 //!   `BENCH_tensor.json`).
 //! - `--serve-out PATH`: where to write the serving JSON (default
@@ -38,8 +51,9 @@ use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
 use akg_runtime::{
-    EngineSpec, MultiStreamRuntime, OwnedShardedRuntime, OwnedStreamRuntime, RuntimeConfig,
-    ShardedConfig, ShardedRuntime,
+    ArrivalPattern, EngineSpec, LatencySummary, LoadConfig, LoadCounters, LoadedRuntime,
+    MultiStreamRuntime, OwnedShardedRuntime, OwnedStreamRuntime, RuntimeConfig, ShardedConfig,
+    ShardedRuntime,
 };
 use akg_tensor::backend::{cpu_features, effective_backend, set_backend, Backend};
 use akg_tensor::nn::Module;
@@ -226,6 +240,61 @@ struct AllocStats {
     budget_allocs_per_frame: f64,
 }
 
+/// One (arrival pattern × shard count) cell of the loaded-latency sweep
+/// (schema v5 `latency` array): a seeded load generator drives the full
+/// backpressure path — bounded ingest queues, the deterministic degrade
+/// ladder, frame shedding — and every drained frame's queueing delay lands
+/// in a fixed-bucket log-scale histogram (no hot-path allocation).
+#[derive(Debug, Serialize)]
+struct LatencyCell {
+    /// Arrival pattern name (`"poisson"`, `"bursty"`, `"ramp"`).
+    pattern: String,
+    /// 1 = single-node `MultiStreamRuntime`, ≥ 2 = `ShardedRuntime`.
+    shards: usize,
+    /// Concurrent streams served.
+    streams: usize,
+    /// Load-harness ticks run.
+    ticks: usize,
+    /// The exact frame ledger: offered = served_full + served_degraded +
+    /// coalesced + shed + overflow_dropped + queued, plus per-rung tick
+    /// counts. The harness exits non-zero if this ever fails to balance.
+    counters: LoadCounters,
+    /// Queueing delay percentiles in deterministic scheduler ticks — the
+    /// unit the SLO is stated in (bit-reproducible across hosts).
+    wait_ticks: LatencySummary,
+    /// Wall-clock enqueue→drain latency percentiles in nanoseconds — the
+    /// host-dependent twin of `wait_ticks` (p999 needs ≥ 10k frames to
+    /// resolve; see `docs/PERFORMANCE.md`).
+    latency_ns: LatencySummary,
+}
+
+/// One non-zero histogram bucket: `upper` is the bucket's inclusive upper
+/// bound in the histogram's unit, `count` the samples that landed in it.
+#[derive(Debug, Serialize)]
+struct BucketEntry {
+    upper: u64,
+    count: u64,
+}
+
+/// Raw distribution dump of one latency cell (`--slo-out`).
+#[derive(Debug, Serialize)]
+struct SloCellDump {
+    pattern: String,
+    shards: usize,
+    wait_tick_buckets: Vec<BucketEntry>,
+    latency_ns_buckets: Vec<BucketEntry>,
+}
+
+/// The `--slo-out` document: the full non-zero bucket contents behind every
+/// `latency` percentile summary in `BENCH_serve.json`.
+#[derive(Debug, Serialize)]
+struct SloReport {
+    schema_version: u32,
+    mode: String,
+    backend: String,
+    cells: Vec<SloCellDump>,
+}
+
 /// The `BENCH_serve.json` document.
 #[derive(Debug, Serialize)]
 struct ServeReport {
@@ -248,6 +317,9 @@ struct ServeReport {
     points: Vec<ServePoint>,
     /// Frames/s vs shard count through `ShardedRuntime` (schema v4).
     scaling: Vec<ScalingPoint>,
+    /// Per-frame latency percentiles under seeded load, per arrival pattern
+    /// × shard count (schema v5).
+    latency: Vec<LatencyCell>,
     /// Headline: batched aggregate fps at the largest stream count divided
     /// by the per-frame fps at 1 stream. (PR 3's ≥ 2 gate was judged against
     /// the autograd per-frame baseline; since PR 5 both modes ride the
@@ -340,13 +412,116 @@ fn bench_scaling(
     points
 }
 
-fn bench_serving(
+/// Runs one loaded-latency cell: a seeded `LoadGenerator` drives `streams`
+/// streams through the degrade ladder for `ticks` ticks, then the cell's
+/// two hard gates run — exact frame accounting (no silent drops) and a
+/// populated wait histogram. Either failure exits the process non-zero.
+fn run_latency_cell(
+    ds: &Arc<SyntheticUcfCrime>,
+    pattern: ArrivalPattern,
+    shards: usize,
+    streams: usize,
+    ticks: usize,
+    parallelism: Parallelism,
+    backend: Backend,
+) -> (LatencyCell, SloCellDump) {
+    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
+    let spec = EngineSpec::new(&[AnomalyClass::Stealing], config);
+    let cfg = LoadConfig { pattern, ..LoadConfig::default() };
+    let mut rt: LoadedRuntime<akg_data::OwnedAdaptationStream> = if shards == 1 {
+        LoadedRuntime::new(spec, cfg)
+    } else {
+        LoadedRuntime::sharded(spec, cfg, shards)
+    };
+    for s in 0..streams {
+        let source =
+            AdaptationStream::owned(Arc::clone(ds), AnomalyClass::Stealing, 0.3, 900 + s as u64);
+        rt.add_stream(source, 0x5EED ^ s as u64, AdaptConfig::default(), (s % 3) as u8);
+    }
+    black_box(rt.run(ticks));
+
+    let counters = rt.counters();
+    if !counters.balanced() {
+        eprintln!(
+            "perf: SILENT DROP — {} x{shards} frame ledger does not balance: {counters:?}",
+            pattern.name()
+        );
+        std::process::exit(1);
+    }
+    if rt.wait_ticks().is_empty() {
+        eprintln!(
+            "perf: EMPTY HISTOGRAM — {} x{shards} drained no frames in {ticks} ticks",
+            pattern.name()
+        );
+        std::process::exit(1);
+    }
+    let dump = SloCellDump {
+        pattern: pattern.name().to_string(),
+        shards,
+        wait_tick_buckets: rt
+            .wait_ticks()
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(upper, count)| BucketEntry { upper, count })
+            .collect(),
+        latency_ns_buckets: rt
+            .latency_nanos()
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(upper, count)| BucketEntry { upper, count })
+            .collect(),
+    };
+    let cell = LatencyCell {
+        pattern: pattern.name().to_string(),
+        shards,
+        streams,
+        ticks,
+        counters,
+        wait_ticks: LatencySummary::of(rt.wait_ticks()),
+        latency_ns: LatencySummary::of(rt.latency_nanos()),
+    };
+    (cell, dump)
+}
+
+/// The loaded-latency sweep: every requested arrival pattern × shard counts
+/// {1, 2}. Full mode runs 1024 ticks × up to 16 streams per cell so the
+/// drained-frame count clears the ~10k samples p999 needs to resolve;
+/// smoke mode (60 ticks) validates the harness and the gates only.
+fn bench_latency(
     smoke: bool,
+    ds: &Arc<SyntheticUcfCrime>,
+    patterns: &[ArrivalPattern],
     max_streams: usize,
     max_shards: usize,
     parallelism: Parallelism,
     backend: Backend,
-) -> ServeReport {
+) -> (Vec<LatencyCell>, Vec<SloCellDump>) {
+    let ticks = if smoke { 60 } else { 1024 };
+    let streams = if smoke { max_streams.clamp(1, 4) } else { max_streams.clamp(1, 16) };
+    let mut cells = Vec::new();
+    let mut dumps = Vec::new();
+    for &pattern in patterns {
+        for &shards in &[1usize, 2] {
+            if shards > max_shards.max(1) {
+                continue;
+            }
+            let (cell, dump) =
+                run_latency_cell(ds, pattern, shards, streams, ticks, parallelism, backend);
+            cells.push(cell);
+            dumps.push(dump);
+        }
+    }
+    (cells, dumps)
+}
+
+fn bench_serving(
+    smoke: bool,
+    max_streams: usize,
+    max_shards: usize,
+    patterns: &[ArrivalPattern],
+    parallelism: Parallelism,
+    backend: Backend,
+) -> (ServeReport, Vec<SloCellDump>) {
     let scale = if smoke { 0.004 } else { 0.02 };
     let ds = Arc::new(SyntheticUcfCrime::generate(
         DatasetConfig::scaled(scale)
@@ -379,10 +554,12 @@ fn bench_serving(
     }
     let scaling_streams = 16usize.min(max_streams.max(1));
     let scaling = bench_scaling(smoke, &ds, scaling_streams, max_shards, parallelism, backend);
+    let (latency, dumps) =
+        bench_latency(smoke, &ds, patterns, max_streams, max_shards, parallelism, backend);
     let single_per_frame = points.first().map(|p| p.per_frame_frames_per_sec).unwrap_or(f64::NAN);
     let largest_batched = points.last().map(|p| p.batched_frames_per_sec).unwrap_or(f64::NAN);
-    ServeReport {
-        schema_version: 4,
+    let report = ServeReport {
+        schema_version: 5,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
         backend: backend_name(),
@@ -390,9 +567,11 @@ fn bench_serving(
         cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         points,
         scaling,
+        latency,
         batched_aggregate_vs_single_per_frame: largest_batched / single_per_frame.max(1e-9),
         alloc: None,
-    }
+    };
+    (report, dumps)
 }
 
 /// Measures steady-state serving allocations through the counting
@@ -646,6 +825,20 @@ fn main() {
         flag_value(&args, "--streams").and_then(|v| v.parse::<usize>().ok()).unwrap_or(16);
     let max_shards =
         flag_value(&args, "--shards").and_then(|v| v.parse::<usize>().ok()).unwrap_or(4);
+    let slo_out = flag_value(&args, "--slo-out");
+    let patterns: Vec<ArrivalPattern> = match flag_value(&args, "--load") {
+        Some(name) => match ArrivalPattern::preset(&name) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("perf: unknown --load {name:?} (expected poisson|bursty|ramp)");
+                std::process::exit(2);
+            }
+        },
+        None => vec![
+            ArrivalPattern::preset("poisson").expect("preset"),
+            ArrivalPattern::preset("bursty").expect("preset"),
+        ],
+    };
     let parallelism = match flag_value(&args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
         Some(n) => Parallelism::Threads(n),
         None => Parallelism::Auto,
@@ -729,7 +922,8 @@ fn main() {
     std::fs::write(&out, json).expect("write report");
     println!("perf: wrote {out}");
 
-    let mut serve = bench_serving(smoke, max_streams, max_shards, parallelism, backend);
+    let (mut serve, slo_dumps) =
+        bench_serving(smoke, max_streams, max_shards, &patterns, parallelism, backend);
     for p in &serve.points {
         println!(
             "  serve {:>2} stream(s): batched {:>7.0} f/s | per-frame {:>7.0} f/s | {:.2}x",
@@ -745,6 +939,35 @@ fn main() {
             "  scale {:>2} shard(s) x {:>2} streams: {:>7.0} f/s | {:.2}x vs 1 shard ({} core(s))",
             p.shards, p.streams, p.frames_per_sec, p.speedup_vs_one_shard, serve.cores
         );
+    }
+    for cell in &serve.latency {
+        println!(
+            "  load {:>7} x{} shard(s): wait p50/p99/p999 = {}/{}/{} ticks (max {}) | \
+             {:.0}/{:.0}/{:.0} us | {} drained, {} shed, {} coalesced, 0 silent drops",
+            cell.pattern,
+            cell.shards,
+            cell.wait_ticks.p50,
+            cell.wait_ticks.p99,
+            cell.wait_ticks.p999,
+            cell.wait_ticks.max,
+            cell.latency_ns.p50 as f64 / 1e3,
+            cell.latency_ns.p99 as f64 / 1e3,
+            cell.latency_ns.p999 as f64 / 1e3,
+            cell.wait_ticks.count,
+            cell.counters.shed,
+            cell.counters.coalesced,
+        );
+    }
+    if let Some(path) = &slo_out {
+        let slo = SloReport {
+            schema_version: 1,
+            mode: if smoke { "smoke" } else { "full" }.to_string(),
+            backend: backend_name(),
+            cells: slo_dumps,
+        };
+        let json = serde_json::to_string(&slo).expect("serialize slo report");
+        std::fs::write(path, json).expect("write slo report");
+        println!("perf: wrote {path}");
     }
     let mut over_budget = false;
     if alloc_stats {

@@ -373,11 +373,24 @@ impl ContinuousAdapter {
     /// window returned by [`ContinuousAdapter::begin_frame`] and — every
     /// `interval` frames — runs the adaptation check against the session.
     pub fn complete_frame(&mut self, engine: &Engine, session: &mut Session, score: f32) {
-        self.tracker.push(score);
-        self.observed += 1;
+        self.complete_frame_skip_adapt(score);
         if self.observed.is_multiple_of(self.cfg.interval) {
             self.adapt_now_stream(engine, session);
         }
+    }
+
+    /// The degraded second half of one observation: records the score into
+    /// the drift tracker (so trend statistics stay live) and counts the
+    /// frame as observed, but never runs the adaptation check — no
+    /// pseudo-label backprop, no prune/create restructuring. The serving
+    /// runtime's "skip adaptation" degrade rung completes frames through
+    /// this under ingest pressure; once pressure clears and frames complete
+    /// through [`ContinuousAdapter::complete_frame`] again, the next
+    /// `interval` boundary that lands on a fully-completed frame triggers
+    /// the check as usual.
+    pub fn complete_frame_skip_adapt(&mut self, score: f32) {
+        self.tracker.push(score);
+        self.observed += 1;
     }
 
     /// Rolling window (length = model window) ending at buffer index `end`,

@@ -61,11 +61,18 @@
 
 #![warn(missing_docs)]
 
+pub mod load;
 pub mod shard;
+pub mod slo;
 pub mod spsc;
 
+pub use load::{ArrivalPattern, IdleSource, LoadConfig, LoadGenerator, LoadedRuntime};
 pub use shard::{
     EngineSpec, OwnedShardedRuntime, ShardSnapshot, ShardedConfig, ShardedRuntime, StreamSnapshot,
+};
+pub use slo::{
+    DegradeLevel, DegradePolicy, LatencyHistogram, LatencySummary, LoadCounters, StreamLoadStats,
+    TickDecision,
 };
 
 use akg_core::adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
@@ -143,6 +150,36 @@ pub struct ServeCounters {
 /// Identifier of a stream registered with [`MultiStreamRuntime::add_stream`]
 /// (its index, stable for the runtime's lifetime).
 pub type StreamId = usize;
+
+/// Per-stream directive for one [`MultiStreamRuntime::tick_with_plan`]
+/// round — the execution mechanism under the latency-SLO load harness's
+/// degrade ladder ([`load`]): a pressured tick may ingest several queued
+/// frames for a stream at once (batch-coalescing), score only the streams
+/// that actually received work, and suppress the adaptation check while
+/// keeping drift statistics live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPlan {
+    /// Frames to pull from the stream's source and ingest into its rolling
+    /// window this tick (0 = the stream is idle this round).
+    pub ingest: usize,
+    /// Whether to score the stream's rolling window after ingest. Scoring a
+    /// stream that has never ingested a frame panics (there is no window).
+    pub score: bool,
+    /// Whether the score feeds the full adaptation check
+    /// ([`ContinuousAdapter::complete_frame`]) or only the drift tracker
+    /// ([`ContinuousAdapter::complete_frame_skip_adapt`] — the "skip
+    /// adaptation" degrade rung).
+    pub adapt: bool,
+}
+
+impl Default for StreamPlan {
+    /// The unloaded steady-state plan: one frame in, one score out, full
+    /// adaptation — exactly what [`MultiStreamRuntime::tick`] executes for
+    /// every stream.
+    fn default() -> Self {
+        StreamPlan { ingest: 1, score: true, adapt: true }
+    }
+}
 
 /// A runtime over owned dataset-backed streams
 /// ([`akg_data::OwnedAdaptationStream`]) — the common deployment shape: the
@@ -255,35 +292,68 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
     ///
     /// Panics if no streams are registered.
     pub fn tick(&mut self) -> Vec<f32> {
+        let plans = vec![StreamPlan::default(); self.slots.len()];
+        self.tick_with_plan(&plans)
+            .into_iter()
+            .map(|s| s.expect("default plan scores every stream"))
+            .collect()
+    }
+
+    /// The plan-driven generalization of [`MultiStreamRuntime::tick`]: one
+    /// scheduler round where every stream follows its own [`StreamPlan`] —
+    /// ingest 0..k frames, optionally score, optionally suppress the
+    /// adaptation check. [`MultiStreamRuntime::tick`] is exactly this with
+    /// [`StreamPlan::default`] for every stream; the latency-SLO load
+    /// harness ([`load::LoadedRuntime`]) is the intended caller of
+    /// non-default plans, and every plan it issues is a deterministic pure
+    /// function of queue state (see [`slo::DegradePolicy`]).
+    ///
+    /// Returns per-stream scores indexed by [`StreamId`]; `None` marks a
+    /// stream whose plan did not score this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no streams are registered, if `plans.len()` differs from
+    /// the stream count, or if a plan scores a stream that has never
+    /// ingested a frame (there is no window to score).
+    pub fn tick_with_plan(&mut self, plans: &[StreamPlan]) -> Vec<Option<f32>> {
         assert!(!self.slots.is_empty(), "tick: no streams registered");
+        assert_eq!(plans.len(), self.slots.len(), "tick_with_plan: one plan per stream");
         let n = self.slots.len();
         let window_len = self.engine.model.config().window;
-        // Phase 1 — ingest: one frame per stream, embedded through the
-        // stream's own RNG into its rolling buffer. No windows are
-        // materialized: scoring borrows the buffers in place (phase 2), so
-        // the per-frame window clones of the pre-data-plane runtime are
+        // Phase 1 — ingest: `plan.ingest` frames per stream, embedded
+        // through the stream's own RNG into its rolling buffer. No windows
+        // are materialized: scoring borrows the buffers in place (phase 2),
+        // so the per-frame window clones of the pre-data-plane runtime are
         // gone and the tick's footprint is fixed.
-        for slot in &mut self.slots {
-            let (frame, _label) = slot.source.next_frame();
-            slot.adapter.ingest_frame(&self.engine, &mut slot.session, &frame);
+        let mut ingested = 0usize;
+        for (slot, plan) in self.slots.iter_mut().zip(plans) {
+            for _ in 0..plan.ingest {
+                let (frame, _label) = slot.source.next_frame();
+                slot.adapter.ingest_frame(&self.engine, &mut slot.session, &frame);
+            }
+            ingested += plan.ingest;
         }
-        // Phase 2 — score: cross-stream batches (or the per-frame
-        // baseline), through the inference data plane with the runtime's
-        // shared workspace. One flat ref buffer carries a whole batch's
-        // windows (stream `i`'s window is `window_len` consecutive slices).
-        let mut scores = vec![0.0f32; n];
+        // Phase 2 — score the planned streams: cross-stream batches (or the
+        // per-frame baseline), through the inference data plane with the
+        // runtime's shared workspace. One flat ref buffer carries a whole
+        // batch's windows (the j-th scored stream's window is `window_len`
+        // consecutive slices).
+        let active: Vec<StreamId> = (0..n).filter(|&i| plans[i].score).collect();
+        let mut scores: Vec<Option<f32>> = vec![None; n];
         if self.config.batched {
-            for start in (0..n).step_by(self.config.max_batch) {
-                let end = (start + self.config.max_batch).min(n);
-                let mut flat_refs: Vec<&[f32]> = Vec::with_capacity((end - start) * window_len);
+            for chunk in active.chunks(self.config.max_batch) {
+                let mut flat_refs: Vec<&[f32]> = Vec::with_capacity(chunk.len() * window_len);
                 let mut one: Vec<&[f32]> = Vec::with_capacity(window_len);
-                for slot in &self.slots[start..end] {
-                    slot.adapter.fill_window_refs(&self.engine, &mut one);
+                for &i in chunk {
+                    self.slots[i].adapter.fill_window_refs(&self.engine, &mut one);
                     flat_refs.extend_from_slice(&one);
                 }
-                let batch: Vec<(&Session, &[&[f32]])> = (start..end)
-                    .map(|i| {
-                        let w = &flat_refs[(i - start) * window_len..(i - start + 1) * window_len];
+                let batch: Vec<(&Session, &[&[f32]])> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| {
+                        let w = &flat_refs[j * window_len..(j + 1) * window_len];
                         (&self.slots[i].session, w)
                     })
                     .collect();
@@ -292,31 +362,42 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
                     &mut self.workspace,
                     &mut self.score_scratch,
                 );
-                scores[start..end].copy_from_slice(&self.score_scratch);
+                for (j, &i) in chunk.iter().enumerate() {
+                    scores[i] = Some(self.score_scratch[j]);
+                }
                 self.counters.dispatches += 1;
-                self.counters.max_batch_seen = self.counters.max_batch_seen.max(end - start);
+                self.counters.max_batch_seen = self.counters.max_batch_seen.max(chunk.len());
             }
         } else {
             let mut one: Vec<&[f32]> = Vec::with_capacity(window_len);
-            for (i, slot) in self.slots.iter().enumerate() {
+            for &i in &active {
+                let slot = &self.slots[i];
                 slot.adapter.fill_window_refs(&self.engine, &mut one);
-                scores[i] = self.engine.score_window_refs(&slot.session, &one);
+                scores[i] = Some(self.engine.score_window_refs(&slot.session, &one));
                 self.counters.dispatches += 1;
                 self.counters.max_batch_seen = self.counters.max_batch_seen.max(1);
             }
         }
-        // Phase 3 — adapt: scores feed each stream's tracker; any triggered
-        // token update / restructure touches only that stream's session.
-        // Only the events appended by this frame are scanned, so long-lived
-        // deployments don't pay O(history) per tick.
-        for (slot, &score) in self.slots.iter_mut().zip(&scores) {
-            let events_before = slot.adapter.events().len();
-            slot.adapter.complete_frame(&self.engine, &mut slot.session, score);
-            let (updates, replaces) = event_counts(&slot.adapter.events()[events_before..]);
-            self.counters.token_updates += updates;
-            self.counters.node_replacements += replaces;
+        // Phase 3 — complete: scores feed each scored stream's tracker; a
+        // plan with `adapt` runs the full check (any triggered token update
+        // / restructure touches only that stream's session), one without it
+        // takes the degraded skip-adapt path. Only the events appended by
+        // this frame are scanned, so long-lived deployments don't pay
+        // O(history) per tick.
+        for &i in &active {
+            let score = scores[i].expect("active stream was scored");
+            let slot = &mut self.slots[i];
+            if plans[i].adapt {
+                let events_before = slot.adapter.events().len();
+                slot.adapter.complete_frame(&self.engine, &mut slot.session, score);
+                let (updates, replaces) = event_counts(&slot.adapter.events()[events_before..]);
+                self.counters.token_updates += updates;
+                self.counters.node_replacements += replaces;
+            } else {
+                slot.adapter.complete_frame_skip_adapt(score);
+            }
         }
-        self.counters.frames += n;
+        self.counters.frames += ingested;
         self.counters.ticks += 1;
         scores
     }

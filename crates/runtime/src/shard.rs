@@ -71,7 +71,7 @@
 //! other threads are unaffected.
 
 use crate::spsc;
-use crate::{FrameSource, MultiStreamRuntime, RuntimeConfig, ServeCounters, StreamId};
+use crate::{FrameSource, MultiStreamRuntime, RuntimeConfig, ServeCounters, StreamId, StreamPlan};
 use akg_core::adapt::{AdaptConfig, AdaptEvent};
 use akg_core::engine::Engine;
 use akg_core::pipeline::SystemConfig;
@@ -154,21 +154,27 @@ enum ToShard {
         frame_seed: u64,
         adapt: AdaptConfig,
     },
-    /// One tick's frames, one per local stream, in local registration
-    /// order. The `bool` is the frame label riding along (never read by
-    /// serving, preserved for API fidelity with [`FrameSource`]).
+    /// One tick's frames and per-stream plans, in local registration order:
+    /// `frames` is the concatenation, stream by stream, of exactly
+    /// `plans[local].ingest` frames each. A default plan for every stream
+    /// (one frame in, score, adapt) is the classic unloaded tick; the
+    /// loaded front-end ships non-default plans. The `bool` is the frame
+    /// label riding along (never read by serving, preserved for API
+    /// fidelity with [`FrameSource`]).
     Tick {
         frames: Vec<(Frame, bool)>,
+        plans: Vec<StreamPlan>,
     },
     Query,
 }
 
 /// Worker → drain messages.
 enum FromShard {
-    /// One processed tick: per-local-stream scores plus the worker's
-    /// cumulative counters.
+    /// One processed tick: per-local-stream scores (`None` = the stream's
+    /// plan did not score this round) plus the worker's cumulative
+    /// counters.
     Tick {
-        scores: Vec<f32>,
+        scores: Vec<Option<f32>>,
         counters: ServeCounters,
     },
     Snapshot(ShardSnapshot),
@@ -403,6 +409,9 @@ impl<S: FrameSource> ShardedRuntime<S> {
     pub fn tick(&mut self) -> Vec<f32> {
         self.push_tick();
         self.drain_tick()
+            .into_iter()
+            .map(|s| s.expect("default plan scores every stream"))
+            .collect()
     }
 
     /// Runs `ticks` scheduler rounds, returning per-stream score sequences
@@ -423,14 +432,66 @@ impl<S: FrameSource> ShardedRuntime<S> {
                 pushed += 1;
             }
             for (stream, score) in self.drain_tick().into_iter().enumerate() {
-                out[stream].push(score);
+                out[stream].push(score.expect("default plan scores every stream"));
             }
             drained += 1;
         }
         out
     }
 
-    /// Pulls one frame per stream and ships each shard its tick message.
+    /// One planned scheduler round driven by an external ingest layer (the
+    /// latency-SLO load harness, [`crate::load::LoadedRuntime`]):
+    /// `frames[stream]` carries the frames the harness admitted for that
+    /// stream this tick — exactly `plans[stream].ingest` of them — and
+    /// `plans[stream]` its degrade directives. The runtime's own
+    /// [`FrameSource`]s are **not** pulled. Returns per-stream scores
+    /// indexed by [`StreamId`] (`None` = not scored this round).
+    ///
+    /// Because every plan is computed by the front-end from global queue
+    /// state and workers only execute, the shard-equivalence contract
+    /// extends to loaded serving: any shard count yields bit-identical
+    /// scores *and* bit-identical degrade decisions to a single-node run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no streams are registered, or if `frames`/`plans` lengths
+    /// disagree with the stream count or with each plan's `ingest`.
+    pub fn tick_planned(
+        &mut self,
+        mut frames: Vec<Vec<(Frame, bool)>>,
+        plans: &[StreamPlan],
+    ) -> Vec<Option<f32>> {
+        let n = self.assignment.len();
+        assert!(n > 0, "tick: no streams registered");
+        assert_eq!(plans.len(), n, "tick_planned: one plan per stream");
+        assert_eq!(frames.len(), n, "tick_planned: one frame batch per stream");
+        let mut per_shard_frames: Vec<Vec<(Frame, bool)>> =
+            self.shards.iter().map(|_| Vec::new()).collect();
+        let mut per_shard_plans: Vec<Vec<StreamPlan>> =
+            self.shards.iter().map(|shard| Vec::with_capacity(shard.locals.len())).collect();
+        // Iterate streams in id order; within a shard this is exactly the
+        // local registration order the worker's slots use.
+        for (id, batch) in frames.iter_mut().enumerate() {
+            assert_eq!(
+                batch.len(),
+                plans[id].ingest,
+                "tick_planned: stream {id} frames do not match its plan"
+            );
+            let shard = self.assignment[id].0;
+            per_shard_frames[shard].append(batch);
+            per_shard_plans[shard].push(plans[id]);
+        }
+        for ((shard, frames), plans) in
+            self.shards.iter().zip(per_shard_frames).zip(per_shard_plans)
+        {
+            shard.send(ToShard::Tick { frames, plans });
+        }
+        self.in_flight += 1;
+        self.drain_tick()
+    }
+
+    /// Pulls one frame per stream and ships each shard its tick message
+    /// (default plans: one frame in, score, adapt).
     fn push_tick(&mut self) {
         assert!(!self.sources.is_empty(), "tick: no streams registered");
         let mut per_shard: Vec<Vec<(Frame, bool)>> =
@@ -441,16 +502,18 @@ impl<S: FrameSource> ShardedRuntime<S> {
             per_shard[self.assignment[id].0].push(source.next_frame());
         }
         for (shard, frames) in self.shards.iter().zip(per_shard) {
-            shard.send(ToShard::Tick { frames });
+            let plans = vec![StreamPlan::default(); frames.len()];
+            shard.send(ToShard::Tick { frames, plans });
         }
         self.in_flight += 1;
     }
 
     /// Receives one processed tick from every shard and reassembles the
-    /// per-stream score vector.
-    fn drain_tick(&mut self) -> Vec<f32> {
+    /// per-stream score vector (`None` = that stream's plan skipped
+    /// scoring).
+    fn drain_tick(&mut self) -> Vec<Option<f32>> {
         debug_assert!(self.in_flight > 0, "drain_tick without a pushed tick");
-        let mut scores = vec![0.0f32; self.sources.len()];
+        let mut scores = vec![None; self.assignment.len()];
         for shard in &mut self.shards {
             match shard.recv() {
                 FromShard::Tick { scores: shard_scores, counters } => {
@@ -544,14 +607,19 @@ fn shard_worker(
                 feeds.push(Rc::clone(&feed));
                 rt.add_stream(TickFeed(feed), frame_seed, adapt);
             }
-            ToShard::Tick { frames } => {
-                assert_eq!(frames.len(), feeds.len(), "tick frames do not match shard streams");
-                for (feed, frame) in feeds.iter().zip(frames) {
-                    feed.borrow_mut().push_back(frame);
+            ToShard::Tick { frames, plans } => {
+                assert_eq!(plans.len(), feeds.len(), "tick plans do not match shard streams");
+                let mut frames = frames.into_iter();
+                for (feed, plan) in feeds.iter().zip(&plans) {
+                    let mut queue = feed.borrow_mut();
+                    for _ in 0..plan.ingest {
+                        queue.push_back(frames.next().expect("tick frames underran the plans"));
+                    }
                 }
+                assert!(frames.next().is_none(), "tick frames overran the plans");
                 // A shard with no streams still acknowledges the round so
                 // the drain barrier stays uniform.
-                let scores = if feeds.is_empty() { Vec::new() } else { rt.tick() };
+                let scores = if feeds.is_empty() { Vec::new() } else { rt.tick_with_plan(&plans) };
                 if results.send(FromShard::Tick { scores, counters: rt.counters() }).is_err() {
                     return; // front-end gone
                 }

@@ -1,0 +1,176 @@
+//! Direct unit + property tests for the hand-rolled bounded SPSC channel —
+//! previously exercised only indirectly through the sharded runtime. The
+//! properties that matter to the tick pipeline: FIFO delivery with nothing
+//! dropped or duplicated under arbitrary producer/consumer burst
+//! interleavings, hard blocking at capacity (the backpressure the sharded
+//! runtime's memory discipline rests on), and clean close-while-blocked
+//! semantics in both directions.
+
+use akg_runtime::spsc::{self, Disconnected};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn sender_at_capacity_does_not_run_ahead() {
+    // Fill a depth-2 queue, then start a producer that must block: the
+    // third send cannot complete until the consumer drains one slot.
+    let (tx, rx) = spsc::channel(2);
+    tx.send(0u32).unwrap();
+    tx.send(1).unwrap();
+    let sent = Arc::new(AtomicUsize::new(2));
+    let sent_inner = Arc::clone(&sent);
+    let producer = std::thread::spawn(move || {
+        tx.send(2).unwrap();
+        sent_inner.store(3, Ordering::SeqCst);
+        tx.send(3).unwrap();
+        sent_inner.store(4, Ordering::SeqCst);
+    });
+    // The producer must be parked at capacity, not buffering ahead.
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(sent.load(Ordering::SeqCst), 2, "send returned while the queue was full");
+    assert_eq!(rx.recv(), Some(0));
+    assert_eq!(rx.recv(), Some(1));
+    assert_eq!(rx.recv(), Some(2));
+    assert_eq!(rx.recv(), Some(3));
+    producer.join().unwrap();
+    assert_eq!(rx.recv(), None);
+}
+
+#[test]
+fn receiver_blocked_on_empty_wakes_on_send() {
+    let (tx, rx) = spsc::channel::<u32>(1);
+    let consumer = std::thread::spawn(move || rx.recv());
+    // Let the consumer park on the empty queue before the send arrives.
+    std::thread::sleep(Duration::from_millis(30));
+    tx.send(99).unwrap();
+    assert_eq!(consumer.join().unwrap(), Some(99));
+}
+
+#[test]
+fn receiver_blocked_on_empty_wakes_on_sender_drop() {
+    let (tx, rx) = spsc::channel::<u32>(1);
+    let consumer = std::thread::spawn(move || rx.recv());
+    std::thread::sleep(Duration::from_millis(30));
+    drop(tx);
+    assert_eq!(consumer.join().unwrap(), None, "close-while-blocked must yield disconnect");
+}
+
+#[test]
+fn sender_blocked_at_capacity_wakes_on_receiver_drop() {
+    let (tx, rx) = spsc::channel(1);
+    tx.send(1u32).unwrap();
+    let producer = std::thread::spawn(move || tx.send(2));
+    std::thread::sleep(Duration::from_millis(30));
+    drop(rx);
+    assert_eq!(
+        producer.join().unwrap(),
+        Err(Disconnected(2)),
+        "close-while-blocked must hand the unsent message back"
+    );
+}
+
+#[test]
+fn drop_with_queued_messages_drops_them_cleanly() {
+    // Messages left in the queue when both ends drop must be released
+    // (checked by dropping Arcs and counting strong references).
+    let payload = Arc::new(());
+    let (tx, rx) = spsc::channel(4);
+    for _ in 0..3 {
+        tx.send(Arc::clone(&payload)).unwrap();
+    }
+    drop(tx);
+    drop(rx);
+    assert_eq!(Arc::strong_count(&payload), 1, "queued messages leaked on drop");
+}
+
+/// Replays a fuzzed schedule: the producer sends `total` sequenced items in
+/// bursts with optional yields, the consumer drains in bursts of `recv` and
+/// `try_recv` mixes. Every message must arrive exactly once, in order.
+fn run_interleaving(capacity: usize, total: usize, consumer_bursts: &[(usize, usize)]) {
+    let (tx, rx) = spsc::channel(capacity);
+    let producer = std::thread::spawn(move || {
+        for i in 0..total {
+            tx.send(i).unwrap();
+            if i % 3 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let mut next = 0usize;
+    for &(burst, spin) in consumer_bursts {
+        for _ in 0..burst {
+            if next >= total {
+                break;
+            }
+            let value = if spin == 1 {
+                // Drain through the non-blocking path, spinning on empty.
+                loop {
+                    match rx.try_recv() {
+                        Some(v) => break v,
+                        None => std::thread::yield_now(),
+                    }
+                }
+            } else {
+                rx.recv().expect("sender still alive or queue non-empty")
+            };
+            assert_eq!(value, next, "out-of-order or duplicated delivery");
+            next += 1;
+        }
+    }
+    // Drain whatever the schedule left over, then observe disconnect.
+    while let Some(value) = rx.recv() {
+        assert_eq!(value, next);
+        next += 1;
+    }
+    assert_eq!(next, total, "messages dropped");
+    producer.join().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fuzzed_burst_interleavings_deliver_exactly_once(
+        capacity in 1usize..8,
+        total in 1usize..200,
+        bursts in proptest::collection::vec((1usize..40, 0usize..2), 1..8),
+    ) {
+        run_interleaving(capacity, total, &bursts);
+    }
+
+    #[test]
+    fn fuzzed_early_receiver_drop_never_loses_the_rejected_message(
+        capacity in 1usize..4,
+        accepted in 0usize..6,
+    ) {
+        // The receiver takes `accepted` messages then drops; the producer's
+        // next send must fail fast and return that exact message.
+        let (tx, rx) = spsc::channel(capacity);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0usize;
+            loop {
+                match tx.send(i) {
+                    Ok(()) => i += 1,
+                    Err(Disconnected(v)) => return (i, v),
+                }
+            }
+        });
+        let mut got = 0usize;
+        for _ in 0..accepted {
+            match rx.recv() {
+                Some(v) => {
+                    prop_assert_eq!(v, got);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        drop(rx);
+        let (sent_ok, rejected) = producer.join().unwrap();
+        // The rejected message is exactly the first one never enqueued.
+        prop_assert_eq!(rejected, sent_ok);
+        prop_assert!(sent_ok >= got, "consumer saw messages the producer never enqueued");
+    }
+}
