@@ -4,9 +4,9 @@
 //! records every PR's numbers are compared against (see
 //! `docs/PERFORMANCE.md` for how to read them).
 //!
-//! Usage: `perf [--smoke] [--threads N] [--backend B] [--streams N]
-//! [--shards N] [--alloc-stats] [--load PATTERN] [--slo-out PATH]
-//! [--out PATH] [--serve-out PATH]`
+//! Usage: `perf [--smoke] [--threads N] [--backend B] [--precision P]
+//! [--streams N] [--shards N] [--alloc-stats] [--load PATTERN]
+//! [--slo-out PATH] [--out PATH] [--serve-out PATH]`
 //!
 //! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
 //!   the full measurement sizes. Smoke output is for validating the harness
@@ -16,6 +16,13 @@
 //!   compute backend. The resolved backend and the host's detected CPU
 //!   features are recorded in both JSON reports, so trajectory diffs always
 //!   say which instruction set produced them.
+//! - `--precision P`: `f32` (default) or `int8` — the serving-plane weight
+//!   precision every benched engine is built at. `int8` pre-quantizes the
+//!   decision-model weight matrices (per-row-scaled symmetric int8) and
+//!   serves through the integer matmul kernels; training and adaptation
+//!   stay f32 either way. On SIMD hosts the int8 256-cubed matmul must beat
+//!   the f32 blocked kernel — the harness exits non-zero otherwise (the CI
+//!   quantization speed gate; both sizes are measured even in smoke mode).
 //! - `--streams N`: cap on the serving-bench stream counts (default 16; the
 //!   bench measures 1, 4, and 16 streams up to this cap).
 //! - `--shards N`: cap on the sharded-scaling sweep (default 4; the bench
@@ -59,7 +66,7 @@ use akg_tensor::backend::{cpu_features, effective_backend, set_backend, Backend}
 use akg_tensor::nn::Module;
 use akg_tensor::ops::kernels::{matmul_blocked, matmul_ikj, matmul_naive, matmul_nt};
 use akg_tensor::par::{effective_threads, set_parallelism, Parallelism};
-use akg_tensor::{Tensor, Workspace};
+use akg_tensor::{Precision, QuantizedMatrix, Tensor, Workspace};
 use serde::Serialize;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -157,6 +164,28 @@ struct Derived {
     blocked_speedup_vs_ikj: f64,
     /// The matmul size the speedups were measured at.
     at_size: usize,
+    /// `matmul_blocked_256 / matmul_q8_256` — the int8 integer kernel's
+    /// speedup over the f32 blocked kernel at the reference size (measured
+    /// in every mode; gated ≥ 1 in CI on SIMD hosts).
+    q8_256_speedup_vs_blocked: f64,
+}
+
+/// The decision model's dense-weight footprint at both precisions (schema
+/// v6): what the engine actually holds (`current_bytes` at `precision`) and
+/// the two representations' sizes for the shrink headline.
+#[derive(Debug, Clone, Serialize)]
+struct ModelBytes {
+    /// The precision the benched engines serve at (`"f32"` or `"int8"`).
+    precision: String,
+    /// Bytes the engine's weight matrices occupy at that precision.
+    current_bytes: usize,
+    /// The same matrices held as f32.
+    f32_bytes: usize,
+    /// The same matrices held as per-row-scaled int8 (codes + f32 scales).
+    int8_bytes: usize,
+    /// `f32_bytes / int8_bytes` — bounded below 4x by the per-row scale
+    /// overhead on the paper model's width-8 layers.
+    shrink: f64,
 }
 
 /// The full `BENCH_tensor.json` document.
@@ -173,6 +202,12 @@ struct Report {
     backend: String,
     /// SIMD-relevant CPU features the host reported at startup.
     cpu_features: String,
+    /// Serving-plane weight precision the end-to-end rows ran at (`"f32"`
+    /// or `"int8"`). Op rows always include both the f32 and the int8
+    /// matmul kernels regardless.
+    precision: String,
+    /// Decision-model weight footprint at both precisions.
+    model_bytes: ModelBytes,
     /// Op-level medians.
     ops: Vec<OpResult>,
     /// End-to-end system timings.
@@ -307,6 +342,10 @@ struct ServeReport {
     /// The resolved compute backend the kernels ran (`"scalar"` or
     /// `"simd"`).
     backend: String,
+    /// Serving-plane weight precision every benched engine was built at.
+    precision: String,
+    /// Decision-model weight footprint at both precisions.
+    model_bytes: ModelBytes,
     /// Largest cross-stream batch the scheduler may form.
     max_batch: usize,
     /// CPU cores the host exposed (`available_parallelism`) — the context
@@ -337,12 +376,13 @@ fn serve_runtime(
     batched: bool,
     parallelism: Parallelism,
     backend: Backend,
+    precision: Precision,
 ) -> OwnedStreamRuntime {
     // Fresh engine per mode/count: deterministic build, so every
     // measurement serves identical weights and identical feeds (the CLI
     // thread and backend policies ride in, since `build` re-applies its
     // config's settings process-wide).
-    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
+    let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
     let engine = Engine::build(&[AnomalyClass::Stealing], &config);
     let mut rt = MultiStreamRuntime::new(engine, RuntimeConfig { max_batch: 16, batched });
     for s in 0..streams {
@@ -362,8 +402,9 @@ fn sharded_serve_runtime(
     shards: usize,
     parallelism: Parallelism,
     backend: Backend,
+    precision: Precision,
 ) -> OwnedShardedRuntime {
-    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
+    let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
     let spec = EngineSpec::new(&[AnomalyClass::Stealing], config);
     let mut rt = ShardedRuntime::new(
         spec,
@@ -386,6 +427,7 @@ fn bench_scaling(
     max_shards: usize,
     parallelism: Parallelism,
     backend: Backend,
+    precision: Precision,
 ) -> Vec<ScalingPoint> {
     let ticks = if smoke { 12 } else { 96 };
     let mut points: Vec<ScalingPoint> = Vec::new();
@@ -393,7 +435,7 @@ fn bench_scaling(
         if shards > max_shards {
             continue;
         }
-        let mut rt = sharded_serve_runtime(ds, streams, shards, parallelism, backend);
+        let mut rt = sharded_serve_runtime(ds, streams, shards, parallelism, backend, precision);
         // warm-up tick: worker engine builds, caches, stream buffers
         let _ = rt.tick();
         let t0 = Instant::now();
@@ -416,6 +458,7 @@ fn bench_scaling(
 /// streams through the degrade ladder for `ticks` ticks, then the cell's
 /// two hard gates run — exact frame accounting (no silent drops) and a
 /// populated wait histogram. Either failure exits the process non-zero.
+#[allow(clippy::too_many_arguments)]
 fn run_latency_cell(
     ds: &Arc<SyntheticUcfCrime>,
     pattern: ArrivalPattern,
@@ -424,8 +467,9 @@ fn run_latency_cell(
     ticks: usize,
     parallelism: Parallelism,
     backend: Backend,
+    precision: Precision,
 ) -> (LatencyCell, SloCellDump) {
-    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
+    let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
     let spec = EngineSpec::new(&[AnomalyClass::Stealing], config);
     let cfg = LoadConfig { pattern, ..LoadConfig::default() };
     let mut rt: LoadedRuntime<akg_data::OwnedAdaptationStream> = if shards == 1 {
@@ -487,6 +531,7 @@ fn run_latency_cell(
 /// {1, 2}. Full mode runs 1024 ticks × up to 16 streams per cell so the
 /// drained-frame count clears the ~10k samples p999 needs to resolve;
 /// smoke mode (60 ticks) validates the harness and the gates only.
+#[allow(clippy::too_many_arguments)]
 fn bench_latency(
     smoke: bool,
     ds: &Arc<SyntheticUcfCrime>,
@@ -495,6 +540,7 @@ fn bench_latency(
     max_shards: usize,
     parallelism: Parallelism,
     backend: Backend,
+    precision: Precision,
 ) -> (Vec<LatencyCell>, Vec<SloCellDump>) {
     let ticks = if smoke { 60 } else { 1024 };
     let streams = if smoke { max_streams.clamp(1, 4) } else { max_streams.clamp(1, 16) };
@@ -505,8 +551,16 @@ fn bench_latency(
             if shards > max_shards.max(1) {
                 continue;
             }
-            let (cell, dump) =
-                run_latency_cell(ds, pattern, shards, streams, ticks, parallelism, backend);
+            let (cell, dump) = run_latency_cell(
+                ds,
+                pattern,
+                shards,
+                streams,
+                ticks,
+                parallelism,
+                backend,
+                precision,
+            );
             cells.push(cell);
             dumps.push(dump);
         }
@@ -514,6 +568,7 @@ fn bench_latency(
     (cells, dumps)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench_serving(
     smoke: bool,
     max_streams: usize,
@@ -521,6 +576,8 @@ fn bench_serving(
     patterns: &[ArrivalPattern],
     parallelism: Parallelism,
     backend: Backend,
+    precision: Precision,
+    model_bytes: ModelBytes,
 ) -> (ServeReport, Vec<SloCellDump>) {
     let scale = if smoke { 0.004 } else { 0.02 };
     let ds = Arc::new(SyntheticUcfCrime::generate(
@@ -536,7 +593,7 @@ fn bench_serving(
         }
         let mut fps = [0.0f64; 2];
         for (slot, batched) in [(0usize, true), (1usize, false)] {
-            let mut rt = serve_runtime(&ds, streams, batched, parallelism, backend);
+            let mut rt = serve_runtime(&ds, streams, batched, parallelism, backend, precision);
             // warm-up tick: engine caches, allocator, stream buffers
             let _ = rt.tick();
             let t0 = Instant::now();
@@ -553,16 +610,27 @@ fn bench_serving(
         });
     }
     let scaling_streams = 16usize.min(max_streams.max(1));
-    let scaling = bench_scaling(smoke, &ds, scaling_streams, max_shards, parallelism, backend);
-    let (latency, dumps) =
-        bench_latency(smoke, &ds, patterns, max_streams, max_shards, parallelism, backend);
+    let scaling =
+        bench_scaling(smoke, &ds, scaling_streams, max_shards, parallelism, backend, precision);
+    let (latency, dumps) = bench_latency(
+        smoke,
+        &ds,
+        patterns,
+        max_streams,
+        max_shards,
+        parallelism,
+        backend,
+        precision,
+    );
     let single_per_frame = points.first().map(|p| p.per_frame_frames_per_sec).unwrap_or(f64::NAN);
     let largest_batched = points.last().map(|p| p.batched_frames_per_sec).unwrap_or(f64::NAN);
     let report = ServeReport {
-        schema_version: 5,
+        schema_version: 6,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
         backend: backend_name(),
+        precision: precision.name().to_string(),
+        model_bytes,
         max_batch: 16,
         cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         points,
@@ -578,9 +646,14 @@ fn bench_serving(
 /// allocator: (a) the pure scoring data plane — repeated batched dispatches
 /// over pre-ingested windows with a warm workspace (the gated number) — and
 /// (b) full runtime ticks for context.
-fn measure_alloc_stats(smoke: bool, parallelism: Parallelism, backend: Backend) -> AllocStats {
+fn measure_alloc_stats(
+    smoke: bool,
+    parallelism: Parallelism,
+    backend: Backend,
+    precision: Precision,
+) -> AllocStats {
     let streams = 16usize;
-    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
+    let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
     let engine = Engine::build(&[AnomalyClass::Stealing], &config);
     let window_len = engine.model.config().window;
     let dim = engine.model.config().embed_dim;
@@ -617,7 +690,7 @@ fn measure_alloc_stats(smoke: bool, parallelism: Parallelism, backend: Backend) 
             .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
             .with_seed(7),
     ));
-    let mut rt = serve_runtime(&ds, streams, true, parallelism, backend);
+    let mut rt = serve_runtime(&ds, streams, true, parallelism, backend, precision);
     let warm_ticks = if smoke { 4 } else { 40 };
     let ticks = if smoke { 12 } else { 96 };
     for _ in 0..warm_ticks {
@@ -698,6 +771,37 @@ fn bench_matmuls(sizes: &[usize], reps: usize, ops: &mut Vec<OpResult>) {
     }
 }
 
+/// Times the int8 integer matmul at square sizes: the weight side is
+/// pre-quantized (as the engine holds it), the activation side is
+/// dynamically per-row quantized inside the timed call — exactly the
+/// serving path's per-matmul work, scratch included.
+fn bench_q8_matmuls(sizes: &[usize], reps: usize, ops: &mut Vec<OpResult>) {
+    use akg_tensor::ops::kernels::matmul_q8_into;
+    for &dim in sizes {
+        let a = filled(dim * dim, 1);
+        let b = filled(dim * dim, 2);
+        let qb = QuantizedMatrix::from_row_major(&b, dim, dim);
+        let mut out = vec![0.0f32; dim * dim];
+        let mut qa = vec![0i8; dim * dim];
+        let mut scales = vec![0.0f32; dim];
+        let ns = time_median(reps, || {
+            matmul_q8_into(
+                black_box(&mut out),
+                black_box(&a),
+                qb.data(),
+                qb.scales(),
+                dim,
+                dim,
+                dim,
+                &mut qa,
+                &mut scales,
+            );
+            black_box(out.first().copied());
+        });
+        ops.push(OpResult { name: format!("matmul_q8_{dim}"), ns_per_op: ns, reps });
+    }
+}
+
 /// Times the GNN message-passing index ops: `scatter_add_rows` (edge
 /// messages summed onto destination rows) and `index_select_rows` (row
 /// gather) at the serving path's row width.
@@ -763,7 +867,12 @@ fn bench_fused(rows: usize, cols: usize, reps: usize, ops: &mut Vec<OpResult>) {
     });
 }
 
-fn bench_end_to_end(smoke: bool, parallelism: Parallelism, backend: Backend) -> EndToEnd {
+fn bench_end_to_end(
+    smoke: bool,
+    parallelism: Parallelism,
+    backend: Backend,
+    precision: Precision,
+) -> EndToEnd {
     let scale = if smoke { 0.004 } else { 0.02 };
     let ds = SyntheticUcfCrime::generate(
         DatasetConfig::scaled(scale)
@@ -774,7 +883,7 @@ fn bench_end_to_end(smoke: bool, parallelism: Parallelism, backend: Backend) -> 
     // Carry the CLI thread and backend policies into the system build:
     // `build` applies its config's settings process-wide, so defaulting here
     // would silently undo `--threads` / `--backend`.
-    let config = SystemConfig { parallelism, backend, ..SystemConfig::default() };
+    let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
     let t0 = Instant::now();
     let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &config);
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -854,15 +963,24 @@ fn main() {
         }
     };
     set_backend(backend);
+    let precision = match flag_value(&args, "--precision").as_deref() {
+        Some("int8") => Precision::Int8,
+        Some("f32") | None => Precision::F32,
+        Some(other) => {
+            eprintln!("perf: unknown --precision {other:?} (expected f32|int8)");
+            std::process::exit(2);
+        }
+    };
 
     let (sizes, reps): (&[usize], usize) =
         if smoke { (&[32, 48], 3) } else { (&[64, 128, 256], 7) };
     let mut ops = Vec::new();
     println!(
-        "perf: mode={} threads={} backend={} cpu=[{}] sizes={sizes:?}",
+        "perf: mode={} threads={} backend={} precision={} cpu=[{}] sizes={sizes:?}",
         if smoke { "smoke" } else { "full" },
         effective_threads(),
         backend_name(),
+        precision.name(),
         cpu_features()
     );
 
@@ -877,11 +995,25 @@ fn main() {
     }
 
     bench_matmuls(sizes, reps, &mut ops);
+    bench_q8_matmuls(sizes, reps, &mut ops);
+    if smoke {
+        // The quantization speed gate compares the 256-cubed kernels, which
+        // the smoke sizes don't reach — measure exactly that pair at smoke
+        // reps so the gate runs in CI too.
+        let dim = 256usize;
+        let a = filled(dim * dim, 1);
+        let b = filled(dim * dim, 2);
+        let ns = time_median(reps, || {
+            black_box(matmul_blocked(black_box(&a), black_box(&b), dim, dim, dim));
+        });
+        ops.push(OpResult { name: format!("matmul_blocked_{dim}"), ns_per_op: ns, reps });
+        bench_q8_matmuls(&[dim], reps, &mut ops);
+    }
     let (rows, cols) = if smoke { (16, 16) } else { (64, 128) };
     bench_fused(rows, cols, reps.max(5), &mut ops);
     let (srows, scols) = if smoke { (128, 8) } else { (4096, 8) };
     bench_gather_scatter(srows, scols, reps.max(5), &mut ops);
-    let end_to_end = bench_end_to_end(smoke, parallelism, backend);
+    let end_to_end = bench_end_to_end(smoke, parallelism, backend, precision);
 
     let largest = *sizes.last().expect("at least one size");
     let ns_of = |name: &str| {
@@ -890,10 +1022,14 @@ fn main() {
             .map(|o| o.ns_per_op)
             .expect("kernel measured")
     };
+    let ns_named = |name: &str| {
+        ops.iter().find(|o| o.name == name).map(|o| o.ns_per_op).expect("kernel measured")
+    };
     let derived = Derived {
         blocked_speedup_vs_naive: ns_of("matmul_naive") / ns_of("matmul_blocked"),
         blocked_speedup_vs_ikj: ns_of("matmul_ikj") / ns_of("matmul_blocked"),
         at_size: largest,
+        q8_256_speedup_vs_blocked: ns_named("matmul_blocked_256") / ns_named("matmul_q8_256"),
     };
 
     for op in &ops {
@@ -907,13 +1043,55 @@ fn main() {
         "  blocked vs naive at {}^3: {:.2}x (vs ikj: {:.2}x)",
         derived.at_size, derived.blocked_speedup_vs_naive, derived.blocked_speedup_vs_ikj
     );
+    println!("  q8 vs blocked at 256^3: {:.2}x", derived.q8_256_speedup_vs_blocked);
+
+    // The quantization speed gate: on SIMD hosts the integer kernel must
+    // not lose to the f32 blocked kernel at the reference size. Scalar
+    // hosts are exempt — the scalar q8 ladder exists for bit-reproducible
+    // fallback, not speed.
+    let q8_gate_failed = effective_backend() == Backend::Simd
+        && ns_named("matmul_q8_256") >= ns_named("matmul_blocked_256");
+    if q8_gate_failed {
+        eprintln!(
+            "perf: Q8 SPEED REGRESSION — matmul_q8_256 ({:.0} ns) is not faster than \
+             matmul_blocked_256 ({:.0} ns) on the SIMD backend",
+            ns_named("matmul_q8_256"),
+            ns_named("matmul_blocked_256")
+        );
+    }
+
+    // Weight footprint at both precisions, from an engine built exactly as
+    // the serving benches build theirs.
+    let model_bytes = {
+        let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
+        let engine = Engine::build(&[AnomalyClass::Stealing], &config);
+        let f32_bytes = engine.model.weight_matrix_bytes_f32();
+        let int8_bytes = engine.model.weight_matrix_bytes_int8();
+        ModelBytes {
+            precision: precision.name().to_string(),
+            current_bytes: engine.model_bytes(),
+            f32_bytes,
+            int8_bytes,
+            shrink: f32_bytes as f64 / int8_bytes as f64,
+        }
+    };
+    println!(
+        "  model bytes: {} at {} (f32 {} | int8 {} | {:.2}x smaller)",
+        model_bytes.current_bytes,
+        model_bytes.precision,
+        model_bytes.f32_bytes,
+        model_bytes.int8_bytes,
+        model_bytes.shrink
+    );
 
     let report = Report {
-        schema_version: 2,
+        schema_version: 6,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
         backend: backend_name(),
         cpu_features: cpu_features(),
+        precision: precision.name().to_string(),
+        model_bytes: model_bytes.clone(),
         ops,
         end_to_end,
         derived,
@@ -922,8 +1100,16 @@ fn main() {
     std::fs::write(&out, json).expect("write report");
     println!("perf: wrote {out}");
 
-    let (mut serve, slo_dumps) =
-        bench_serving(smoke, max_streams, max_shards, &patterns, parallelism, backend);
+    let (mut serve, slo_dumps) = bench_serving(
+        smoke,
+        max_streams,
+        max_shards,
+        &patterns,
+        parallelism,
+        backend,
+        precision,
+        model_bytes,
+    );
     for p in &serve.points {
         println!(
             "  serve {:>2} stream(s): batched {:>7.0} f/s | per-frame {:>7.0} f/s | {:.2}x",
@@ -971,7 +1157,7 @@ fn main() {
     }
     let mut over_budget = false;
     if alloc_stats {
-        let a = measure_alloc_stats(smoke, parallelism, backend);
+        let a = measure_alloc_stats(smoke, parallelism, backend, precision);
         println!(
             "  alloc: scoring plane {:.3} allocs/frame ({:.0} B/frame) | full tick {:.1} \
              allocs/frame ({:.0} B/frame) | budget {:.1}",
@@ -993,7 +1179,7 @@ fn main() {
     let json = serde_json::to_string(&serve).expect("serialize serve report");
     std::fs::write(&serve_out, json).expect("write serve report");
     println!("perf: wrote {serve_out}");
-    if over_budget {
+    if over_budget || q8_gate_failed {
         std::process::exit(1);
     }
 }

@@ -100,6 +100,8 @@ fn main() {
             adaptations_per_day: 1,
             average_auc: adaptive_auc,
             adaptation_seconds,
+            model_bytes_f32: sys.engine.model.weight_matrix_bytes_f32(),
+            model_bytes_int8: sys.engine.model.weight_matrix_bytes_int8(),
         },
     );
     println!("Table I reproduction — baseline (cloud KG updates) vs proposed (edge KG adaptation)");

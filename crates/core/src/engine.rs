@@ -143,7 +143,12 @@ impl Engine {
         }
         let layouts: Vec<KgLayout> = kgs.iter().map(KgLayout::new).collect();
         let depths: Vec<usize> = kgs.iter().map(|t| t.kg.depth()).collect();
-        let model = DecisionModel::new(&depths, &config.model.with_seed(config.seed));
+        let mut model = DecisionModel::new(&depths, &config.model.with_seed(config.seed));
+        // Serving-plane precision is engine state: quantize the frozen
+        // weight matrices once here (training later re-derives the codes
+        // via `DecisionModel::refresh_quantized`). Sessions fork nothing
+        // model-related, so adaptation stays f32 automatically.
+        model.set_precision(config.precision);
 
         Engine {
             missions: missions.to_vec(),
@@ -160,6 +165,18 @@ impl Engine {
     /// The master seed the engine was built with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The serving-plane precision the engine's model weights are held in.
+    pub fn precision(&self) -> akg_tensor::Precision {
+        self.model.precision()
+    }
+
+    /// Bytes the decision model's dense weight matrices occupy at the
+    /// engine's precision (the footprint the paper's edge-deployment story
+    /// cares about; ≈4× smaller under [`akg_tensor::Precision::Int8`]).
+    pub fn model_bytes(&self) -> usize {
+        self.model.weight_matrix_bytes()
     }
 
     /// The model configuration.

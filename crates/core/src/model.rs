@@ -10,7 +10,7 @@ use akg_tensor::inference as inf;
 use akg_tensor::nn::attention::TransformerEncoder;
 use akg_tensor::nn::norm::BatchNorm1d;
 use akg_tensor::nn::{Linear, Module};
-use akg_tensor::{Tensor, Workspace};
+use akg_tensor::{Precision, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -186,6 +186,23 @@ impl HierarchicalGnn {
         1 + self.message_layers.len()
     }
 
+    /// Visits every dense sub-layer: the input layer first, then the
+    /// message layers in order.
+    fn visit_linears(&self, f: &mut dyn FnMut(&Linear)) {
+        f(&self.input_layer.dense);
+        for l in &self.message_layers {
+            f(&l.dense);
+        }
+    }
+
+    /// Mutable form of [`HierarchicalGnn::visit_linears`], same order.
+    fn visit_linears_mut(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(&mut self.input_layer.dense);
+        for l in &mut self.message_layers {
+            f(&mut l.dense);
+        }
+    }
+
     /// Runs the hierarchical forward pass: `x0` is the `[|V|, embed_dim]`
     /// node-feature matrix (sensor row = frame embedding); returns the
     /// embedding node's final vector `[gnn_dim]`.
@@ -357,7 +374,7 @@ impl HierarchicalGnn {
         assert_eq!(out.len(), b * gd, "forward_batch_infer: out must be B × gnn_dim");
         let mut h = ws.lease(rows * gd);
         let mut x = ws.lease(rows * gd);
-        self.input_layer.dense.forward_infer(x0, rows, &mut h);
+        self.input_layer.dense.forward_infer(x0, rows, &mut h, ws);
         self.input_layer.norm.forward_instance_grouped_infer(&h, b, &mut x, ws);
         inf::elu_inplace(&mut x);
         let mut srcs = ws.lease_idx();
@@ -365,7 +382,7 @@ impl HierarchicalGnn {
         let mut inv_counts = ws.lease(rows);
         let mut keep_mask = ws.lease(rows);
         for (li, layer) in self.message_layers.iter().enumerate() {
-            layer.dense.forward_infer(&x, rows, &mut h); // Eq. 1
+            layer.dense.forward_infer(&x, rows, &mut h, ws); // Eq. 1
             srcs.clear();
             dsts.clear();
             for (bi, layout) in layouts.iter().enumerate() {
@@ -449,6 +466,7 @@ pub struct DecisionModel {
     head: Linear,
     config: ModelConfig,
     n_missions: usize,
+    precision: Precision,
 }
 
 impl DecisionModel {
@@ -473,7 +491,89 @@ impl DecisionModel {
             &mut rng,
         );
         let head = Linear::new(d, depths.len() + 1, &mut rng);
-        DecisionModel { gnns, temporal, head, config: *config, n_missions: depths.len() }
+        DecisionModel {
+            gnns,
+            temporal,
+            head,
+            config: *config,
+            n_missions: depths.len(),
+            precision: Precision::F32,
+        }
+    }
+
+    /// The serving-plane precision the model's weights are currently held
+    /// in. [`Precision::Int8`] means every dense weight matrix (GNN dense
+    /// sub-layers, transformer projections, decision head) carries a
+    /// pre-quantized int8 twin that the inference plane dispatches to;
+    /// biases, norms, and the autograd plane stay f32 either way.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Switches the serving-plane precision and (re)builds or clears the
+    /// quantized weight twins accordingly. The autograd plane is untouched
+    /// — training and adaptation always read the f32 masters.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        self.refresh_quantized();
+    }
+
+    /// Re-derives the quantized weight twins from the current f32 masters
+    /// (or drops them under [`Precision::F32`]). Call after any pass that
+    /// mutates model weights — e.g. at the end of offline training — so the
+    /// int8 plane never serves stale codes.
+    pub fn refresh_quantized(&mut self) {
+        let quantize = self.precision == Precision::Int8;
+        self.visit_linears_mut(&mut |lin: &mut Linear| {
+            if quantize {
+                lin.quantize_int8();
+            } else {
+                lin.clear_int8();
+            }
+        });
+    }
+
+    /// Visits every dense layer of the model: each GNN's layers in mission
+    /// order, then the temporal transformer's projections, then the head.
+    fn visit_linears(&self, f: &mut dyn FnMut(&Linear)) {
+        for g in &self.gnns {
+            g.visit_linears(f);
+        }
+        self.temporal.visit_linears(f);
+        f(&self.head);
+    }
+
+    /// Mutable form of [`DecisionModel::visit_linears`], same order.
+    fn visit_linears_mut(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        for g in &mut self.gnns {
+            g.visit_linears_mut(f);
+        }
+        self.temporal.visit_linears_mut(f);
+        f(&mut self.head);
+    }
+
+    /// Bytes the serving plane's dense weight matrices occupy at the current
+    /// precision (int8 codes + per-row scales when quantized, f32 otherwise).
+    /// Biases and norm parameters are excluded — they are identical across
+    /// precisions.
+    pub fn weight_matrix_bytes(&self) -> usize {
+        let mut total = 0usize;
+        self.visit_linears(&mut |lin: &Linear| total += lin.weight_matrix_bytes());
+        total
+    }
+
+    /// [`DecisionModel::weight_matrix_bytes`] as it would be at f32.
+    pub fn weight_matrix_bytes_f32(&self) -> usize {
+        let mut total = 0usize;
+        self.visit_linears(&mut |lin: &Linear| total += lin.weight_matrix_bytes_f32());
+        total
+    }
+
+    /// [`DecisionModel::weight_matrix_bytes`] as it would be at int8.
+    pub fn weight_matrix_bytes_int8(&self) -> usize {
+        let mut total = 0usize;
+        self.visit_linears(&mut |lin: &Linear| total += lin.weight_matrix_bytes_int8());
+        total
     }
 
     /// Number of mission KGs `n`.
@@ -878,7 +978,7 @@ impl DecisionModel {
         // `softmax_rows`.
         let c = self.n_classes();
         let mut logits = ws.lease(b * c);
-        self.head.forward_infer(&tstack, b, &mut logits);
+        self.head.forward_infer(&tstack, b, &mut logits, ws);
         inf::softmax_rows_scaled_masked_inplace(&mut logits, b, c, 1.0, None);
         out.clear();
         out.extend_from_slice(&logits);

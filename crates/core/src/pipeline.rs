@@ -54,6 +54,13 @@ pub struct SystemConfig {
     /// CPU supports it; force [`akg_tensor::Backend::Scalar`] for bit-exact
     /// reproducibility against non-SIMD hosts or the pre-SIMD history.
     pub backend: akg_tensor::Backend,
+    /// Serving-plane numeric precision. [`akg_tensor::Precision::Int8`]
+    /// pre-quantizes the frozen decision-model weights once at
+    /// [`Engine::build`] (per-row-scaled symmetric int8, see
+    /// [`akg_tensor::quant`]); sessions, training, and adaptation stay f32
+    /// — only the immutable engine weights change representation. Unlike
+    /// `backend`, this is per-engine state, not a process-wide switch.
+    pub precision: akg_tensor::Precision,
     /// Master seed.
     pub seed: u64,
 }
@@ -68,6 +75,7 @@ impl Default for SystemConfig {
             spare_rows: 32,
             parallelism: akg_tensor::Parallelism::Auto,
             backend: akg_tensor::Backend::Auto,
+            precision: akg_tensor::Precision::F32,
             seed: 0,
         }
     }

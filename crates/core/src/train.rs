@@ -116,6 +116,10 @@ pub fn train_decision_model(
     }
 
     sys.engine.model.set_train(false);
+    // Training mutated the f32 masters; re-derive the int8 serving codes
+    // (no-op at f32 precision) so the inference plane never serves stale
+    // quantizations.
+    sys.engine.model.refresh_quantized();
     TrainReport { steps: cfg.steps, loss_history, final_threshold: threshold }
 }
 

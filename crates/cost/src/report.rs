@@ -17,6 +17,12 @@ pub struct EdgeMeasurement {
     pub average_auc: f32,
     /// Wall-clock seconds of one adaptation loop on this machine.
     pub adaptation_seconds: f64,
+    /// Dense-weight bytes of the deployed decision model served at f32
+    /// (what the cloud baseline ships to the edge).
+    pub model_bytes_f32: usize,
+    /// The same weights re-coded to the int8 serving plane (per-row-scaled
+    /// symmetric quantization; see `akg-tensor`'s `QuantizedMatrix`).
+    pub model_bytes_int8: usize,
 }
 
 /// Baseline-side AUC (the paper reports 0.93 with fresh cloud KGs).
@@ -84,6 +90,15 @@ impl CostReport {
                 "Edge Device Storage Requirements (GB)",
                 format!("{}", cloud.edge_storage_gb),
                 format!("{}", cloud.edge_storage_gb),
+            ),
+            row(
+                "Detection Model Weight Footprint on Edge (bytes)",
+                format!("{} (f32)", edge.model_bytes_f32),
+                format!(
+                    "{} (int8, {:.1}x smaller)",
+                    edge.model_bytes_int8,
+                    edge.model_bytes_f32 as f64 / edge.model_bytes_int8.max(1) as f64
+                ),
             ),
         ];
 
@@ -224,6 +239,8 @@ mod tests {
                 adaptations_per_day: 1,
                 average_auc: 0.91,
                 adaptation_seconds: 0.2,
+                model_bytes_f32: 10304,
+                model_bytes_int8: 3448,
             },
         )
     }
@@ -262,6 +279,14 @@ mod tests {
                 assert!(text.contains(&row.metric), "missing {}", row.metric);
             }
         }
+    }
+
+    #[test]
+    fn model_footprint_row_reports_quantized_shrink() {
+        let r = report();
+        let row = r.row("Detection Model Weight Footprint on Edge (bytes)").unwrap();
+        assert_eq!(row.baseline, "10304 (f32)");
+        assert_eq!(row.proposed, "3448 (int8, 3.0x smaller)");
     }
 
     #[test]

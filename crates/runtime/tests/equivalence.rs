@@ -21,7 +21,7 @@ use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
 use akg_runtime::{EngineSpec, MultiStreamRuntime, RuntimeConfig, ShardedConfig, ShardedRuntime};
-use akg_tensor::Backend;
+use akg_tensor::{Backend, Precision};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 const FRAMES_PER_STREAM: usize = 48;
@@ -57,8 +57,8 @@ fn adapt_cfg(stream: usize) -> AdaptConfig {
     }
 }
 
-fn system_cfg(backend: Backend) -> SystemConfig {
-    SystemConfig { seed: 5, backend, ..SystemConfig::default() }
+fn system_cfg(backend: Backend, precision: Precision) -> SystemConfig {
+    SystemConfig { seed: 5, backend, precision, ..SystemConfig::default() }
 }
 
 fn frame_seed(stream: usize) -> u64 {
@@ -75,8 +75,9 @@ fn run_standalone(
     ds: &Arc<SyntheticUcfCrime>,
     stream: usize,
     backend: Backend,
+    precision: Precision,
 ) -> (Vec<f32>, Vec<f32>, usize) {
-    let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend));
+    let mut sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend, precision));
     // align the stream's embedding RNG with the runtime's session seeding
     sys.session = sys.engine.new_session(frame_seed(stream));
     let mut adapter = ContinuousAdapter::new(&mut sys, adapt_cfg(stream));
@@ -104,8 +105,9 @@ fn run_runtime(
     n_streams: usize,
     max_batch: usize,
     backend: Backend,
+    precision: Precision,
 ) -> RuntimeOutcome {
-    let sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend));
+    let sys = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend, precision));
     let mut rt = MultiStreamRuntime::new(sys.engine, RuntimeConfig { max_batch, batched: true });
     for s in 0..n_streams {
         let source =
@@ -136,17 +138,20 @@ fn run_runtime(
 }
 
 fn check_equivalence(n_streams: usize, max_batch: usize, backend: Backend) {
+    let precision = Precision::F32;
     let _guard = lock_backend();
     let ds = dataset();
-    let batched = run_runtime(&ds, n_streams, max_batch, backend);
-    let pristine_table = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend))
-        .session
-        .table
-        .param()
-        .to_vec();
+    let batched = run_runtime(&ds, n_streams, max_batch, backend, precision);
+    let pristine_table =
+        MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend, precision))
+            .session
+            .table
+            .param()
+            .to_vec();
     let mut any_adapted = false;
     for s in 0..n_streams {
-        let (solo_scores, solo_table, solo_replacements) = run_standalone(&ds, s, backend);
+        let (solo_scores, solo_table, solo_replacements) =
+            run_standalone(&ds, s, backend, precision);
         assert_eq!(
             batched.scores[s], solo_scores,
             "stream {s}/{n_streams}: batched scores diverged from the legacy path"
@@ -173,8 +178,9 @@ fn run_sharded(
     n_streams: usize,
     shards: usize,
     backend: Backend,
+    precision: Precision,
 ) -> RuntimeOutcome {
-    let spec = EngineSpec::new(&[AnomalyClass::Stealing], system_cfg(backend));
+    let spec = EngineSpec::new(&[AnomalyClass::Stealing], system_cfg(backend, precision));
     let mut rt = ShardedRuntime::new(
         spec,
         ShardedConfig { shards, max_batch: 16, queue_depth: 2, inner_threads: None },
@@ -203,18 +209,19 @@ fn run_sharded(
 /// bit-identical per stream to the single-threaded multi-stream runtime
 /// (which the legs above prove bit-identical to the legacy single-stream
 /// path — so the whole chain holds by transitivity).
-fn check_shard_equivalence(n_streams: usize, backend: Backend) {
+fn check_shard_equivalence(n_streams: usize, backend: Backend, precision: Precision) {
     let _guard = lock_backend();
     let ds = dataset();
-    let reference = run_runtime(&ds, n_streams, 16, backend);
-    let pristine_table = MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend))
-        .session
-        .table
-        .param()
-        .to_vec();
+    let reference = run_runtime(&ds, n_streams, 16, backend, precision);
+    let pristine_table =
+        MissionSystem::build(&[AnomalyClass::Stealing], &system_cfg(backend, precision))
+            .session
+            .table
+            .param()
+            .to_vec();
     let mut any_adapted = false;
     for shards in [1usize, 2, 4] {
-        let sharded = run_sharded(&ds, n_streams, shards, backend);
+        let sharded = run_sharded(&ds, n_streams, shards, backend, precision);
         for s in 0..n_streams {
             assert_eq!(
                 sharded.scores[s], reference.scores[s],
@@ -261,7 +268,7 @@ fn four_streams_match_legacy_path_forced_scalar() {
 
 #[test]
 fn sharded_serving_is_bit_identical_to_single_shard_scalar() {
-    check_shard_equivalence(16, Backend::Scalar);
+    check_shard_equivalence(16, Backend::Scalar, Precision::F32);
 }
 
 #[test]
@@ -269,5 +276,19 @@ fn sharded_serving_is_bit_identical_to_single_shard_simd() {
     // On non-AVX2 hosts `Backend::Simd` resolves to the scalar kernels, so
     // this leg never crashes anywhere but is a genuinely different backend
     // wherever the SIMD path exists.
-    check_shard_equivalence(16, Backend::Simd);
+    check_shard_equivalence(16, Backend::Simd, Precision::F32);
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_to_single_shard_int8_scalar() {
+    // The int8 plane's sharded contract: quantized codes are derived once
+    // at engine build and integer accumulation is exact, so partitioning
+    // streams across shards must not move a single bit — same chain as the
+    // f32 legs, now with the quantized serving plane engaged.
+    check_shard_equivalence(16, Backend::Scalar, Precision::Int8);
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_to_single_shard_int8_simd() {
+    check_shard_equivalence(16, Backend::Simd, Precision::Int8);
 }

@@ -45,10 +45,12 @@ fn add_soak_streams<F: FnMut(akg_data::OwnedAdaptationStream, u64, AdaptConfig)>
     }
 }
 
-#[test]
-fn workspace_high_water_stabilizes_over_500_ticks_with_trend_shift() {
+/// The single-runtime 520-tick soak body, shared by the f32 and int8 legs:
+/// warm up, checkpoint the workspace stats, run across the trend shift, and
+/// assert every pool froze.
+fn run_single_runtime_soak(config: &SystemConfig) {
     let ds = soak_dataset();
-    let sys = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
+    let sys = MissionSystem::build(&[AnomalyClass::Stealing], config);
     let mut rt = MultiStreamRuntime::new(sys.engine, RuntimeConfig::default());
     add_soak_streams(&ds, |source, seed, cfg| {
         rt.add_stream(source, seed, cfg);
@@ -108,6 +110,22 @@ fn workspace_high_water_stabilizes_over_500_ticks_with_trend_shift() {
         c.token_updates > 0,
         "no adaptation fired across the trend shift — the soak exercised nothing"
     );
+}
+
+#[test]
+fn workspace_high_water_stabilizes_over_500_ticks_with_trend_shift() {
+    run_single_runtime_soak(&SystemConfig::default());
+}
+
+/// The int8 leg: quantized serving leases `i8` activation scratch from the
+/// same workspaces the f32 plane uses (adaptation's forwards stay f32, so
+/// every tick mixes both pools) — the high-water mark must still freeze.
+#[test]
+fn workspace_high_water_stabilizes_at_int8_precision() {
+    run_single_runtime_soak(&SystemConfig {
+        precision: akg_tensor::Precision::Int8,
+        ..SystemConfig::default()
+    });
 }
 
 /// One 520-tick sharded soak run: returns the final aggregate counters after

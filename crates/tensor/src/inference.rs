@@ -69,6 +69,43 @@ pub fn matmul_t_into(out: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize,
     matmul_nt_into(out, a, bt, m, k, n);
 }
 
+/// Int8 serving matmul `[m,k] × [k,n] → [m,n]` against a pre-quantized
+/// weight: dynamically quantizes the activation rows of `a` into
+/// [`Workspace`](crate::workspace::Workspace)-leased scratch (no steady-
+/// state allocation — the i8/scale buffers come from the pools), then runs
+/// the exact-i32 [`matmul_q8_nt_into`](crate::ops::kernels::matmul_q8_nt_into)
+/// kernel. Unlike the f32 matmuls' per-backend bit-identity to autograd,
+/// this path is **bit-identical across backends** but deliberately diverges
+/// from f32 by the quantization error bounded in [`crate::quant`].
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * qb.k()` or `out.len() != m * qb.n()`.
+pub fn matmul_q8_into(
+    out: &mut [f32],
+    a: &[f32],
+    qb: &crate::quant::QuantizedMatrix,
+    m: usize,
+    ws: &mut crate::workspace::Workspace,
+) {
+    let (k, n) = (qb.k(), qb.n());
+    let mut qa = ws.lease_i8(m * k);
+    let mut a_scales = ws.lease(m);
+    crate::ops::kernels::matmul_q8_into(
+        out,
+        a,
+        qb.data(),
+        qb.scales(),
+        m,
+        k,
+        n,
+        &mut qa,
+        &mut a_scales,
+    );
+    ws.release_i8(qa);
+    ws.release(a_scales);
+}
+
 /// Adds a length-`n` bias vector to every row of the `[rows, n]` matrix in
 /// `x` — the forward of [`Tensor::add_bias`](crate::Tensor::add_bias), same
 /// per-element arithmetic.
@@ -342,6 +379,40 @@ mod tests {
         let mut out = vec![0.0f32; m * n];
         matmul_t_into(&mut out, &a, &bt, m, k, n);
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn matmul_q8_into_reuses_workspace_scratch() {
+        let _guard = crate::backend::test_lock();
+        let (m, k, n) = (6, 24, 10);
+        let a = filled(m * k, |i| ((i * 37 % 19) as f32 - 9.0) * 0.11);
+        let b = filled(k * n, |i| ((i * 23 % 17) as f32 - 8.0) * 0.13);
+        let qb = crate::quant::QuantizedMatrix::from_row_major(&b, k, n);
+        let mut ws = crate::workspace::Workspace::new();
+        let mut out = vec![0.0f32; m * n];
+        matmul_q8_into(&mut out, &a, &qb, m, &mut ws);
+        // Reference through the raw kernel with its own scratch.
+        let mut qa = vec![0i8; m * k];
+        let mut a_scales = vec![0.0f32; m];
+        let mut reference = vec![0.0f32; m * n];
+        crate::ops::kernels::matmul_q8_into(
+            &mut reference,
+            &a,
+            qb.data(),
+            qb.scales(),
+            m,
+            k,
+            n,
+            &mut qa,
+            &mut a_scales,
+        );
+        assert_eq!(out, reference);
+        // Steady state: repeated calls lease from the pools, never allocate.
+        let created = ws.stats().buffers_created;
+        for _ in 0..5 {
+            matmul_q8_into(&mut out, &a, &qb, m, &mut ws);
+        }
+        assert_eq!(ws.stats().buffers_created, created, "q8 scratch not reused");
     }
 
     #[test]

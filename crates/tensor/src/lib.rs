@@ -23,6 +23,9 @@
 //!   pool the kernels use
 //! - [`backend`]: the runtime-selected [`Backend`] (portable scalar kernels
 //!   vs. AVX2+FMA SIMD kernels, detected at startup)
+//! - [`quant`]: the int8 serving plane's representation — [`Precision`],
+//!   [`QuantizedMatrix`] (symmetric per-row-scaled int8 weights), and the
+//!   dynamic activation quantizer the q8 kernels consume
 //! - [`nn`]: layers — [`nn::Linear`], [`nn::Embedding`],
 //!   [`nn::norm::BatchNorm1d`], [`nn::norm::LayerNorm`],
 //!   [`nn::attention::TransformerEncoder`]
@@ -60,10 +63,12 @@ pub mod nn;
 pub mod ops;
 pub mod optim;
 pub mod par;
+pub mod quant;
 pub mod workspace;
 
 pub use backend::Backend;
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use par::Parallelism;
+pub use quant::{Precision, QuantizedMatrix};
 pub use tensor::Tensor;
 pub use workspace::{Workspace, WorkspaceStats};

@@ -106,9 +106,9 @@ impl MultiHeadAttention {
         let mut q = ws.lease(t * inner);
         let mut k = ws.lease(t * inner);
         let mut v = ws.lease(t * inner);
-        self.wq.forward_infer(x, t, &mut q);
-        self.wk.forward_infer(x, t, &mut k);
-        self.wv.forward_infer(x, t, &mut v);
+        self.wq.forward_infer(x, t, &mut q, ws);
+        self.wk.forward_infer(x, t, &mut k, ws);
+        self.wv.forward_infer(x, t, &mut v, ws);
         let scale = 1.0 / (dk as f32).sqrt();
         let mask = if self.causal {
             let mut m = ws.lease(t * t); // zeroed: on/below diagonal stays 0
@@ -142,7 +142,7 @@ impl MultiHeadAttention {
                     .copy_from_slice(&head[r * dk..(r + 1) * dk]);
             }
         }
-        self.wo.forward_infer(&joined, t, out);
+        self.wo.forward_infer(&joined, t, out, ws);
         ws.release(q);
         ws.release(k);
         ws.release(v);
@@ -155,6 +155,24 @@ impl MultiHeadAttention {
         ws.release(attn);
         ws.release(head);
         ws.release(joined);
+    }
+
+    /// Visits the four projection layers (shared), in a stable order.
+    pub fn visit_linears(&self, f: &mut dyn FnMut(&Linear)) {
+        f(&self.wq);
+        f(&self.wk);
+        f(&self.wv);
+        f(&self.wo);
+    }
+
+    /// Visits the four projection layers (mutable), in a stable order —
+    /// how the int8 plane reaches every weight matrix for
+    /// (re-)quantization.
+    pub fn visit_linears_mut(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+        f(&mut self.wo);
     }
 }
 
@@ -234,6 +252,19 @@ impl TransformerEncoderLayer {
     /// Access to the attention block (e.g. to toggle causality).
     pub fn attention_mut(&mut self) -> &mut MultiHeadAttention {
         &mut self.attn
+    }
+
+    /// Visits every linear layer in the block (attention projections, then
+    /// the feed-forward pair), in a stable order.
+    pub fn visit_linears(&self, f: &mut dyn FnMut(&Linear)) {
+        self.attn.visit_linears(f);
+        self.ffn.visit_linears(f);
+    }
+
+    /// Mutable form of [`TransformerEncoderLayer::visit_linears`].
+    pub fn visit_linears_mut(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        self.attn.visit_linears_mut(f);
+        self.ffn.visit_linears_mut(f);
     }
 }
 
@@ -322,6 +353,20 @@ impl TransformerEncoder {
     /// Model dimensionality.
     pub fn model_dim(&self) -> usize {
         self.model_dim
+    }
+
+    /// Visits every linear layer in the stack, in a stable order.
+    pub fn visit_linears(&self, f: &mut dyn FnMut(&Linear)) {
+        for layer in &self.layers {
+            layer.visit_linears(f);
+        }
+    }
+
+    /// Mutable form of [`TransformerEncoder::visit_linears`].
+    pub fn visit_linears_mut(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        for layer in &mut self.layers {
+            layer.visit_linears_mut(f);
+        }
     }
 }
 

@@ -39,12 +39,19 @@ pub trait Module {
 }
 
 /// A fully-connected layer `y = x W + b`.
+///
+/// Besides the autograd weight, the layer can carry a pre-quantized int8
+/// copy of `W` ([`Linear::quantize_int8`]); while present, the *inference*
+/// forward rides the exact-i32 q8 kernels ([`crate::quant`]) and the
+/// autograd [`Linear::forward`] — the training/adaptation plane and the
+/// divergence oracle — keeps reading the f32 weight.
 #[derive(Debug)]
 pub struct Linear {
     weight: Tensor,
     bias: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    quantized: Option<crate::quant::QuantizedMatrix>,
 }
 
 impl Linear {
@@ -52,13 +59,13 @@ impl Linear {
     pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
         let weight = init::xavier_uniform(in_features, out_features, rng).requires_grad(true);
         let bias = Tensor::zeros(&[out_features]).requires_grad(true);
-        Linear { weight, bias: Some(bias), in_features, out_features }
+        Linear { weight, bias: Some(bias), in_features, out_features, quantized: None }
     }
 
     /// Creates a linear layer without a bias term.
     pub fn without_bias(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
         let weight = init::xavier_uniform(in_features, out_features, rng).requires_grad(true);
-        Linear { weight, bias: None, in_features, out_features }
+        Linear { weight, bias: None, in_features, out_features, quantized: None }
     }
 
     /// Applies the layer to `[m, in_features]`, producing `[m, out_features]`.
@@ -83,16 +90,27 @@ impl Linear {
 
     /// Inference-plane forward: applies the layer to the raw `[rows,
     /// in_features]` matrix `x`, writing `[rows, out_features]` into `out`
-    /// (zeroed here) with no autograd bookkeeping and no allocation.
-    /// Bit-identical to [`Linear::forward`] per backend: the same
-    /// dispatching matmul kernel reads the weight storage directly, followed
-    /// by the same per-element bias add.
+    /// with no autograd bookkeeping and no steady-state allocation.
+    ///
+    /// Without a quantized weight this is bit-identical to
+    /// [`Linear::forward`] per backend (same dispatching matmul kernel,
+    /// same per-element bias add). After [`Linear::quantize_int8`] the
+    /// matmul rides the exact-i32 q8 kernels instead — bit-identical
+    /// *across* backends, diverging from f32 only by the bounded
+    /// quantization error documented in [`crate::quant`]. The bias add is
+    /// always f32.
     ///
     /// # Panics
     ///
     /// Panics if `x` or `out` length mismatches `rows` × the layer's
     /// feature counts.
-    pub fn forward_infer(&self, x: &[f32], rows: usize, out: &mut [f32]) {
+    pub fn forward_infer(
+        &self,
+        x: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        ws: &mut crate::workspace::Workspace,
+    ) {
         assert_eq!(
             x.len(),
             rows * self.in_features,
@@ -103,12 +121,55 @@ impl Linear {
             rows * self.out_features,
             "Linear::forward_infer: out is not rows × out_features"
         );
-        self.weight.with_data(|w| {
-            crate::inference::matmul_into(out, x, w, rows, self.in_features, self.out_features);
-        });
+        match &self.quantized {
+            Some(qw) => crate::inference::matmul_q8_into(out, x, qw, rows, ws),
+            None => self.weight.with_data(|w| {
+                crate::inference::matmul_into(out, x, w, rows, self.in_features, self.out_features);
+            }),
+        }
         if let Some(b) = &self.bias {
             b.with_data(|bv| crate::inference::add_bias_rows(out, bv, self.out_features));
         }
+    }
+
+    /// (Re-)quantizes the current weight into the int8 serving copy. Call
+    /// again after any weight mutation (training) or the copy goes stale —
+    /// the autograd weight is the source of truth.
+    pub fn quantize_int8(&mut self) {
+        self.quantized = Some(self.weight.with_data(|w| {
+            crate::quant::QuantizedMatrix::from_row_major(w, self.in_features, self.out_features)
+        }));
+    }
+
+    /// Drops the int8 serving copy; inference returns to the f32 kernels.
+    pub fn clear_int8(&mut self) {
+        self.quantized = None;
+    }
+
+    /// Whether an int8 serving copy is present.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    /// Bytes the *serving* weight matrix occupies: the int8 copy's codes +
+    /// scales when quantized, the f32 storage otherwise. (Bias excluded —
+    /// it stays f32 on both planes.)
+    pub fn weight_matrix_bytes(&self) -> usize {
+        match &self.quantized {
+            Some(q) => q.bytes(),
+            None => self.weight_matrix_bytes_f32(),
+        }
+    }
+
+    /// Bytes of the f32 weight matrix (`in × out × 4`).
+    pub fn weight_matrix_bytes_f32(&self) -> usize {
+        self.in_features * self.out_features * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes an int8 copy of the weight occupies (codes + per-channel
+    /// scales), whether or not one is currently present.
+    pub fn weight_matrix_bytes_int8(&self) -> usize {
+        self.in_features * self.out_features + self.out_features * std::mem::size_of::<f32>()
     }
 
     /// Input feature count.
@@ -239,10 +300,23 @@ impl FeedForward {
         ws: &mut crate::workspace::Workspace,
     ) {
         let mut hidden = ws.lease(rows * self.lin1.out_features());
-        self.lin1.forward_infer(x, rows, &mut hidden);
+        self.lin1.forward_infer(x, rows, &mut hidden, ws);
         crate::inference::gelu_inplace(&mut hidden);
-        self.lin2.forward_infer(&hidden, rows, out);
+        self.lin2.forward_infer(&hidden, rows, out, ws);
         ws.release(hidden);
+    }
+
+    /// Visits both linear layers (shared), in a stable order.
+    pub fn visit_linears(&self, f: &mut dyn FnMut(&Linear)) {
+        f(&self.lin1);
+        f(&self.lin2);
+    }
+
+    /// Visits both linear layers (mutable), in a stable order — how the
+    /// int8 plane reaches every weight matrix for (re-)quantization.
+    pub fn visit_linears_mut(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(&mut self.lin1);
+        f(&mut self.lin2);
     }
 }
 
@@ -316,6 +390,36 @@ mod tests {
         assert!(l.params()[0].grad().is_none());
         // ...but the embedding upstream of it still receives one.
         assert!(emb.weight().grad().is_some());
+    }
+
+    #[test]
+    fn quantized_linear_infer_tracks_f32_within_bound() {
+        let _guard = crate::backend::test_lock();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = Linear::new(24, 10, &mut rng);
+        let rows = 4;
+        let x: Vec<f32> = (0..rows * 24).map(|i| ((i * 13 % 23) as f32 - 11.0) * 0.09).collect();
+        let mut ws = crate::workspace::Workspace::new();
+        let mut f32_out = vec![0.0f32; rows * 10];
+        l.forward_infer(&x, rows, &mut f32_out, &mut ws);
+        assert_eq!(l.weight_matrix_bytes(), l.weight_matrix_bytes_f32());
+        l.quantize_int8();
+        assert!(l.is_quantized());
+        assert_eq!(l.weight_matrix_bytes(), l.weight_matrix_bytes_int8());
+        assert!(l.weight_matrix_bytes_f32() as f64 / l.weight_matrix_bytes_int8() as f64 > 3.0);
+        let mut q8_out = vec![0.0f32; rows * 10];
+        l.forward_infer(&x, rows, &mut q8_out, &mut ws);
+        // Small layer, normalized activations: the quantization error stays
+        // far below the signal.
+        for (i, (q, f)) in q8_out.iter().zip(&f32_out).enumerate() {
+            assert!((q - f).abs() < 0.05, "[{i}] int8 {q} vs f32 {f}");
+            assert_ne!(*f, 0.0, "degenerate test: f32 output is zero");
+        }
+        // clear_int8 restores the exact f32 path.
+        l.clear_int8();
+        let mut back = vec![0.0f32; rows * 10];
+        l.forward_infer(&x, rows, &mut back, &mut ws);
+        assert_eq!(back, f32_out);
     }
 
     #[test]

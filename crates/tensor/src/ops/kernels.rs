@@ -374,6 +374,113 @@ fn nt_fill(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) 
     });
 }
 
+/// Unrolled int8 dot product with four i32 partial accumulators. Integer
+/// accumulation is *exact*, so any regrouping (this unroll, the AVX2 ladder
+/// in [`super::simd`], a plain fold) produces the same i32 — which is why
+/// the int8 plane's scalar ↔ SIMD contract is bit-identity rather than a
+/// bounded divergence.
+#[inline]
+pub(crate) fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0i32; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let xs = &x[c * 4..c * 4 + 4];
+        let ys = &y[c * 4..c * 4 + 4];
+        for l in 0..4 {
+            acc[l] += xs[l] as i32 * ys[l] as i32;
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (xv, yv) in x[chunks * 4..].iter().zip(&y[chunks * 4..]) {
+        s += *xv as i32 * *yv as i32;
+    }
+    s
+}
+
+/// Int8 transposed-input matmul: `qa` holds quantized `A` rows (`[m,k]`
+/// int8 codes with one scale per row) and `qbt` holds quantized `Bᵀ`
+/// (`[n,k]` codes with one scale per stored row — i.e. per output channel,
+/// the layout [`crate::quant::QuantizedMatrix`] produces). Every output
+/// element is an exact i32 dot of two contiguous int8 rows, rescaled once:
+/// `out[i,j] = dot · a_scale[i] · b_scale[j]`.
+///
+/// Row-parallel and deterministic like [`matmul_nt`]; additionally the
+/// scalar and AVX2 paths are **bit-identical** (exact integer accumulation,
+/// one identical f32 rescale expression), so the int8 plane carries a
+/// stronger scalar ↔ SIMD contract than the f32 kernels.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_q8_nt_into(
+    out: &mut [f32],
+    qa: &[i8],
+    a_scales: &[f32],
+    qbt: &[i8],
+    b_scales: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(qa.len(), m * k, "matmul_q8_nt_into: lhs has {} codes, expected m*k", qa.len());
+    assert_eq!(qbt.len(), n * k, "matmul_q8_nt_into: rhs has {} codes, expected n*k", qbt.len());
+    assert_eq!(a_scales.len(), m, "matmul_q8_nt_into: lhs scales len != m");
+    assert_eq!(b_scales.len(), n, "matmul_q8_nt_into: rhs scales len != n");
+    check_out(out, m, n, "matmul_q8_nt_into");
+    if m == 0 || n == 0 {
+        return;
+    }
+    // One backend resolution per call — see `matmul_blocked`.
+    let use_simd = crate::backend::simd_active();
+    for_each_row_chunk(out, m, n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        if simd::try_q8_nt_fill(use_simd, qa, a_scales, qbt, b_scales, k, n, row0, chunk) {
+            return;
+        }
+        let rows = chunk.len() / n;
+        for ii in 0..rows {
+            let i = row0 + ii;
+            let arow = &qa[i * k..(i + 1) * k];
+            let ascale = a_scales[i];
+            let orow = &mut chunk[ii * n..(ii + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let d = dot_i8(arow, &qbt[j * k..(j + 1) * k]);
+                // Left-to-right, written identically in the AVX2 fill: the
+                // rescale must round the same way on both backends.
+                *o = d as f32 * ascale * b_scales[j];
+            }
+        }
+    });
+}
+
+/// The int8 serving matmul: dynamically quantizes the f32 activation rows
+/// `a` (symmetric per-row scales, see [`crate::quant::quantize_rows_i8`])
+/// into caller-provided scratch, then runs [`matmul_q8_nt_into`] against a
+/// pre-quantized weight. The scratch buffers come from the caller so the
+/// hot path allocates nothing (lease them from a
+/// [`Workspace`](crate::workspace::Workspace)).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_q8_into(
+    out: &mut [f32],
+    a: &[f32],
+    qbt: &[i8],
+    b_scales: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    qa_scratch: &mut [i8],
+    a_scales_scratch: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "matmul_q8_into: lhs has {} elements, expected m*k", a.len());
+    crate::quant::quantize_rows_i8(a, m, k, qa_scratch, a_scales_scratch);
+    matmul_q8_nt_into(out, qa_scratch, a_scales_scratch, qbt, b_scales, m, k, n);
+}
+
 /// Transposed-input fast path `Aᵀ × B → [k,n]` where `a` is `[m,k]` and `b`
 /// is `[m,n]`, both row-major — the backward pass's `dB = Aᵀ × G` without
 /// materializing `Aᵀ`.
@@ -517,6 +624,96 @@ mod tests {
             );
         }
         set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn q8_nt_matches_dequantized_f32_product_exactly() {
+        // The int8 kernel must equal the f32 product of the *decoded*
+        // operands: quantization is the only approximation, the integer
+        // matmul itself is exact (i32 dots, one f32 rescale).
+        let _guard = crate::backend::test_lock();
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (9, 33, 14), (17, 130, 21)] {
+            let a = filled(m * k, |i| ((i * 37 % 19) as f32 - 9.0) * 0.11);
+            let b = filled(k * n, |i| ((i * 23 % 17) as f32 - 8.0) * 0.13);
+            let qb = crate::quant::QuantizedMatrix::from_row_major(&b, k, n);
+            let mut qa = vec![0i8; m * k];
+            let mut a_scales = vec![0.0f32; m];
+            let mut out = vec![0.0f32; m * n];
+            matmul_q8_into(&mut out, &a, qb.data(), qb.scales(), m, k, n, &mut qa, &mut a_scales);
+            // Reference: exact integer dot, rescaled the same way.
+            for i in 0..m {
+                for j in 0..n {
+                    let d = dot_i8(&qa[i * k..(i + 1) * k], &qb.data()[j * k..(j + 1) * k]);
+                    let expect = d as f32 * a_scales[i] * qb.scales()[j];
+                    assert_eq!(out[i * n + j], expect, "[{i},{j}] at {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q8_approximates_f32_matmul_within_quantization_error() {
+        let _guard = crate::backend::test_lock();
+        let (m, k, n) = (11, 64, 23);
+        let a = filled(m * k, |i| ((i * 41 % 29) as f32 - 14.0) * 0.05);
+        let b = filled(k * n, |i| ((i * 31 % 37) as f32 - 18.0) * 0.04);
+        let qb = crate::quant::QuantizedMatrix::from_row_major(&b, k, n);
+        let mut qa = vec![0i8; m * k];
+        let mut a_scales = vec![0.0f32; m];
+        let mut out = vec![0.0f32; m * n];
+        matmul_q8_into(&mut out, &a, qb.data(), qb.scales(), m, k, n, &mut qa, &mut a_scales);
+        let reference = matmul_naive(&a, &b, m, k, n);
+        // Worst-case error per element: each of the k terms carries at most
+        // (|a|·sb/2 + |b|·sa/2 + sa·sb/4) rounding error. Bound it loosely
+        // with the operands' max magnitudes.
+        let amax = a.iter().fold(0.0f32, |s, v| s.max(v.abs()));
+        let bmax = b.iter().fold(0.0f32, |s, v| s.max(v.abs()));
+        let per_term =
+            amax * (bmax / 254.0) + bmax * (amax / 254.0) + amax * bmax / (127.0 * 254.0);
+        let bound = k as f32 * per_term * 1.01;
+        for (i, (q8, f)) in out.iter().zip(&reference).enumerate() {
+            assert!((q8 - f).abs() <= bound, "[{i}] int8 {q8} vs f32 {f}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn q8_nt_is_deterministic_across_thread_counts() {
+        use crate::par::{set_parallelism, Parallelism};
+        let _guard = crate::backend::test_lock();
+        let (m, k, n) = (70, 40, 50);
+        let a = filled(m * k, |i| ((i % 11) as f32 - 5.0) * 0.17);
+        let b = filled(k * n, |i| ((i % 7) as f32 - 3.0) * 0.23);
+        let qb = crate::quant::QuantizedMatrix::from_row_major(&b, k, n);
+        let mut qa = vec![0i8; m * k];
+        let mut a_scales = vec![0.0f32; m];
+        crate::quant::quantize_rows_i8(&a, m, k, &mut qa, &mut a_scales);
+        set_parallelism(Parallelism::Threads(1));
+        let mut one = vec![0.0f32; m * n];
+        matmul_q8_nt_into(&mut one, &qa, &a_scales, qb.data(), qb.scales(), m, k, n);
+        for t in [2, 4, 7] {
+            set_parallelism(Parallelism::Threads(t));
+            let mut many = vec![0.0f32; m * n];
+            matmul_q8_nt_into(&mut many, &qa, &a_scales, qb.data(), qb.scales(), m, k, n);
+            assert_eq!(one, many, "threads={t}");
+        }
+        set_parallelism(Parallelism::Auto);
+    }
+
+    #[test]
+    fn q8_zero_dims_are_noops() {
+        let mut out: Vec<f32> = Vec::new();
+        matmul_q8_nt_into(&mut out, &[], &[], &[], &[], 0, 3, 0);
+        // k == 0: dots are empty, output all zeros (0 · scales).
+        let mut out = vec![7.0f32; 4];
+        matmul_q8_nt_into(&mut out, &[], &[1.0, 1.0], &[], &[1.0, 1.0], 2, 0, 2);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected m*k")]
+    fn q8_rejects_bad_lhs() {
+        let mut out = vec![0.0f32; 4];
+        matmul_q8_nt_into(&mut out, &[0i8; 5], &[1.0; 2], &[0i8; 6], &[1.0; 2], 2, 3, 2);
     }
 
     #[test]

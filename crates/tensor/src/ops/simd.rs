@@ -35,6 +35,14 @@
 //! canonical reduction function or use only per-lane-exact operations
 //! (add/sub/mul/div/max are IEEE-identical lane-wise to their scalar
 //! forms).
+//!
+//! The **int8 plane** ([`try_q8_nt_fill`]) is stricter still: its dot
+//! products accumulate in i32, where every grouping is exact, and the final
+//! f32 rescale is one identical left-to-right expression on both paths — so
+//! scalar ↔ SIMD is *bit-identity*, not a bounded divergence. The AVX2
+//! ladder avoids i16 saturation with a sign trick:
+//! `maddubs(|x|, y·sgn(x))` keeps every 2-term pair sum within
+//! `±2·127·127 = ±32258 < i16::MAX`, then `madd(·, 1)` widens to i32.
 
 use crate::backend::simd_active;
 
@@ -114,6 +122,47 @@ pub(crate) fn try_nt_fill(
     }
     #[cfg(not(target_arch = "x86_64"))]
     let _ = (active, a, bt, k, n, row0, chunk);
+    false
+}
+
+/// SIMD fill of one row-chunk of `matmul_q8_nt_into` (exact i32 dots of
+/// contiguous int8 rows + one f32 rescale). Returns `false` when `active`
+/// is false. See [`try_blocked_fill`] for the `active` contract; unlike the
+/// f32 fills, this path is bit-identical to its scalar fallback (see the
+/// module docs).
+///
+/// On CPUs with AVX-VNNI the fill runs the `vpdpbusd` microkernel instead
+/// of the maddubs/madd ladder — still exact i32 accumulation, so the choice
+/// is invisible to results (detection is cached by
+/// `is_x86_feature_detected!`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_q8_nt_fill(
+    active: bool,
+    qa: &[i8],
+    a_scales: &[f32],
+    qbt: &[i8],
+    b_scales: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    chunk: &mut [f32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if active {
+        // SAFETY: `active` comes from `simd_active`, which implies AVX2+FMA
+        // were detected at runtime; the VNNI leg additionally checks its own
+        // feature bit.
+        unsafe {
+            if std::arch::is_x86_feature_detected!("avxvnni") {
+                avx::q8_nt_fill_vnni(qa, a_scales, qbt, b_scales, k, n, row0, chunk);
+            } else {
+                avx::q8_nt_fill(qa, a_scales, qbt, b_scales, k, n, row0, chunk);
+            }
+        }
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (active, qa, a_scales, qbt, b_scales, k, n, row0, chunk);
     false
 }
 
@@ -756,6 +805,287 @@ mod avx {
         }
     }
 
+    /// Fixed-order horizontal sum of eight i32 lanes — exact under any
+    /// order, the fixed tree is just for clarity.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    unsafe fn hsum256_epi32(v: __m256i) -> i32 {
+        let hi = _mm256_extracti128_si256(v, 1);
+        let lo = _mm256_castsi256_si128(v);
+        let q = _mm_add_epi32(lo, hi);
+        let s2 = _mm_add_epi32(q, _mm_shuffle_epi32(q, 0b00_00_11_10));
+        let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0b00_00_00_01));
+        _mm_cvtsi128_si32(s1)
+    }
+
+    /// Int8 dot product with exact i32 accumulation — bit-identical to
+    /// [`crate::ops::kernels::dot_i8`] because integer addition is
+    /// associative.
+    ///
+    /// The 32-byte step runs the maddubs/madd ladder with the sign trick
+    /// from the module docs: `|x|` as u8 (codes are ≥ −127, so `|x| ≤ 127`)
+    /// times `y·sgn(x)` as i8 keeps each i16 pair sum within ±32258, then
+    /// `madd(·, 1)` widens pairs into the i32 accumulator.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[inline]
+    pub(super) unsafe fn dot_q8(x: &[i8], y: &[i8]) -> i32 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let ones = _mm256_set1_epi16(1);
+        let mut acc = _mm256_setzero_si256();
+        let mut j = 0;
+        while j + 32 <= n {
+            let qx = _mm256_loadu_si256(xp.add(j) as *const __m256i);
+            let qy = _mm256_loadu_si256(yp.add(j) as *const __m256i);
+            let ax = _mm256_sign_epi8(qx, qx);
+            let sy = _mm256_sign_epi8(qy, qx);
+            let pairs = _mm256_maddubs_epi16(ax, sy);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+            j += 32;
+        }
+        let mut s = hsum256_epi32(acc);
+        while j < n {
+            s += *xp.add(j) as i32 * *yp.add(j) as i32;
+            j += 1;
+        }
+        s
+    }
+
+    /// Output-channel block width of the ladder q8 microkernel: enough i32
+    /// accumulators to amortize the lhs-chunk load (and its `|x|`
+    /// derivation) across several rhs rows, small enough to stay in YMM
+    /// registers alongside the shared operands.
+    const Q8_NR: usize = 4;
+
+    /// Output-channel block width of the VNNI q8 microkernel. Wider than
+    /// [`Q8_NR`] because the VNNI kernel is bound by the `vpdpbusd`
+    /// accumulation chain's latency, not by instruction count: eight
+    /// independent accumulator chains keep the pipeline full, and eight
+    /// accumulators plus the shared lhs chunk still fit the YMM file.
+    const Q8_NR_VNNI: usize = 8;
+
+    /// Rhs-row tile footprint for the q8 fills. One lhs row sweeping all
+    /// `n·k` rhs bytes evicts L1 whenever the rhs outgrows it (64 KiB at
+    /// 256×256), turning every inner load into an L2 hit; at int8 arithmetic
+    /// density that L2 stream — not the ALUs — becomes the bound. Tiling the
+    /// rhs rows to this budget and sweeping *all* lhs rows over each tile
+    /// keeps the tile L1-resident (48 KiB L1d, leaving room for the lhs row
+    /// and outputs). Loop interchange only regroups exactly-accumulated
+    /// integer dots, so tiling is invisible to results.
+    const Q8_JC_BYTES: usize = 16 * 1024;
+
+    /// Horizontally sums eight i32 accumulators into one vector whose lane
+    /// `r` is the full sum of `acc[r]` — a `hadd` tree (4+2 hadds, one
+    /// cross-lane unshuffle) replacing eight scalar [`hsum256_epi32`] calls
+    /// in the q8 VNNI epilogue. Integer addition is associative, so the tree
+    /// regrouping is exact.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn hsum8x256_epi32(acc: [__m256i; 8]) -> __m256i {
+        let s01 = _mm256_hadd_epi32(acc[0], acc[1]);
+        let s23 = _mm256_hadd_epi32(acc[2], acc[3]);
+        let s45 = _mm256_hadd_epi32(acc[4], acc[5]);
+        let s67 = _mm256_hadd_epi32(acc[6], acc[7]);
+        let s0123 = _mm256_hadd_epi32(s01, s23);
+        let s4567 = _mm256_hadd_epi32(s45, s67);
+        // hadd interleaves 128-bit halves: lane r's partial sums sit in the
+        // low half of one permute and the high half of the other.
+        let lo = _mm256_permute2x128_si256(s0123, s4567, 0x20);
+        let hi = _mm256_permute2x128_si256(s0123, s4567, 0x31);
+        _mm256_add_epi32(lo, hi)
+    }
+
+    /// Fills one row-chunk of `matmul_q8_nt_into` with the maddubs/madd
+    /// ladder, register-blocked [`Q8_NR`] output channels at a time so each
+    /// 32-byte lhs chunk (and its `|x|` form) is loaded once per block
+    /// instead of once per output, and rhs-row tiled to [`Q8_JC_BYTES`] so
+    /// the streamed rhs stays L1-resident. Integer accumulation is exact, so
+    /// any such regrouping stays bit-identical to [`dot_q8`] and to the
+    /// scalar kernel; the final rescale is the *same* left-to-right f32
+    /// expression as the scalar fill.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn q8_nt_fill(
+        qa: &[i8],
+        a_scales: &[f32],
+        qbt: &[i8],
+        b_scales: &[f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        chunk: &mut [f32],
+    ) {
+        let rows = chunk.len() / n;
+        let kv = k & !31;
+        let ones = _mm256_set1_epi16(1);
+        let bp = qbt.as_ptr();
+        let jc_rows = (Q8_JC_BYTES / k.max(1)).max(Q8_NR) & !(Q8_NR - 1);
+        let mut jc = 0;
+        while jc < n {
+            let jend = (jc + jc_rows).min(n);
+            for ii in 0..rows {
+                let i = row0 + ii;
+                let arow = &qa[i * k..(i + 1) * k];
+                let ap = arow.as_ptr();
+                let ascale = a_scales[i];
+                let orow = &mut chunk[ii * n..(ii + 1) * n];
+                let mut j = jc;
+                while j + Q8_NR <= jend {
+                    let mut acc = [_mm256_setzero_si256(); Q8_NR];
+                    let mut p = 0;
+                    while p + 32 <= k {
+                        let qx = _mm256_loadu_si256(ap.add(p) as *const __m256i);
+                        let ax = _mm256_sign_epi8(qx, qx);
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let qy = _mm256_loadu_si256(bp.add((j + r) * k + p) as *const __m256i);
+                            let sy = _mm256_sign_epi8(qy, qx);
+                            let pairs = _mm256_maddubs_epi16(ax, sy);
+                            *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(pairs, ones));
+                        }
+                        p += 32;
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        let mut d = hsum256_epi32(*accr);
+                        for (p, &av) in arow.iter().enumerate().skip(kv) {
+                            d += av as i32 * *bp.add((j + r) * k + p) as i32;
+                        }
+                        orow[j + r] = d as f32 * ascale * b_scales[j + r];
+                    }
+                    j += Q8_NR;
+                }
+                while j < jend {
+                    let d = dot_q8(arow, &qbt[j * k..(j + 1) * k]);
+                    orow[j] = d as f32 * ascale * b_scales[j];
+                    j += 1;
+                }
+            }
+            jc = jend;
+        }
+    }
+
+    std::thread_local! {
+        /// Per-thread scratch holding `Σ_p qbt[j, p]` over the vectorized
+        /// prefix of `k`, for the VNNI fill's bias correction. Fully
+        /// rewritten by every fill call before being read, so pooling it
+        /// (like `kernels::with_panel`) keeps the serving hot path
+        /// allocation-free after warm-up.
+        static Q8_ROWSUM: std::cell::RefCell<Vec<i32>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+
+    /// [`q8_nt_fill`] on AVX-VNNI hardware: `vpdpbusd` fuses the whole
+    /// maddubs/madd/add ladder into one u8×i8→i32 dot-accumulate.
+    ///
+    /// `vpdpbusd`'s first operand is *unsigned*, so instead of the sign
+    /// trick this kernel biases the lhs codes: `u = x + 128` (one XOR with
+    /// 0x80, shared across the whole output-channel block), giving
+    /// `Σ u·y = Σ x·y + 128·Σ y`. The correction term `Σ y` per output
+    /// channel is independent of the lhs, computed once per fill into
+    /// [`Q8_ROWSUM`] — also with `vpdpbusd`, against an all-ones unsigned
+    /// operand. Every quantity is an exactly-accumulated integer (lane
+    /// peaks stay below `k·2¹²` and dots below `k·2¹⁵`, so i32 holds any
+    /// realistic `k`), hence this path is bit-identical to [`dot_q8`], the
+    /// ladder fill, and the scalar kernel; the rescale expression is again
+    /// identical. Like the ladder, the rhs rows are tiled to
+    /// [`Q8_JC_BYTES`], and when `k` has no 32-byte tail the eight
+    /// accumulators drain through [`hsum8x256_epi32`] into one vectorized
+    /// rescale/store.
+    #[target_feature(enable = "avx2", enable = "fma", enable = "avxvnni")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn q8_nt_fill_vnni(
+        qa: &[i8],
+        a_scales: &[f32],
+        qbt: &[i8],
+        b_scales: &[f32],
+        k: usize,
+        n: usize,
+        row0: usize,
+        chunk: &mut [f32],
+    ) {
+        let rows = chunk.len() / n;
+        let kv = k & !31;
+        let bp = qbt.as_ptr();
+        Q8_ROWSUM.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            if buf.len() < n {
+                buf.resize(n, 0);
+            }
+            let rowsum = &mut buf[..n];
+            let ones_u8 = _mm256_set1_epi8(1);
+            for (j, rs) in rowsum.iter_mut().enumerate() {
+                let mut acc = _mm256_setzero_si256();
+                let mut p = 0;
+                while p + 32 <= kv {
+                    let qy = _mm256_loadu_si256(bp.add(j * k + p) as *const __m256i);
+                    acc = _mm256_dpbusd_avx_epi32(acc, ones_u8, qy);
+                    p += 32;
+                }
+                *rs = hsum256_epi32(acc);
+            }
+            let bias = _mm256_set1_epi8(-128);
+            let jc_rows = (Q8_JC_BYTES / k.max(1)).max(Q8_NR_VNNI) & !(Q8_NR_VNNI - 1);
+            let mut jc = 0;
+            while jc < n {
+                let jend = (jc + jc_rows).min(n);
+                for ii in 0..rows {
+                    let i = row0 + ii;
+                    let arow = &qa[i * k..(i + 1) * k];
+                    let ap = arow.as_ptr();
+                    let ascale = a_scales[i];
+                    let orow = &mut chunk[ii * n..(ii + 1) * n];
+                    let mut j = jc;
+                    while j + Q8_NR_VNNI <= jend {
+                        let mut acc = [_mm256_setzero_si256(); Q8_NR_VNNI];
+                        let mut p = 0;
+                        while p + 32 <= k {
+                            let qx = _mm256_loadu_si256(ap.add(p) as *const __m256i);
+                            // x + 128 as u8 == flip the sign bit.
+                            let ux = _mm256_xor_si256(qx, bias);
+                            for (r, accr) in acc.iter_mut().enumerate() {
+                                let qy =
+                                    _mm256_loadu_si256(bp.add((j + r) * k + p) as *const __m256i);
+                                *accr = _mm256_dpbusd_avx_epi32(*accr, ux, qy);
+                            }
+                            p += 32;
+                        }
+                        if kv == k {
+                            // No k-tail: sum all eight accumulators with the
+                            // hadd tree and rescale vectorized. `cvtepi32_ps`
+                            // rounds exactly like `as f32` and the two `mul`s
+                            // keep the scalar epilogue's left-to-right order,
+                            // so the lanes are bit-identical to it.
+                            let sums = hsum8x256_epi32(acc);
+                            let rs = _mm256_loadu_si256(rowsum.as_ptr().add(j) as *const __m256i);
+                            let d = _mm256_sub_epi32(sums, _mm256_slli_epi32(rs, 7));
+                            let o = _mm256_mul_ps(
+                                _mm256_mul_ps(_mm256_cvtepi32_ps(d), _mm256_set1_ps(ascale)),
+                                _mm256_loadu_ps(b_scales.as_ptr().add(j)),
+                            );
+                            _mm256_storeu_ps(orow.as_mut_ptr().add(j), o);
+                        } else {
+                            for (r, accr) in acc.iter().enumerate() {
+                                let mut d = hsum256_epi32(*accr) - 128 * rowsum[j + r];
+                                for (p, &av) in arow.iter().enumerate().skip(kv) {
+                                    d += av as i32 * *bp.add((j + r) * k + p) as i32;
+                                }
+                                orow[j + r] = d as f32 * ascale * b_scales[j + r];
+                            }
+                        }
+                        j += Q8_NR_VNNI;
+                    }
+                    while j < jend {
+                        let d = dot_q8(arow, &qbt[j * k..(j + 1) * k]);
+                        orow[j] = d as f32 * ascale * b_scales[j];
+                        j += 1;
+                    }
+                }
+                jc = jend;
+            }
+        });
+    }
+
     /// Fills one output row-chunk of `matmul_tn` with SAXPY rows (the same
     /// i-ascending accumulation as the scalar fill, minus the zero skip).
     #[target_feature(enable = "avx2", enable = "fma")]
@@ -1220,6 +1550,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn avx_q8_dot_is_exactly_the_scalar_i32_dot() {
+        if !simd_available() {
+            return;
+        }
+        // Integer accumulation is exact, so the AVX2 maddubs/madd ladder
+        // must equal the scalar dot *as integers* — including at the
+        // saturation-hazard extremes (±127 everywhere).
+        for len in [0usize, 1, 5, 31, 32, 33, 64, 100, 130] {
+            let x: Vec<i8> = (0..len).map(|i| (((i * 37 + 11) % 255) as i32 - 127) as i8).collect();
+            let y: Vec<i8> = (0..len).map(|i| (((i * 53 + 7) % 255) as i32 - 127) as i8).collect();
+            // SAFETY: guarded by `simd_available`.
+            let fast = unsafe { avx::dot_q8(&x, &y) };
+            assert_eq!(fast, crate::ops::kernels::dot_i8(&x, &y), "len {len}");
+            let worst_x = vec![127i8; len.max(1)];
+            let worst_y = vec![-127i8; len.max(1)];
+            // SAFETY: guarded by `simd_available`.
+            let fast = unsafe { avx::dot_q8(&worst_x, &worst_y) };
+            assert_eq!(fast, -(127i32 * 127) * len.max(1) as i32, "worst-case len {len}");
+        }
+    }
+
+    /// Shapes that between them exercise every q8 fill path: k-tails
+    /// (`k % 32 != 0`), the tail-free vectorized epilogue, output-channel
+    /// block tails (`n % Q8_NR != 0`), and rhs tiles smaller than `n`
+    /// (`512 × 67 > Q8_JC_BYTES` splits `n = 67` into multiple tiles).
+    const Q8_FILL_SHAPES: [(usize, usize, usize); 4] =
+        [(9, 67, 13), (4, 64, 32), (5, 512, 67), (1, 33, 8)];
+
+    /// The q8 fill kernels' shared signature (lhs codes/scales, rhs
+    /// codes/scales, `k`, `n`, `row0`, output chunk).
+    type Q8Fill = unsafe fn(&[i8], &[f32], &[i8], &[f32], usize, usize, usize, &mut [f32]);
+
+    /// Quantizes deterministic data and runs `fill` against the scalar
+    /// kernel's per-element expression, asserting bitwise equality.
+    fn assert_q8_fill_bit_identical(fill: Q8Fill, label: &str) {
+        for (m, k, n) in Q8_FILL_SHAPES {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 41 % 29) as f32 - 14.0) * 0.05).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 31 % 37) as f32 - 18.0) * 0.04).collect();
+            let qb = crate::quant::QuantizedMatrix::from_row_major(&b, k, n);
+            let mut qa = vec![0i8; m * k];
+            let mut a_scales = vec![0.0f32; m];
+            crate::quant::quantize_rows_i8(&a, m, k, &mut qa, &mut a_scales);
+            let mut fast = vec![0.0f32; m * n];
+            // SAFETY: callers guard on the features their `fill` needs.
+            unsafe { fill(&qa, &a_scales, qb.data(), qb.scales(), k, n, 0, &mut fast) };
+            let mut scalar = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let d = crate::ops::kernels::dot_i8(
+                        &qa[i * k..(i + 1) * k],
+                        &qb.data()[j * k..(j + 1) * k],
+                    );
+                    scalar[i * n + j] = d as f32 * a_scales[i] * qb.scales()[j];
+                }
+            }
+            assert_eq!(fast, scalar, "{label} diverged from scalar at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn avx_q8_fill_is_bit_identical_to_scalar_kernel() {
+        if !simd_available() {
+            return;
+        }
+        assert_q8_fill_bit_identical(avx::q8_nt_fill, "int8 ladder fill");
+    }
+
+    #[test]
+    fn avx_q8_vnni_fill_is_bit_identical_to_scalar_kernel() {
+        if !simd_available() || !std::arch::is_x86_feature_detected!("avxvnni") {
+            return;
+        }
+        assert_q8_fill_bit_identical(avx::q8_nt_fill_vnni, "int8 VNNI fill");
     }
 
     #[test]

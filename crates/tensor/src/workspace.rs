@@ -32,14 +32,14 @@ use std::collections::HashMap;
 /// Counters describing a [`Workspace`]'s allocation behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkspaceStats {
-    /// Fixed-size `f32` buffer leases served (pool hits + misses).
+    /// Fixed-size buffer leases served (`f32` and `i8`, hits + misses).
     pub leases: u64,
-    /// Fixed-size `f32` buffers ever allocated (pool misses).
+    /// Fixed-size buffers ever allocated (`f32` and `i8` pool misses).
     pub buffers_created: usize,
-    /// Bytes backing the fixed-size `f32` buffers ever allocated. Since
-    /// every buffer returns to its pool, this is the workspace's memory
-    /// high-water mark; it stabilizes once the deployment has seen every
-    /// shape it will ever serve.
+    /// Bytes backing the fixed-size buffers (`f32` and `i8`) ever
+    /// allocated. Since every buffer returns to its pool, this is the
+    /// workspace's memory high-water mark; it stabilizes once the
+    /// deployment has seen every shape it will ever serve.
     pub bytes_created: usize,
     /// Growable scratch vectors (`f32` and index) ever allocated.
     pub scratch_created: usize,
@@ -54,11 +54,15 @@ impl WorkspaceStats {
 
 /// A pool of reusable buffers backing the allocation-free inference path.
 ///
-/// Three kinds of scratch are pooled:
+/// Four kinds of scratch are pooled:
 ///
 /// - **fixed-size `f32` buffers** ([`Workspace::lease`] /
 ///   [`Workspace::release`]): keyed by exact length, handed out **zeroed**
 ///   (the contract every op in [`crate::inference`] assumes for its outputs);
+/// - **fixed-size `i8` buffers** ([`Workspace::lease_i8`] /
+///   [`Workspace::release_i8`]): the same contract, backing the dynamic
+///   activation-quantization scratch of the int8 plane
+///   ([`crate::quant`]) — counted into the same high-water stats;
 /// - **growable `f32` vectors** ([`Workspace::lease_vec`]): handed out
 ///   empty with retained capacity, for `clear()`/`extend` result buffers;
 /// - **growable index vectors** ([`Workspace::lease_idx`]): the same, for
@@ -66,6 +70,7 @@ impl WorkspaceStats {
 #[derive(Debug, Default)]
 pub struct Workspace {
     pools: HashMap<usize, Vec<Vec<f32>>>,
+    pools_i8: HashMap<usize, Vec<Vec<i8>>>,
     vec_pool: Vec<Vec<f32>>,
     idx_pool: Vec<Vec<usize>>,
     stats: WorkspaceStats,
@@ -97,6 +102,30 @@ impl Workspace {
     /// The buffer's length must not have been changed while leased.
     pub fn release(&mut self, buf: Vec<f32>) {
         self.pools.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Leases a zeroed `i8` buffer of exactly `len` elements — the int8
+    /// plane's activation-quantization scratch. Reuses a pooled buffer of
+    /// that size when one is free; allocates (and counts, into the same
+    /// high-water stats as the `f32` pools) one otherwise. Pair with
+    /// [`Workspace::release_i8`].
+    pub fn lease_i8(&mut self, len: usize) -> Vec<i8> {
+        self.stats.leases += 1;
+        if let Some(pool) = self.pools_i8.get_mut(&len) {
+            if let Some(mut buf) = pool.pop() {
+                buf.fill(0);
+                return buf;
+            }
+        }
+        self.stats.buffers_created += 1;
+        self.stats.bytes_created += len;
+        vec![0i8; len]
+    }
+
+    /// Returns a buffer obtained from [`Workspace::lease_i8`] to its size
+    /// pool. The buffer's length must not have been changed while leased.
+    pub fn release_i8(&mut self, buf: Vec<i8>) {
+        self.pools_i8.entry(buf.len()).or_default().push(buf);
     }
 
     /// Leases an empty growable `f32` vector (capacity retained across
@@ -181,6 +210,34 @@ mod tests {
         ws.release(b);
         let _ = ws.lease(4);
         assert_eq!(ws.stats().buffers_created, 2);
+    }
+
+    #[test]
+    fn i8_pool_reuses_and_counts_into_shared_stats() {
+        let mut ws = Workspace::new();
+        for _ in 0..50 {
+            let f = ws.lease(16);
+            let mut q = ws.lease_i8(16);
+            assert!(q.iter().all(|&v| v == 0), "leased i8 buffer not zeroed");
+            q.iter_mut().for_each(|v| *v = -5);
+            ws.release(f);
+            ws.release_i8(q);
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.buffers_created, 2, "one f32 + one i8 buffer");
+        assert_eq!(stats.high_water_bytes(), 16 * 4 + 16);
+        assert_eq!(stats.leases, 100);
+    }
+
+    #[test]
+    fn i8_and_f32_pools_of_one_size_are_distinct() {
+        let mut ws = Workspace::new();
+        let f = ws.lease(8);
+        ws.release(f);
+        // An i8 lease of the same length must not raid the f32 pool.
+        let q = ws.lease_i8(8);
+        assert_eq!(ws.stats().buffers_created, 2);
+        ws.release_i8(q);
     }
 
     #[test]

@@ -27,6 +27,8 @@ fn serve_demo() {
         DatasetConfig::scaled(0.01).with_classes(&[AnomalyClass::Stealing]).with_seed(3),
     ));
     let sys = MissionSystem::build(&[AnomalyClass::Stealing], &SystemConfig::default());
+    let precision = sys.engine.precision();
+    let model_bytes = sys.engine.model_bytes();
     let mut rt = MultiStreamRuntime::new(sys.engine, RuntimeConfig::default());
     for s in 0..STREAMS {
         let source =
@@ -40,6 +42,7 @@ fn serve_demo() {
 
     let c = rt.counters();
     println!("\nserving demo ({STREAMS} streams, {TICKS} ticks, batched data plane):");
+    println!("  engine: {model_bytes} model weight bytes served at {}", precision.name());
     println!(
         "  counters: {} frames | {} ticks | {} dispatches | max batch {} | {} token updates | {} \
          node replacements",
@@ -97,6 +100,8 @@ fn main() {
             adaptations_per_day: 1,
             average_auc: 0.91,
             adaptation_seconds: 0.0,
+            model_bytes_f32: system.engine.model.weight_matrix_bytes_f32(),
+            model_bytes_int8: system.engine.model.weight_matrix_bytes_int8(),
         },
     );
     println!("\n{}", report.render());
