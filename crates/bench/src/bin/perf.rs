@@ -6,7 +6,7 @@
 //!
 //! Usage: `perf [--smoke] [--threads N] [--backend B] [--precision P]
 //! [--streams N] [--shards N] [--alloc-stats] [--load PATTERN]
-//! [--slo-out PATH] [--out PATH] [--serve-out PATH]`
+//! [--faults] [--slo-out PATH] [--out PATH] [--serve-out PATH]`
 //!
 //! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
 //!   the full measurement sizes. Smoke output is for validating the harness
@@ -44,6 +44,18 @@
 //!   silently dropped frame) and the wait-tick histogram must be populated
 //!   — either failure exits non-zero, the CI regression gate for the
 //!   latency-SLO harness.
+//! - `--faults`: run the recovery cell — a seeded chaos plan (worker
+//!   crashes + frame corruption, plus one scripted crash so the cell is
+//!   never vacuous) drives a 2-shard loaded deployment through the
+//!   supervisor's checkpoint/replay recovery path. The measured recovery
+//!   metrics land in the schema v7 `recovery` object of
+//!   `BENCH_serve.json`: recovery count and replay volume,
+//!   checkpoint-restore vs genesis-replay split, total recovery wall time,
+//!   and the per-stream checkpoint payload size. Two hard gates run: the
+//!   frame ledger must balance exactly (zero silent loss — the `rejected`
+//!   term covers corrupted frames) and at least one recovery must actually
+//!   fire. Either failure exits non-zero — the CI regression gate for
+//!   fault-tolerant serving.
 //! - `--slo-out PATH`: also dump the raw non-zero histogram buckets
 //!   (wait-ticks and wall-clock nanoseconds) of every latency cell to
 //!   `PATH` — the full-distribution record behind the percentile summary.
@@ -58,9 +70,9 @@ use akg_core::pipeline::{MissionSystem, SystemConfig};
 use akg_data::{AdaptationStream, DatasetConfig, SyntheticUcfCrime};
 use akg_kg::AnomalyClass;
 use akg_runtime::{
-    ArrivalPattern, EngineSpec, LatencySummary, LoadConfig, LoadCounters, LoadedRuntime,
-    MultiStreamRuntime, OwnedShardedRuntime, OwnedStreamRuntime, RuntimeConfig, ShardedConfig,
-    ShardedRuntime,
+    ArrivalPattern, ChaosConfig, EngineSpec, FaultPlan, LatencySummary, LoadConfig, LoadCounters,
+    LoadedRuntime, MultiStreamRuntime, OwnedShardedRuntime, OwnedStreamRuntime, RecoveryStats,
+    RuntimeConfig, ScriptedFault, ShardedConfig, ShardedRuntime,
 };
 use akg_tensor::backend::{cpu_features, effective_backend, set_backend, Backend};
 use akg_tensor::nn::Module;
@@ -303,6 +315,47 @@ struct LatencyCell {
     latency_ns: LatencySummary,
 }
 
+/// The `--faults` recovery cell (schema v7 `recovery` object): one seeded
+/// chaos run through a 2-shard loaded deployment, with every crash healed
+/// by the supervisor's checkpoint/replay recovery and every corrupted
+/// frame rejected at ingest admission. The deterministic `stats` fields
+/// replay bit-identically on any host; the wall-clock fields are
+/// operator-facing context only.
+#[derive(Debug, Serialize)]
+struct RecoveryReport {
+    /// Shard workers in the recovery cell (fixed at 2).
+    shards: usize,
+    /// Concurrent streams served.
+    streams: usize,
+    /// Load-harness ticks run.
+    ticks: usize,
+    /// Arrival pattern driving the cell.
+    pattern: String,
+    /// Chaos per-shard-per-tick crash probability.
+    crash_rate: f64,
+    /// Chaos per-stream-per-tick frame-corruption probability.
+    corrupt_rate: f64,
+    /// Worker self-checkpoint cadence, in worker-local ticks.
+    checkpoint_interval: usize,
+    /// The deterministic recovery metrics (recoveries, replay volume,
+    /// checkpoint-restore vs genesis split) plus total recovery wall time.
+    stats: RecoveryStats,
+    /// Total wall-clock milliseconds spent inside recovery (respawn
+    /// through replay drain) — `stats.recovery_wall_nanos`, readable.
+    recovery_wall_ms: f64,
+    /// Mean serialized size of one stream's checkpointed session state
+    /// (JSON bytes), measured from the newest retained checkpoints — the
+    /// per-stream memory cost of the checkpoint ring.
+    checkpoint_bytes_per_stream: f64,
+    /// Frames rejected at ingest admission (corrupted by the chaos plan).
+    rejected_frames: usize,
+    /// `offered` minus every terminal state — hard-gated to exactly 0:
+    /// crashes and corruption must never lose a frame silently.
+    silent_loss: i64,
+    /// The cell's full frame ledger.
+    counters: LoadCounters,
+}
+
 /// One non-zero histogram bucket: `upper` is the bucket's inclusive upper
 /// bound in the histogram's unit, `count` the samples that landed in it.
 #[derive(Debug, Serialize)]
@@ -368,6 +421,9 @@ struct ServeReport {
     /// Steady-state allocation counters (`--alloc-stats` only; `null`
     /// otherwise).
     alloc: Option<AllocStats>,
+    /// The fault-injection recovery cell (`--faults` only; `null`
+    /// otherwise) — schema v7.
+    recovery: Option<RecoveryReport>,
 }
 
 fn serve_runtime(
@@ -408,7 +464,7 @@ fn sharded_serve_runtime(
     let spec = EngineSpec::new(&[AnomalyClass::Stealing], config);
     let mut rt = ShardedRuntime::new(
         spec,
-        ShardedConfig { shards, max_batch: 16, queue_depth: 2, inner_threads: None },
+        ShardedConfig { shards, max_batch: 16, queue_depth: 2, ..ShardedConfig::default() },
     );
     for s in 0..streams {
         let source =
@@ -568,6 +624,91 @@ fn bench_latency(
     (cells, dumps)
 }
 
+/// The `--faults` recovery cell: a seeded chaos plan (plus one scripted
+/// crash so even short smoke runs recover at least once) drives a 2-shard
+/// loaded deployment; the supervisor heals every worker loss through
+/// checkpoint/replay and the front-end rejects every corrupted frame. Two
+/// hard gates: the frame ledger must balance exactly (zero silent loss)
+/// and at least one recovery must fire — either failure exits non-zero.
+fn bench_recovery(
+    smoke: bool,
+    parallelism: Parallelism,
+    backend: Backend,
+    precision: Precision,
+) -> RecoveryReport {
+    let scale = if smoke { 0.004 } else { 0.02 };
+    let ds = Arc::new(SyntheticUcfCrime::generate(
+        DatasetConfig::scaled(scale)
+            .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
+            .with_seed(7),
+    ));
+    let shards = 2usize;
+    let streams = if smoke { 3 } else { 8 };
+    let ticks = if smoke { 160 } else { 520 };
+    let chaos = ChaosConfig { crash_rate: 0.01, corrupt_rate: 0.005, ..ChaosConfig::default() };
+    // The scripted crash guarantees the cell is never vacuous: even if the
+    // chaos draws happen to spare every worker in a short smoke run, shard
+    // 1 still dies on its 9th tick and must recover.
+    let faults =
+        FaultPlan::chaos(0xFA_017, chaos).with(ScriptedFault::WorkerCrash { shard: 1, tick: 9 });
+    let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
+    let spec = EngineSpec::new(&[AnomalyClass::Stealing], config);
+    let cfg = LoadConfig::default();
+    let pattern = cfg.pattern.name().to_string();
+    let mut rt: LoadedRuntime<akg_data::OwnedAdaptationStream> =
+        LoadedRuntime::sharded_with_faults(spec, cfg, shards, faults);
+    for s in 0..streams {
+        let source =
+            AdaptationStream::owned(Arc::clone(&ds), AnomalyClass::Stealing, 0.3, 900 + s as u64);
+        rt.add_stream(source, 0x5EED ^ s as u64, AdaptConfig::default(), (s % 3) as u8);
+    }
+    black_box(rt.run(ticks));
+
+    let counters = rt.counters();
+    let accounted = counters.served_full
+        + counters.served_degraded
+        + counters.coalesced
+        + counters.shed
+        + counters.overflow_dropped
+        + counters.queued
+        + counters.rejected;
+    let silent_loss = counters.offered as i64 - accounted as i64;
+    if silent_loss != 0 || !counters.balanced() {
+        eprintln!("perf: SILENT LOSS UNDER FAULTS — ledger off by {silent_loss}: {counters:?}");
+        std::process::exit(1);
+    }
+    let stats = rt.recovery_stats();
+    if stats.recoveries == 0 {
+        eprintln!("perf: VACUOUS FAULT CELL — the fault plan fired no recovery in {ticks} ticks");
+        std::process::exit(1);
+    }
+    // Checkpoint payload cost: mean serialized size of one stream's session
+    // state across the newest retained checkpoint of every shard.
+    let mut cp_bytes = 0usize;
+    let mut cp_streams = 0usize;
+    for cp in rt.latest_checkpoints().into_iter().flatten() {
+        for stream in &cp.streams {
+            cp_bytes += serde_json::to_string(&stream.session).map(|j| j.len()).unwrap_or_default();
+            cp_streams += 1;
+        }
+    }
+    RecoveryReport {
+        shards,
+        streams,
+        ticks,
+        pattern,
+        crash_rate: chaos.crash_rate,
+        corrupt_rate: chaos.corrupt_rate,
+        checkpoint_interval: ShardedConfig::with_shards(shards).checkpoint_interval,
+        stats,
+        recovery_wall_ms: stats.recovery_wall_nanos as f64 / 1e6,
+        checkpoint_bytes_per_stream: cp_bytes as f64 / cp_streams.max(1) as f64,
+        rejected_frames: counters.rejected,
+        silent_loss,
+        counters,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn bench_serving(
     smoke: bool,
@@ -625,7 +766,7 @@ fn bench_serving(
     let single_per_frame = points.first().map(|p| p.per_frame_frames_per_sec).unwrap_or(f64::NAN);
     let largest_batched = points.last().map(|p| p.batched_frames_per_sec).unwrap_or(f64::NAN);
     let report = ServeReport {
-        schema_version: 6,
+        schema_version: 7,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
         backend: backend_name(),
@@ -638,6 +779,7 @@ fn bench_serving(
         latency,
         batched_aggregate_vs_single_per_frame: largest_batched / single_per_frame.max(1e-9),
         alloc: None,
+        recovery: None,
     };
     (report, dumps)
 }
@@ -927,6 +1069,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = flag(&args, "--smoke");
     let alloc_stats = flag(&args, "--alloc-stats");
+    let faults = flag(&args, "--faults");
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_tensor.json".to_string());
     let serve_out =
         flag_value(&args, "--serve-out").unwrap_or_else(|| "BENCH_serve.json".to_string());
@@ -1085,7 +1228,7 @@ fn main() {
     );
 
     let report = Report {
-        schema_version: 6,
+        schema_version: 7,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
         backend: backend_name(),
@@ -1154,6 +1297,27 @@ fn main() {
         let json = serde_json::to_string(&slo).expect("serialize slo report");
         std::fs::write(path, json).expect("write slo report");
         println!("perf: wrote {path}");
+    }
+    if faults {
+        let r = bench_recovery(smoke, parallelism, backend, precision);
+        println!(
+            "  faults {} x{} shard(s) over {} ticks: {} recoveries ({} from checkpoint) | \
+             replay {} ticks / {} frames (max {}) | {:.2} ms recovering | checkpoint \
+             ~{:.0} B/stream | {} rejected | {} silent drops",
+            r.pattern,
+            r.shards,
+            r.ticks,
+            r.stats.recoveries,
+            r.stats.from_checkpoint,
+            r.stats.replayed_ticks,
+            r.stats.replayed_frames,
+            r.stats.max_replay_ticks,
+            r.recovery_wall_ms,
+            r.checkpoint_bytes_per_stream,
+            r.rejected_frames,
+            r.silent_loss,
+        );
+        serve.recovery = Some(r);
     }
     let mut over_budget = false;
     if alloc_stats {

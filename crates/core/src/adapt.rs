@@ -258,6 +258,14 @@ impl ContinuousAdapter {
         self.observed
     }
 
+    /// Whether at least one frame has been ingested — i.e. whether the
+    /// window buffer can back a scoring pass. The serving runtime checks
+    /// this before scoring a stream whose frames have all been rejected at
+    /// ingest validation.
+    pub fn has_window(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
     /// The current mean shift Δm.
     pub fn delta_m(&self) -> f32 {
         self.tracker.delta_m()

@@ -56,7 +56,10 @@ pub use experiment::{
     TrendShiftCurve, TrendShiftParams, TrendShiftResult,
 };
 pub use model::{DecisionModel, HierarchicalGnn, KgLayout, WindowBatchItem};
-pub use persist::{load_state, load_state_json, save_state, save_state_json, SystemState};
+pub use persist::{
+    checkpoint_session, load_state, load_state_json, restore_session, save_state, save_state_json,
+    SessionCheckpoint, SystemState,
+};
 pub use pipeline::{MissionSystem, SystemConfig};
 pub use retrieval::{InterpretableRetrieval, RetrievedWord};
 pub use tokenize::{TokenTable, TokenizedKg};

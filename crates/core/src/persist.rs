@@ -11,7 +11,8 @@
 //! parameters. This matches the paper's deployment model, where the code
 //! image is fixed and only learned state moves.
 
-use crate::adapt::{AdaptSnapshot, ContinuousAdapter};
+use crate::adapt::{AdaptConfig, AdaptSnapshot, ContinuousAdapter};
+use crate::engine::{Engine, Session};
 use crate::pipeline::MissionSystem;
 use akg_kg::{KnowledgeGraph, NodeId};
 use akg_tensor::nn::Module;
@@ -183,6 +184,133 @@ pub fn load_state_json(sys: &mut MissionSystem, json: &str) -> Result<(), String
     load_state(sys, &state)
 }
 
+/// A session-granular checkpoint: everything that distinguishes one live
+/// serving stream from a freshly opened one against the *same immutable
+/// engine* — the KG structures and token assignments the stream has adapted,
+/// its token-table fork, its RNG positions, and its full adaptation-loop
+/// state.
+///
+/// This is the [`SystemState`] idea scoped down for the multi-stream serving
+/// runtime: the shared `Engine` (decision model, tokenizer, concept space)
+/// never mutates per stream, so a crashed shard worker only needs its
+/// streams' `SessionCheckpoint`s plus the deterministic `EngineSpec` rebuild
+/// to resume bit-identically. Node-token maps are stored sorted by node id
+/// so serialized checkpoints are byte-deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// KG structures, one JSON document per mission.
+    pub kgs: Vec<String>,
+    /// Node-token assignments per KG, sorted by node id.
+    pub node_tokens: Vec<Vec<(usize, Vec<usize>)>>,
+    /// Per-KG mission embeddings.
+    pub mission_embeddings: Vec<Vec<f32>>,
+    /// The session's adaptive token-table fork.
+    pub token_table: Vec<f32>,
+    /// The token table's spare-row cursor.
+    pub next_spare: usize,
+    /// Frame-embedding RNG state (xoshiro256++ words).
+    pub frame_rng: Vec<u64>,
+    /// The adaptation loop's resumable state.
+    pub adapter: AdaptSnapshot,
+}
+
+/// Captures a live session and its adaptation loop into a
+/// [`SessionCheckpoint`].
+pub fn checkpoint_session(session: &Session, adapter: &ContinuousAdapter) -> SessionCheckpoint {
+    SessionCheckpoint {
+        kgs: session.kgs.iter().map(|t| t.kg.to_json().expect("KG serializes")).collect(),
+        node_tokens: session
+            .kgs
+            .iter()
+            .map(|t| {
+                let mut rows: Vec<(usize, Vec<usize>)> =
+                    t.node_tokens.iter().map(|(id, rows)| (id.0, rows.clone())).collect();
+                rows.sort_unstable_by_key(|(id, _)| *id);
+                rows
+            })
+            .collect(),
+        mission_embeddings: session.kgs.iter().map(|t| t.mission_embedding.clone()).collect(),
+        token_table: session.table.param().to_vec(),
+        next_spare: session.table.next_spare(),
+        frame_rng: session.frame_rng.export_state().to_vec(),
+        adapter: adapter.snapshot(),
+    }
+}
+
+/// Restores a [`SessionCheckpoint`] into a freshly opened session of the
+/// same engine, returning the re-attached adaptation loop. Follows the
+/// [`load_state`] discipline: validate everything first, mutate only after
+/// every check has passed, so a corrupt checkpoint leaves the session
+/// untouched.
+///
+/// # Errors
+///
+/// Returns a message if KG counts, table sizes, or RNG states disagree with
+/// the receiving session, or a stored KG fails to parse its header checks.
+pub fn restore_session(
+    engine: &Engine,
+    session: &mut Session,
+    cfg: AdaptConfig,
+    cp: &SessionCheckpoint,
+) -> Result<ContinuousAdapter, String> {
+    if cp.kgs.len() != session.kgs.len() {
+        return Err(format!(
+            "checkpoint KG count mismatch: {} vs session {}",
+            cp.kgs.len(),
+            session.kgs.len()
+        ));
+    }
+    if cp.node_tokens.len() != cp.kgs.len() || cp.mission_embeddings.len() != cp.kgs.len() {
+        return Err("checkpoint per-KG arrays disagree in length".to_string());
+    }
+    if session.table.param().numel() != cp.token_table.len() {
+        return Err(format!(
+            "checkpoint token table size mismatch: {} vs session {}",
+            cp.token_table.len(),
+            session.table.param().numel()
+        ));
+    }
+    let frame_rng: [u64; 4] = cp
+        .frame_rng
+        .as_slice()
+        .try_into()
+        .map_err(|_| "checkpoint frame RNG state must hold 4 words".to_string())?;
+    if frame_rng == [0; 4] {
+        return Err("checkpoint frame RNG state is all-zero".to_string());
+    }
+    let adapter_rng: Result<[u64; 4], _> = cp.adapter.rng.as_slice().try_into();
+    match adapter_rng {
+        Err(_) => return Err("checkpoint adapter RNG state must hold 4 words".to_string()),
+        Ok(words) if words == [0; 4] => {
+            return Err("checkpoint adapter RNG state is all-zero".to_string())
+        }
+        Ok(_) => {}
+    }
+    // Parse and structurally validate every KG before touching the session.
+    let mut kgs = Vec::with_capacity(cp.kgs.len());
+    for (i, kg_json) in cp.kgs.iter().enumerate() {
+        let kg = KnowledgeGraph::from_json(kg_json)?;
+        let errors = kg.validate();
+        if !errors.is_empty() {
+            return Err(format!("checkpoint KG {i} invalid: {errors:?}"));
+        }
+        kgs.push(kg);
+    }
+
+    // all checks passed; apply
+    for (i, kg) in kgs.into_iter().enumerate() {
+        session.kgs[i].kg = kg;
+        session.kgs[i].node_tokens =
+            cp.node_tokens[i].iter().map(|(id, rows)| (NodeId(*id), rows.clone())).collect();
+        session.kgs[i].mission_embedding = cp.mission_embeddings[i].clone();
+        session.rebuild_layout(i);
+    }
+    session.table.param().set_data(&cp.token_table);
+    session.table.restore_spare_cursor(cp.next_spare);
+    session.frame_rng = StdRng::restore_state(frame_rng);
+    Ok(ContinuousAdapter::restore(engine, session, cfg, &cp.adapter))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +453,101 @@ mod tests {
             twin.session.table.param().to_vec(),
             "restored table diverged after continuation"
         );
+    }
+
+    #[test]
+    fn session_checkpoint_resumes_bit_identically() {
+        // The recovery primitive the sharded supervisor rests on: checkpoint
+        // a mid-adaptation session, restore it into a fresh session of an
+        // identically built engine, and the continuation must match the
+        // uninterrupted run bit for bit.
+        let ds = SyntheticUcfCrime::generate(
+            DatasetConfig::scaled(0.015)
+                .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
+                .with_seed(31),
+        );
+        let cfg = AdaptConfig {
+            n_window: 24,
+            lag: 12,
+            interval: 8,
+            min_k: 1,
+            max_k: 4,
+            ..AdaptConfig::default()
+        };
+        let mut sys = system(11);
+        let mut adapter = ContinuousAdapter::new(&mut sys, cfg);
+        let mut stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.5, 13);
+        for _ in 0..40 {
+            let (f, _) = stream.next_frame();
+            adapter.observe(&mut sys, &f);
+        }
+        let cp = checkpoint_session(&sys.session, &adapter);
+        // Serialized bytes must be deterministic (node-token maps sorted) —
+        // two captures of the same state are byte-identical.
+        assert_eq!(
+            serde_json::to_string(&cp).unwrap(),
+            serde_json::to_string(&checkpoint_session(&sys.session, &adapter)).unwrap(),
+            "session checkpoint serialization is not byte-deterministic"
+        );
+
+        let mut twin = system(11);
+        let mut twin_adapter = restore_session(&twin.engine, &mut twin.session, cfg, &cp).unwrap();
+        assert_eq!(twin_adapter.observed(), adapter.observed());
+
+        let mut twin_stream = AdaptationStream::new(&ds, AnomalyClass::Stealing, 0.5, 13);
+        let _ = twin_stream.next_batch(40); // fast-forward past the checkpoint
+        for i in 0..40 {
+            let (f1, _) = stream.next_frame();
+            let (f2, _) = twin_stream.next_frame();
+            let s1 = adapter.observe(&mut sys, &f1);
+            let s2 = twin_adapter.observe(&mut twin, &f2);
+            assert_eq!(s1, s2, "restored session diverged at frame {i}");
+        }
+        assert_eq!(adapter.replacements(), twin_adapter.replacements());
+        assert_eq!(
+            sys.session.table.param().to_vec(),
+            twin.session.table.param().to_vec(),
+            "restored session table diverged after continuation"
+        );
+    }
+
+    #[test]
+    fn restore_session_rejects_corrupt_checkpoint_without_mutating() {
+        let mut sys = system(12);
+        let adapter = ContinuousAdapter::new(&mut sys, AdaptConfig::default());
+        let cp = checkpoint_session(&sys.session, &adapter);
+        let cfg = *adapter.config();
+
+        let mut twin = system(12);
+        let untouched = twin.session.table.param().to_vec();
+
+        let mut bad = cp.clone();
+        bad.frame_rng = vec![1, 2, 3];
+        assert!(restore_session(&twin.engine, &mut twin.session, cfg, &bad).is_err());
+
+        let mut bad = cp.clone();
+        bad.frame_rng = vec![0, 0, 0, 0];
+        assert!(restore_session(&twin.engine, &mut twin.session, cfg, &bad).is_err());
+
+        let mut bad = cp.clone();
+        bad.adapter.rng = vec![7];
+        assert!(restore_session(&twin.engine, &mut twin.session, cfg, &bad).is_err());
+
+        let mut bad = cp.clone();
+        bad.token_table.truncate(3);
+        assert!(restore_session(&twin.engine, &mut twin.session, cfg, &bad).is_err());
+
+        let mut bad = cp.clone();
+        bad.kgs[0] = "{broken".to_string();
+        assert!(restore_session(&twin.engine, &mut twin.session, cfg, &bad).is_err());
+
+        assert_eq!(
+            twin.session.table.param().to_vec(),
+            untouched,
+            "a rejected checkpoint must leave the session untouched"
+        );
+        // and the pristine checkpoint still restores fine afterwards
+        assert!(restore_session(&twin.engine, &mut twin.session, cfg, &cp).is_ok());
     }
 
     #[test]

@@ -62,7 +62,81 @@ pub struct Frame {
     pub label: Option<AnomalyClass>,
 }
 
+/// Why a frame failed [`Frame::validate`] — the typed reason the serving
+/// layer folds into its per-stream `rejected` accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FrameError {
+    /// A concept weight is NaN or infinite; ingesting it would poison the
+    /// session's adapted token table irreversibly (NaN propagates through
+    /// every subsequent gradient step).
+    NonFiniteWeight {
+        /// The offending concept name.
+        concept: String,
+    },
+    /// A concept weight is finite but outside the plausible sensor range
+    /// (|w| > [`Frame::MAX_ACTIVATION`]) — a corrupt upstream encoder, not
+    /// a real activation.
+    OutOfRangeWeight {
+        /// The offending concept name.
+        concept: String,
+        /// The rejected magnitude.
+        weight: f32,
+    },
+    /// A concept name is empty — the tokenizer has nothing to hash.
+    EmptyConcept,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::NonFiniteWeight { concept } => {
+                write!(f, "frame has a non-finite weight on concept {concept:?}")
+            }
+            FrameError::OutOfRangeWeight { concept, weight } => {
+                write!(f, "frame weight {weight} on concept {concept:?} exceeds the sensor range")
+            }
+            FrameError::EmptyConcept => write!(f, "frame has an empty concept name"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 impl Frame {
+    /// Largest plausible concept activation magnitude. Real encoder outputs
+    /// in this corpus sit in single digits; the bound is deliberately
+    /// generous so it only ever trips on corruption, never on a legitimate
+    /// hot activation.
+    pub const MAX_ACTIVATION: f32 = 1.0e4;
+
+    /// Checks the frame against the ingest contract: every concept named,
+    /// every weight finite and within `±`[`Frame::MAX_ACTIVATION`].
+    ///
+    /// The serving runtime calls this at ingest admission and rejects (with
+    /// accounting) rather than letting a NaN walk into a session's adapted
+    /// `TokenTable`, where it would corrupt the fork forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in concept order.
+    pub fn validate(&self) -> Result<(), FrameError> {
+        for (concept, weight) in &self.concepts {
+            if concept.is_empty() {
+                return Err(FrameError::EmptyConcept);
+            }
+            if !weight.is_finite() {
+                return Err(FrameError::NonFiniteWeight { concept: concept.clone() });
+            }
+            if weight.abs() > Self::MAX_ACTIVATION {
+                return Err(FrameError::OutOfRangeWeight {
+                    concept: concept.clone(),
+                    weight: *weight,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Whether this frame is inside an anomaly segment.
     pub fn is_anomalous(&self) -> bool {
         self.label.is_some()

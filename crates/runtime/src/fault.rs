@@ -1,0 +1,366 @@
+//! Deterministic fault injection for the serving runtime.
+//!
+//! Edge deployments crash, stall, and receive corrupt sensor frames as a
+//! matter of course; a fault-tolerance layer is only trustworthy if those
+//! failures can be *reproduced*. Every fault here is a **pure function of a
+//! seed and its coordinates** — the same counter-mode splitmix64 discipline
+//! as [`crate::load`]'s arrival draws: no advancing RNG state, no wall
+//! clock, so a chaos run replays bit-identically and a fuzzed crash that
+//! breaks the recovery contract becomes a permanent regression test by
+//! pinning its seed.
+//!
+//! Two layers:
+//!
+//! - **Scripted faults** ([`ScriptedFault`]): "kill shard 1 at tick 7" —
+//!   the precision tool the recovery-equivalence tests use to place a crash
+//!   on an exact tick.
+//! - **Chaos rates** ([`ChaosConfig`]): per-(site, tick) Bernoulli draws
+//!   hashed from the seed — the background radiation the chaos soak runs
+//!   under.
+//!
+//! ## Generations
+//!
+//! A crash fault that re-fired while the supervisor replayed the very tick
+//! that triggered it would loop forever. Every worker carries a
+//! **generation** (0 at first spawn, +1 per respawn), and crash/stall
+//! queries take it as a coordinate: the *k*-th scripted crash on a shard
+//! (in tick order) fires only in generation *k*, and chaos draws hash the
+//! generation in, so a respawned worker re-rolls instead of re-dying
+//! deterministically at the same tick. Progress is guaranteed for scripted
+//! plans and overwhelmingly probable for sane chaos rates; the supervisor
+//! additionally caps respawn attempts as a backstop.
+
+use crate::load::{splitmix64, unit_uniform};
+use akg_data::Frame;
+
+/// Domain-separation constants so the crash/corrupt/stall draws at the same
+/// `(seed, tick)` are independent.
+const SITE_CRASH: u64 = 0x43_52_41_53_48; // "CRASH"
+const SITE_CORRUPT: u64 = 0x43_4F_52_52; // "CORR"
+const SITE_STALL: u64 = 0x53_54_41_4C_4C; // "STALL"
+
+fn draw(seed: u64, site: u64, a: u64, b: u64, c: u64) -> f64 {
+    unit_uniform(splitmix64(
+        splitmix64(splitmix64(splitmix64(splitmix64(seed) ^ site) ^ a) ^ b) ^ c,
+    ))
+}
+
+/// How an injected corruption mangles a frame — the three failure shapes a
+/// real concept encoder produces when it goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A concept weight becomes NaN (uninitialized or 0/0 upstream).
+    NanWeight,
+    /// A concept weight becomes +∞ (overflowed accumulator).
+    InfWeight,
+    /// A concept weight becomes finite but absurdly large — past
+    /// [`Frame::MAX_ACTIVATION`] (wrong byte order, unit mixup).
+    OutOfRange,
+}
+
+/// Applies `kind` to the frame in place. The corrupted frame fails
+/// [`Frame::validate`], which is the point: ingest-time validation, not
+/// luck, is what keeps it out of the session's adapted table.
+pub fn corrupt_frame(frame: &mut Frame, kind: CorruptionKind) {
+    let weight = match kind {
+        CorruptionKind::NanWeight => f32::NAN,
+        CorruptionKind::InfWeight => f32::INFINITY,
+        CorruptionKind::OutOfRange => Frame::MAX_ACTIVATION * 1.0e3,
+    };
+    match frame.concepts.first_mut() {
+        Some((_, w)) => *w = weight,
+        None => frame.concepts.push(("corrupt".to_string(), weight)),
+    }
+}
+
+/// How an injected crash terminates the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// The worker returns from its loop (clean thread exit; channels drop).
+    Exit,
+    /// The worker panics mid-tick — the ruder death, exercising unwind
+    /// paths and the drop-join discipline.
+    Panic,
+}
+
+/// One scripted fault with exact coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScriptedFault {
+    /// Kill the worker for `shard` when it receives its `tick`-th tick
+    /// (1-based), by clean exit.
+    WorkerCrash {
+        /// Shard index.
+        shard: usize,
+        /// 1-based worker-local tick count at which to die.
+        tick: usize,
+    },
+    /// Kill the worker for `shard` at `tick` by panic.
+    WorkerPanic {
+        /// Shard index.
+        shard: usize,
+        /// 1-based worker-local tick count at which to die.
+        tick: usize,
+    },
+    /// Corrupt the frame `stream` offers at `tick` (0-based front-end tick).
+    CorruptFrame {
+        /// Stream id.
+        stream: usize,
+        /// 0-based front-end tick of the corrupted arrival.
+        tick: u64,
+        /// The corruption shape.
+        kind: CorruptionKind,
+    },
+    /// Stall the worker for `shard` at `tick` for `millis` before it
+    /// processes the tick — a slow worker, not a dead one. Stalls never
+    /// trigger recovery (detection is disconnect-based, not timeout-based),
+    /// and must not change a single output bit; they exist to prove that.
+    StallWorker {
+        /// Shard index.
+        shard: usize,
+        /// 1-based worker-local tick count to stall at.
+        tick: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// Background fault rates for chaos runs. Each is the per-coordinate
+/// probability of an independent Bernoulli draw.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosConfig {
+    /// P(worker crash) per (shard, tick, generation).
+    pub crash_rate: f64,
+    /// P(frame corruption) per (stream, tick); the corruption kind cycles
+    /// deterministically through all three shapes.
+    pub corrupt_rate: f64,
+    /// P(worker stall) per (shard, tick, generation).
+    pub stall_rate: f64,
+    /// Stall duration when a stall draw fires.
+    pub stall_millis: u64,
+}
+
+/// A replayable fault schedule: scripted faults plus optional chaos rates,
+/// all keyed off one seed. Cloneable and `Send` so every shard worker
+/// carries the full plan and answers its own queries locally.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the chaos draws.
+    pub seed: u64,
+    /// Exact-coordinate faults.
+    pub scripted: Vec<ScriptedFault>,
+    /// Background fault rates, if chaos is enabled.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, ever. This is what `ShardedRuntime::new`
+    /// installs, so the fault layer is zero-cost unless asked for.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can never fire anything.
+    pub fn is_none(&self) -> bool {
+        self.scripted.is_empty() && self.chaos.is_none()
+    }
+
+    /// A plan with a single clean worker crash at exact coordinates.
+    pub fn crash_at(shard: usize, tick: usize) -> Self {
+        FaultPlan::default().with(ScriptedFault::WorkerCrash { shard, tick })
+    }
+
+    /// A plan with a single worker panic at exact coordinates.
+    pub fn panic_at(shard: usize, tick: usize) -> Self {
+        FaultPlan::default().with(ScriptedFault::WorkerPanic { shard, tick })
+    }
+
+    /// A plan with chaos rates under `seed`.
+    pub fn chaos(seed: u64, chaos: ChaosConfig) -> Self {
+        FaultPlan { seed, scripted: Vec::new(), chaos: Some(chaos) }
+    }
+
+    /// Adds a scripted fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: ScriptedFault) -> Self {
+        self.scripted.push(fault);
+        self
+    }
+
+    /// Should the worker for `shard`, in its `generation`-th life, die when
+    /// processing its (1-based) `tick`-th tick — and if so, how?
+    ///
+    /// Scripted crashes on a shard fire one per generation in tick order
+    /// (see the module docs on generations); chaos crashes hash the
+    /// generation into the draw.
+    pub fn worker_crash(&self, shard: usize, tick: usize, generation: usize) -> Option<CrashStyle> {
+        // The generation-g worker dies at this shard's g-th smallest
+        // scripted crash tick (stable on ties), regardless of script order.
+        let mut crashes: Vec<(usize, CrashStyle)> = self
+            .scripted
+            .iter()
+            .filter_map(|fault| match *fault {
+                ScriptedFault::WorkerCrash { shard: s, tick: t } if s == shard => {
+                    Some((t, CrashStyle::Exit))
+                }
+                ScriptedFault::WorkerPanic { shard: s, tick: t } if s == shard => {
+                    Some((t, CrashStyle::Panic))
+                }
+                _ => None,
+            })
+            .collect();
+        crashes.sort_by_key(|&(t, _)| t);
+        if let Some(&(t, style)) = crashes.get(generation) {
+            if t == tick {
+                return Some(style);
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.crash_rate > 0.0
+                && draw(self.seed, SITE_CRASH, shard as u64, tick as u64, generation as u64)
+                    < chaos.crash_rate
+            {
+                return Some(CrashStyle::Exit);
+            }
+        }
+        None
+    }
+
+    /// Should the frame `stream` offers at front-end `tick` be corrupted —
+    /// and if so, how? Pure in `(seed, tick, stream)`, so single-node and
+    /// sharded runs corrupt the *same* frames and the loaded-equivalence
+    /// contract extends across corruption.
+    pub fn corruption(&self, tick: u64, stream: u64) -> Option<CorruptionKind> {
+        for fault in &self.scripted {
+            if let ScriptedFault::CorruptFrame { stream: s, tick: t, kind } = *fault {
+                if s as u64 == stream && t == tick {
+                    return Some(kind);
+                }
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.corrupt_rate > 0.0 {
+                let v = splitmix64(
+                    splitmix64(splitmix64(splitmix64(self.seed) ^ SITE_CORRUPT) ^ tick) ^ stream,
+                );
+                if unit_uniform(v) < chaos.corrupt_rate {
+                    // cycle the kind off independent bits of the same draw
+                    return Some(match v >> 60 & 0b11 {
+                        0 => CorruptionKind::NanWeight,
+                        1 => CorruptionKind::InfWeight,
+                        _ => CorruptionKind::OutOfRange,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// How long (ms) the worker for `shard` should stall before processing
+    /// its `tick`-th tick in its `generation`-th life, if at all.
+    pub fn stall_millis(&self, shard: usize, tick: usize, generation: usize) -> Option<u64> {
+        for fault in &self.scripted {
+            if let ScriptedFault::StallWorker { shard: s, tick: t, millis } = *fault {
+                if s == shard && t == tick {
+                    return Some(millis);
+                }
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.stall_rate > 0.0
+                && draw(self.seed, SITE_STALL, shard as u64, tick as u64, generation as u64)
+                    < chaos.stall_rate
+            {
+                return Some(chaos.stall_millis);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_pure_functions_of_coordinates() {
+        let plan = FaultPlan::chaos(
+            0xFA_017,
+            ChaosConfig { crash_rate: 0.05, corrupt_rate: 0.1, stall_rate: 0.03, stall_millis: 2 },
+        );
+        for tick in 0..200usize {
+            for shard in 0..4usize {
+                assert_eq!(
+                    plan.worker_crash(shard, tick, 0),
+                    plan.worker_crash(shard, tick, 0),
+                    "crash draw not replayable"
+                );
+                assert_eq!(plan.stall_millis(shard, tick, 1), plan.stall_millis(shard, tick, 1));
+            }
+            assert_eq!(plan.corruption(tick as u64, 3), plan.corruption(tick as u64, 3));
+        }
+        // a different seed yields a different schedule somewhere
+        let other = FaultPlan::chaos(0xFA_018, plan.chaos.unwrap());
+        let differs = (0..2000u64).any(|t| plan.corruption(t, 0) != other.corruption(t, 0));
+        assert!(differs, "seed does not influence the chaos schedule");
+    }
+
+    #[test]
+    fn chaos_rates_land_near_their_probability() {
+        let plan = FaultPlan::chaos(
+            99,
+            ChaosConfig { crash_rate: 0.1, corrupt_rate: 0.2, ..ChaosConfig::default() },
+        );
+        let crashes = (1..=10_000usize).filter(|&t| plan.worker_crash(0, t, 0).is_some()).count();
+        let corrupt = (0..10_000u64).filter(|&t| plan.corruption(t, 0).is_some()).count();
+        assert!((800..1200).contains(&crashes), "crash draws far off 10%: {crashes}");
+        assert!((1700..2300).contains(&corrupt), "corrupt draws far off 20%: {corrupt}");
+    }
+
+    #[test]
+    fn scripted_crashes_fire_one_per_generation_in_tick_order() {
+        let plan = FaultPlan::default()
+            .with(ScriptedFault::WorkerCrash { shard: 1, tick: 10 })
+            .with(ScriptedFault::WorkerPanic { shard: 1, tick: 30 })
+            .with(ScriptedFault::WorkerCrash { shard: 2, tick: 5 });
+        // generation 0 of shard 1 dies at tick 10, not 30
+        assert_eq!(plan.worker_crash(1, 10, 0), Some(CrashStyle::Exit));
+        assert_eq!(plan.worker_crash(1, 30, 0), None);
+        // generation 1 replays past tick 10 unharmed, dies at 30
+        assert_eq!(plan.worker_crash(1, 10, 1), None);
+        assert_eq!(plan.worker_crash(1, 30, 1), Some(CrashStyle::Panic));
+        // generation 2 survives everything
+        assert!((1..=40).all(|t| plan.worker_crash(1, t, 2).is_none()));
+        // shard 2's schedule is independent
+        assert_eq!(plan.worker_crash(2, 5, 0), Some(CrashStyle::Exit));
+        assert_eq!(plan.worker_crash(2, 5, 1), None);
+        // untouched shards never die
+        assert!((1..=40).all(|t| plan.worker_crash(0, t, 0).is_none()));
+    }
+
+    #[test]
+    fn corrupt_frame_fails_validation_in_every_shape() {
+        for kind in
+            [CorruptionKind::NanWeight, CorruptionKind::InfWeight, CorruptionKind::OutOfRange]
+        {
+            let mut frame = Frame { concepts: vec![("person".into(), 0.7)], label: None };
+            assert!(frame.validate().is_ok());
+            corrupt_frame(&mut frame, kind);
+            assert!(frame.validate().is_err(), "{kind:?} slipped past validation");
+        }
+        // even an empty frame becomes rejectable
+        let mut empty = Frame { concepts: vec![], label: None };
+        corrupt_frame(&mut empty, CorruptionKind::NanWeight);
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_silent() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for t in 0..100usize {
+            assert_eq!(plan.worker_crash(0, t, 0), None);
+            assert_eq!(plan.corruption(t as u64, 0), None);
+            assert_eq!(plan.stall_millis(0, t, 0), None);
+        }
+    }
+}

@@ -61,11 +61,15 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod fault;
 pub mod load;
 pub mod shard;
 pub mod slo;
 pub mod spsc;
 
+pub use checkpoint::{CheckpointRing, RecoveryStats, ShardCheckpoint, StreamCheckpoint};
+pub use fault::{corrupt_frame, ChaosConfig, CorruptionKind, CrashStyle, FaultPlan, ScriptedFault};
 pub use load::{ArrivalPattern, IdleSource, LoadConfig, LoadGenerator, LoadedRuntime};
 pub use shard::{
     EngineSpec, OwnedShardedRuntime, ShardSnapshot, ShardedConfig, ShardedRuntime, StreamSnapshot,
@@ -131,7 +135,7 @@ impl Default for RuntimeConfig {
 }
 
 /// Monotonic throughput counters, serializable for the perf harness.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ServeCounters {
     /// Frames pulled, scored, and routed back (across all streams).
     pub frames: usize,
@@ -145,6 +149,11 @@ pub struct ServeCounters {
     pub token_updates: usize,
     /// Structural node replacements across all streams.
     pub node_replacements: usize,
+    /// Frames rejected at ingest because they failed
+    /// [`akg_data::Frame::validate`] (non-finite or out-of-range weights) —
+    /// counted instead of ingested, so corrupt input can never poison a
+    /// session's adapted table.
+    pub rejected: usize,
 }
 
 /// Identifier of a stream registered with [`MultiStreamRuntime::add_stream`]
@@ -162,8 +171,9 @@ pub struct StreamPlan {
     /// Frames to pull from the stream's source and ingest into its rolling
     /// window this tick (0 = the stream is idle this round).
     pub ingest: usize,
-    /// Whether to score the stream's rolling window after ingest. Scoring a
-    /// stream that has never ingested a frame panics (there is no window).
+    /// Whether to score the stream's rolling window after ingest. A stream
+    /// that has never ingested a valid frame has no window yet and is
+    /// skipped (`None`) even when this is set.
     pub score: bool,
     /// Whether the score feeds the full adaptation check
     /// ([`ContinuousAdapter::complete_frame`]) or only the drift tracker
@@ -190,6 +200,16 @@ struct StreamSlot<S> {
     source: S,
     session: Session,
     adapter: ContinuousAdapter,
+    /// The frame seed the stream was registered with — recorded so a
+    /// recovery checkpoint can reopen the stream against a fresh engine.
+    frame_seed: u64,
+    /// Lifetime token-update / node-replacement counts carried over from a
+    /// restored checkpoint (the adapter's event log restarts empty after a
+    /// restore; totals must not).
+    token_updates_base: usize,
+    replacements_base: usize,
+    /// Frames rejected at ingest validation for this stream.
+    rejected: usize,
 }
 
 /// The multi-stream serving loop: a shared [`Engine`], one
@@ -235,7 +255,15 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
     pub fn add_stream(&mut self, source: S, frame_seed: u64, adapt: AdaptConfig) -> StreamId {
         let mut session = self.engine.new_session(frame_seed);
         let adapter = ContinuousAdapter::attach(&self.engine, &mut session, adapt);
-        self.slots.push(StreamSlot { source, session, adapter });
+        self.slots.push(StreamSlot {
+            source,
+            session,
+            adapter,
+            frame_seed,
+            token_updates_base: 0,
+            replacements_base: 0,
+            rejected: 0,
+        });
         self.slots.len() - 1
     }
 
@@ -268,6 +296,69 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
     /// Throughput counters since construction.
     pub fn counters(&self) -> ServeCounters {
         self.counters
+    }
+
+    /// Lifetime `(token_updates, node_replacements)` totals for one stream,
+    /// including counts that predate a checkpoint restore (the adapter's
+    /// event log restarts empty after a restore; these totals do not).
+    pub fn stream_event_totals(&self, id: StreamId) -> (usize, usize) {
+        let slot = &self.slots[id];
+        let (updates, replaces) = event_counts(slot.adapter.events());
+        (slot.token_updates_base + updates, slot.replacements_base + replaces)
+    }
+
+    /// Frames rejected at ingest validation for one stream.
+    pub fn rejected_frames(&self, id: StreamId) -> usize {
+        self.slots[id].rejected
+    }
+
+    /// Captures one stream's full recovery record: session state, adapter
+    /// state, registration identity, and lifetime event totals.
+    pub fn checkpoint_stream(&self, id: StreamId) -> StreamCheckpoint {
+        let slot = &self.slots[id];
+        let (token_updates, replacements) = self.stream_event_totals(id);
+        StreamCheckpoint {
+            frame_seed: slot.frame_seed,
+            adapt: *slot.adapter.config(),
+            session: akg_core::persist::checkpoint_session(&slot.session, &slot.adapter),
+            token_updates,
+            replacements,
+        }
+    }
+
+    /// Restores a stream's session and adapter from a checkpoint captured
+    /// by [`MultiStreamRuntime::checkpoint_stream`] (on this runtime or a
+    /// bit-identical replica). The stream must already be registered — this
+    /// overwrites its adaptive state, not its source.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the checkpoint fails validation against the
+    /// stream's session; the session is left untouched in that case.
+    pub fn restore_stream_state(
+        &mut self,
+        id: StreamId,
+        cp: &StreamCheckpoint,
+    ) -> Result<(), String> {
+        let slot = &mut self.slots[id];
+        let adapter = akg_core::persist::restore_session(
+            &self.engine,
+            &mut slot.session,
+            cp.adapt,
+            &cp.session,
+        )?;
+        slot.adapter = adapter;
+        slot.frame_seed = cp.frame_seed;
+        slot.token_updates_base = cp.token_updates;
+        slot.replacements_base = cp.replacements;
+        Ok(())
+    }
+
+    /// Overwrites the runtime's aggregate counters — the recovery path sets
+    /// them back to the checkpoint boundary before replay re-increments
+    /// them, so a recovered worker's counters match the undisturbed run.
+    pub(crate) fn restore_counters(&mut self, counters: ServeCounters) {
+        self.counters = counters;
     }
 
     /// Allocation counters of the runtime's shared inference workspace.
@@ -309,13 +400,13 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
     /// function of queue state (see [`slo::DegradePolicy`]).
     ///
     /// Returns per-stream scores indexed by [`StreamId`]; `None` marks a
-    /// stream whose plan did not score this round.
+    /// stream whose plan did not score this round — or one that has never
+    /// ingested a valid frame (there is no window to score yet).
     ///
     /// # Panics
     ///
-    /// Panics if no streams are registered, if `plans.len()` differs from
-    /// the stream count, or if a plan scores a stream that has never
-    /// ingested a frame (there is no window to score).
+    /// Panics if no streams are registered or if `plans.len()` differs from
+    /// the stream count.
     pub fn tick_with_plan(&mut self, plans: &[StreamPlan]) -> Vec<Option<f32>> {
         assert!(!self.slots.is_empty(), "tick: no streams registered");
         assert_eq!(plans.len(), self.slots.len(), "tick_with_plan: one plan per stream");
@@ -327,19 +418,33 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
         // so the per-frame window clones of the pre-data-plane runtime are
         // gone and the tick's footprint is fixed.
         let mut ingested = 0usize;
+        let mut rejected = 0usize;
         for (slot, plan) in self.slots.iter_mut().zip(plans) {
             for _ in 0..plan.ingest {
                 let (frame, _label) = slot.source.next_frame();
+                // Ingest admission: a frame with a NaN/inf/out-of-range
+                // weight is rejected and *counted* — never embedded, so it
+                // cannot poison the session's adapted table. Rejection is a
+                // pure function of the frame, so single-node and sharded
+                // serving reject identically.
+                if frame.validate().is_err() {
+                    slot.rejected += 1;
+                    rejected += 1;
+                    continue;
+                }
                 slot.adapter.ingest_frame(&self.engine, &mut slot.session, &frame);
+                ingested += 1;
             }
-            ingested += plan.ingest;
         }
         // Phase 2 — score the planned streams: cross-stream batches (or the
         // per-frame baseline), through the inference data plane with the
         // runtime's shared workspace. One flat ref buffer carries a whole
         // batch's windows (the j-th scored stream's window is `window_len`
         // consecutive slices).
-        let active: Vec<StreamId> = (0..n).filter(|&i| plans[i].score).collect();
+        // A stream whose frames have all been rejected has no window yet —
+        // it is skipped (`None`), not scored against nothing.
+        let active: Vec<StreamId> =
+            (0..n).filter(|&i| plans[i].score && self.slots[i].adapter.has_window()).collect();
         let mut scores: Vec<Option<f32>> = vec![None; n];
         if self.config.batched {
             for chunk in active.chunks(self.config.max_batch) {
@@ -398,6 +503,7 @@ impl<S: FrameSource> MultiStreamRuntime<S> {
             }
         }
         self.counters.frames += ingested;
+        self.counters.rejected += rejected;
         self.counters.ticks += 1;
         scores
     }

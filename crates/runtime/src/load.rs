@@ -32,6 +32,8 @@
 //! shed/degrade decision logs, per-stream accounting, and wait-tick
 //! histograms across shard counts, under both backends.
 
+use crate::checkpoint::{RecoveryStats, ShardCheckpoint};
+use crate::fault::{corrupt_frame, FaultPlan};
 use crate::shard::{EngineSpec, ShardedConfig, ShardedRuntime, StreamSnapshot};
 use crate::slo::{
     DegradeLevel, DegradePolicy, LatencyHistogram, LoadCounters, StreamLoadStats, TickDecision,
@@ -47,7 +49,7 @@ use std::time::Instant;
 /// splitmix64's output mixer: the standard finalizer with full avalanche,
 /// used here in counter mode (hash of a value, not an advancing state) so
 /// arrival draws are pure functions of their coordinates.
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -55,7 +57,7 @@ fn splitmix64(x: u64) -> u64 {
 }
 
 /// The top 53 bits as a uniform in `[0, 1)`.
-fn unit_uniform(v: u64) -> f64 {
+pub(crate) fn unit_uniform(v: u64) -> f64 {
     (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -268,6 +270,12 @@ pub struct LoadedRuntime<S: FrameSource> {
     plans: Vec<StreamPlan>,
     /// Reused per-tick drained-frame stamps, recorded after execution.
     served_meta: Vec<(u64, Instant)>,
+    /// Deterministic fault plan. Frame corruptions fire here at the ingest
+    /// boundary (identically for both node shapes); worker crashes and
+    /// stalls fire inside the sharded node, which recovers through them —
+    /// a single node has no workers to kill, so crash faults are inert
+    /// there by design (that *is* the recovery-equivalence baseline).
+    faults: FaultPlan,
 }
 
 impl<S: FrameSource> LoadedRuntime<S> {
@@ -279,12 +287,22 @@ impl<S: FrameSource> LoadedRuntime<S> {
     /// Panics if `cfg.policy` violates its ordering invariants
     /// ([`DegradePolicy::validate`]) or `cfg.max_batch == 0`.
     pub fn new(spec: EngineSpec, cfg: LoadConfig) -> Self {
+        Self::new_with_faults(spec, cfg, FaultPlan::none())
+    }
+
+    /// Like [`LoadedRuntime::new`], but with a deterministic [`FaultPlan`]:
+    /// frame corruptions fire at the ingest boundary and are rejected
+    /// (counted, never served). Worker-crash and stall faults are inert on
+    /// a single node — there is no worker to kill — which makes this the
+    /// fault-free baseline the chaos soak compares the sharded node
+    /// against.
+    pub fn new_with_faults(spec: EngineSpec, cfg: LoadConfig, faults: FaultPlan) -> Self {
         cfg.policy.validate();
         let rt = MultiStreamRuntime::new(
             spec.build(),
             RuntimeConfig { max_batch: cfg.max_batch, batched: true },
         );
-        Self::with_node(Node::Single { rt: Box::new(rt), feeds: Vec::new() }, cfg)
+        Self::with_node(Node::Single { rt: Box::new(rt), feeds: Vec::new() }, cfg, faults)
     }
 
     /// A loaded harness over a [`ShardedRuntime`] with `shards` workers.
@@ -296,15 +314,32 @@ impl<S: FrameSource> LoadedRuntime<S> {
     /// Panics if the policy is invalid, `cfg.max_batch == 0`, or
     /// `shards == 0`.
     pub fn sharded(spec: EngineSpec, cfg: LoadConfig, shards: usize) -> Self {
-        cfg.policy.validate();
-        let sharded = ShardedRuntime::new(
-            spec,
-            ShardedConfig { max_batch: cfg.max_batch, ..ShardedConfig::with_shards(shards) },
-        );
-        Self::with_node(Node::Sharded(Box::new(sharded)), cfg)
+        Self::sharded_with_faults(spec, cfg, shards, FaultPlan::none())
     }
 
-    fn with_node(node: Node, cfg: LoadConfig) -> Self {
+    /// Like [`LoadedRuntime::sharded`], but with a deterministic
+    /// [`FaultPlan`]: corruptions fire at the front-end ingest boundary
+    /// (exactly as on a single node), while crashes and stalls fire inside
+    /// the shard workers, where the supervisor recovers through them. The
+    /// recovery-equivalence contract says the result is still bit-identical
+    /// to the fault-free baseline modulo rejected frames — which the same
+    /// plan rejects identically on both node shapes.
+    pub fn sharded_with_faults(
+        spec: EngineSpec,
+        cfg: LoadConfig,
+        shards: usize,
+        faults: FaultPlan,
+    ) -> Self {
+        cfg.policy.validate();
+        let sharded = ShardedRuntime::with_faults(
+            spec,
+            ShardedConfig { max_batch: cfg.max_batch, ..ShardedConfig::with_shards(shards) },
+            faults.clone(),
+        );
+        Self::with_node(Node::Sharded(Box::new(sharded)), cfg, faults)
+    }
+
+    fn with_node(node: Node, cfg: LoadConfig, faults: FaultPlan) -> Self {
         LoadedRuntime {
             sources: Vec::new(),
             priorities: Vec::new(),
@@ -320,6 +355,7 @@ impl<S: FrameSource> LoadedRuntime<S> {
             latency_nanos: LatencyHistogram::new(),
             plans: Vec::new(),
             served_meta: Vec::new(),
+            faults,
         }
     }
 
@@ -405,6 +441,25 @@ impl<S: FrameSource> LoadedRuntime<S> {
         }
     }
 
+    /// The sharded node's recovery metrics (all-zero for a single node,
+    /// which has no workers to lose).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        match &self.node {
+            Node::Single { .. } => RecoveryStats::default(),
+            Node::Sharded(rt) => rt.recovery_stats(),
+        }
+    }
+
+    /// The sharded node's newest retained checkpoint per shard (empty for
+    /// a single node). The bench harness uses this to report checkpoint
+    /// size without re-capturing state.
+    pub fn latest_checkpoints(&self) -> Vec<Option<&ShardCheckpoint>> {
+        match &self.node {
+            Node::Single { .. } => Vec::new(),
+            Node::Sharded(rt) => rt.latest_checkpoints(),
+        }
+    }
+
     /// Per-stream adapted-state snapshots, indexed by [`StreamId`] — the
     /// same shape for both node types, so loaded equivalence tests compare
     /// them directly.
@@ -459,14 +514,26 @@ impl<S: FrameSource> LoadedRuntime<S> {
         assert!(n > 0, "tick: no streams registered");
         let now = self.tick;
 
-        // Phase 1 — arrivals into bounded queues.
+        // Phase 1 — arrivals into bounded queues, validated at the ingest
+        // boundary: a malformed frame (planned corruption, or a hostile
+        // source) is rejected and counted — never enqueued, never served,
+        // never silently lost. The source advances regardless, so stream
+        // content stays independent of the fault plan's timing.
         for (id, source) in self.sources.iter_mut().enumerate() {
             let k = self.generator.arrivals(now, id as u64);
-            for _ in 0..k {
-                let (frame, label) = source.next_frame();
+            for j in 0..k {
+                let (mut frame, label) = source.next_frame();
                 self.counters.offered += 1;
                 self.per_stream[id].offered += 1;
-                if self.queues[id].len() >= self.policy.queue_capacity {
+                if j == 0 {
+                    if let Some(kind) = self.faults.corruption(now, id as u64) {
+                        corrupt_frame(&mut frame, kind);
+                    }
+                }
+                if frame.validate().is_err() {
+                    self.counters.rejected += 1;
+                    self.per_stream[id].rejected += 1;
+                } else if self.queues[id].len() >= self.policy.queue_capacity {
                     self.counters.overflow_dropped += 1;
                     self.per_stream[id].overflow_dropped += 1;
                 } else {

@@ -69,10 +69,39 @@
 //! [`ShardedConfig::inner_threads`]), keeping `shards × inner-threads` at or
 //! below the machine width. The cap is thread-local: the training plane and
 //! other threads are unaffected.
+//!
+//! ## Worker supervision and recovery
+//!
+//! A worker thread dying (panic or clean exit — e.g. an injected
+//! [`crate::fault`] crash) used to panic the whole process. Now the
+//! front-end is a supervisor: death surfaces as a typed SPSC disconnect
+//! ([`spsc::RecvError`] / [`spsc::SendError`]), and the supervisor
+//!
+//! 1. joins the dead thread and respawns the worker (generation + 1) — the
+//!    replica engine rebuilds deterministically from the same [`EngineSpec`];
+//! 2. restores the newest [`ShardCheckpoint`](crate::checkpoint::ShardCheckpoint)
+//!    the dead worker piggybacked on a past tick reply (every
+//!    [`ShardedConfig::checkpoint_interval`] ticks), or re-registers the
+//!    streams from scratch if none landed yet;
+//! 3. replays the buffered tick inputs sent since that checkpoint and
+//!    re-harvests their replies (replies the caller already consumed are
+//!    absorbed and discarded; the rest are held for the normal drain).
+//!
+//! Because every stage of a tick is deterministic, the recovered worker is
+//! **bit-identical** to one that never died — scores, adapted tables,
+//! replacement counts, even the serve counters. `tests/recovery.rs` and
+//! `tests/proptest_fault.rs` enforce this recovery-equivalence contract
+//! (crash tick fuzzed, Scalar and SIMD, plus a 520-tick chaos soak);
+//! [`ShardedRuntime::recovery_stats`] reports what recovery did. Stalled
+//! workers are *not* faults: detection is disconnect-based, never
+//! timeout-based, so a slow worker just applies backpressure and changes no
+//! output bit.
 
+use crate::checkpoint::{CheckpointRing, RecoveryStats, ShardCheckpoint};
+use crate::fault::{corrupt_frame, CrashStyle, FaultPlan};
 use crate::spsc;
 use crate::{FrameSource, MultiStreamRuntime, RuntimeConfig, ServeCounters, StreamId, StreamPlan};
-use akg_core::adapt::{AdaptConfig, AdaptEvent};
+use akg_core::adapt::AdaptConfig;
 use akg_core::engine::Engine;
 use akg_core::pipeline::SystemConfig;
 use akg_data::Frame;
@@ -82,6 +111,12 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 use std::thread::JoinHandle;
+
+/// Hard cap on consecutive respawn attempts for one recovery — a backstop
+/// against a pathological fault plan that kills every generation (the
+/// generation-aware scheduling in [`crate::fault`] makes this unreachable
+/// for scripted plans and vanishingly unlikely for sane chaos rates).
+const MAX_RECOVERY_ATTEMPTS: usize = 64;
 
 /// Everything a shard worker needs to rebuild the deployment's engine on its
 /// own thread: the mission list and the full system configuration.
@@ -126,6 +161,16 @@ pub struct ShardedConfig {
     /// oversubscription rule `max(1, effective_threads() / shards)` (see
     /// the module docs).
     pub inner_threads: Option<usize>,
+    /// Workers piggyback a full [`ShardCheckpoint`] on every
+    /// `checkpoint_interval`-th tick reply (≥ 1). This bounds the recovery
+    /// replay window — and the front-end's replay buffer — to
+    /// `checkpoint_interval + queue_depth` ticks once the first checkpoint
+    /// lands (before that, recovery replays from genesis). Smaller values
+    /// mean faster recovery but more capture overhead per tick.
+    pub checkpoint_interval: usize,
+    /// How many recent checkpoints the front-end retains per shard (≥ 1).
+    /// Recovery always restores the newest; extras only bound memory.
+    pub checkpoint_ring: usize,
 }
 
 impl Default for ShardedConfig {
@@ -135,6 +180,8 @@ impl Default for ShardedConfig {
             max_batch: 16,
             queue_depth: 2,
             inner_threads: None,
+            checkpoint_interval: 16,
+            checkpoint_ring: 2,
         }
     }
 }
@@ -165,6 +212,9 @@ enum ToShard {
         frames: Vec<(Frame, bool)>,
         plans: Vec<StreamPlan>,
     },
+    /// Rebuild every stream of a freshly respawned worker from a checkpoint
+    /// (sent before any `Tick`; the replayed ticks follow).
+    Restore(Box<ShardCheckpoint>),
     Query,
 }
 
@@ -172,10 +222,12 @@ enum ToShard {
 enum FromShard {
     /// One processed tick: per-local-stream scores (`None` = the stream's
     /// plan did not score this round) plus the worker's cumulative
-    /// counters.
+    /// counters, and — every `checkpoint_interval` ticks — a piggybacked
+    /// recovery checkpoint (no drain barrier, no extra round-trip).
     Tick {
         scores: Vec<Option<f32>>,
         counters: ServeCounters,
+        checkpoint: Option<Box<ShardCheckpoint>>,
     },
     Snapshot(ShardSnapshot),
 }
@@ -218,6 +270,16 @@ impl FrameSource for TickFeed {
     }
 }
 
+/// One tick's inputs for one shard, retained by the supervisor until a
+/// checkpoint covering it arrives — the recovery replay unit.
+struct TickRecord {
+    /// 1-based per-shard tick sequence number (equals the worker's own tick
+    /// counter, since every shard sees every round).
+    seq: usize,
+    frames: Vec<(Frame, bool)>,
+    plans: Vec<StreamPlan>,
+}
+
 struct ShardHandle {
     /// `Some` until drop; dropping the sender is the shutdown signal.
     commands: Option<spsc::Sender<ToShard>>,
@@ -227,20 +289,34 @@ struct ShardHandle {
     locals: Vec<StreamId>,
     /// Cumulative counters as of the last drained tick.
     counters: ServeCounters,
+    /// `(frame_seed, adapt)` per local stream — enough to re-register every
+    /// stream from genesis if a worker dies before its first checkpoint.
+    stream_meta: Vec<(u64, AdaptConfig)>,
+    /// The newest piggybacked checkpoints.
+    ring: CheckpointRing,
+    /// Tick inputs sent since the newest checkpoint (plus any in flight) —
+    /// what recovery replays. Pruned whenever a checkpoint lands.
+    replay: VecDeque<TickRecord>,
+    /// Replies regenerated during recovery that the caller has not drained
+    /// yet; `drain_tick` consumes these before touching the queue.
+    pending: VecDeque<FromShard>,
+    /// Ticks sent to this shard so far (1-based sequence of the last send).
+    sent: usize,
+    /// Ticks whose replies the caller has consumed.
+    acked: usize,
+    /// Worker generation: 0 at startup, +1 per respawn. Fault plans are
+    /// generation-aware so a replayed tick does not re-kill every respawn.
+    generation: usize,
 }
 
 impl ShardHandle {
-    fn send(&self, msg: ToShard) {
-        if let Some(tx) = &self.commands {
-            if tx.send(msg).is_ok() {
-                return;
-            }
+    /// Absorbs a checkpoint that arrived with a tick reply: retains it for
+    /// recovery and drops replay records it supersedes.
+    fn absorb_checkpoint(&mut self, cp: ShardCheckpoint) {
+        while self.replay.front().is_some_and(|rec| rec.seq <= cp.tick) {
+            self.replay.pop_front();
         }
-        panic!("shard worker terminated unexpectedly");
-    }
-
-    fn recv(&self) -> FromShard {
-        self.results.recv().expect("shard worker terminated unexpectedly")
+        self.ring.push(cp);
     }
 }
 
@@ -278,6 +354,17 @@ pub struct ShardedRuntime<S: FrameSource> {
     /// Ticks pushed but not yet drained ([`ShardedRuntime::run`] pipelining).
     in_flight: usize,
     config: ShardedConfig,
+    /// Kept past construction so the supervisor can rebuild dead workers'
+    /// engine replicas.
+    spec: EngineSpec,
+    /// The resolved per-worker kernel-thread cap (respawns reuse it).
+    inner_threads: usize,
+    /// The deterministic fault plan (empty in production).
+    faults: FaultPlan,
+    recovery: RecoveryStats,
+    /// Frames rejected at the ingest boundary, per stream (front-end side;
+    /// invalid frames never cross to a worker).
+    rejected: Vec<usize>,
 }
 
 /// A sharded runtime over owned dataset-backed streams — the common
@@ -298,12 +385,51 @@ impl<S: FrameSource> ShardedRuntime<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `config.shards == 0`, `config.max_batch == 0`, or
-    /// `config.queue_depth == 0`.
+    /// Panics if `config.shards == 0`, `config.max_batch == 0`,
+    /// `config.queue_depth == 0`, `config.checkpoint_interval == 0`, or
+    /// `config.checkpoint_ring == 0`.
     pub fn new(spec: EngineSpec, config: ShardedConfig) -> Self {
+        Self::with_faults(spec, config, FaultPlan::none())
+    }
+
+    /// Like [`ShardedRuntime::new`], but with a deterministic [`FaultPlan`]
+    /// injected: scripted or seeded worker crashes, stalls, and frame
+    /// corruptions fire exactly where the plan says, and the supervisor
+    /// recovers through them (see the module docs). Production callers use
+    /// [`ShardedRuntime::new`], which passes [`FaultPlan::none`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use akg_core::adapt::AdaptConfig;
+    /// use akg_core::pipeline::SystemConfig;
+    /// use akg_kg::AnomalyClass;
+    /// use akg_runtime::{EngineSpec, FaultPlan, FnSource, ShardedConfig, ShardedRuntime};
+    ///
+    /// let spec = EngineSpec::new(&[AnomalyClass::Stealing], SystemConfig::default());
+    /// // Worker 0 is killed right before it would process its 2nd tick…
+    /// let faults = FaultPlan::crash_at(0, 2);
+    /// let mut rt = ShardedRuntime::with_faults(spec, ShardedConfig::with_shards(2), faults);
+    /// let frame = akg_data::Frame { concepts: vec![("walking".into(), 1.0)], label: None };
+    /// for i in 0..2 {
+    ///     let f = frame.clone();
+    ///     rt.add_stream(FnSource(move || (f.clone(), false)), i, AdaptConfig::default());
+    /// }
+    /// // …yet four ticks of scores flow, bit-identical to a fault-free run.
+    /// for _ in 0..4 {
+    ///     assert_eq!(rt.tick().len(), 2);
+    /// }
+    /// assert_eq!(rt.recovery_stats().recoveries, 1);
+    /// ```
+    pub fn with_faults(spec: EngineSpec, config: ShardedConfig, faults: FaultPlan) -> Self {
         assert!(config.shards > 0, "ShardedConfig::shards must be positive");
         assert!(config.max_batch > 0, "ShardedConfig::max_batch must be positive");
         assert!(config.queue_depth > 0, "ShardedConfig::queue_depth must be positive");
+        assert!(
+            config.checkpoint_interval > 0,
+            "ShardedConfig::checkpoint_interval must be positive"
+        );
+        assert!(config.checkpoint_ring > 0, "ShardedConfig::checkpoint_ring must be positive");
         // Resolve the global knobs once, before any worker can race the
         // first-use detection paths.
         akg_tensor::par::set_parallelism(spec.config.parallelism);
@@ -313,22 +439,22 @@ impl<S: FrameSource> ShardedRuntime<S> {
         // The oversubscription rule: shards × inner-threads ≤ machine width.
         let inner = config.inner_threads.unwrap_or_else(|| (width / config.shards).max(1));
         let shards = (0..config.shards)
-            .map(|_| {
-                // queue_depth ticks may be in flight, plus one slot of slack
-                // so a control message never waits on a full tick pipeline.
-                let (cmd_tx, cmd_rx) = spsc::channel::<ToShard>(config.queue_depth + 1);
-                let (res_tx, res_rx) = spsc::channel::<FromShard>(config.queue_depth + 1);
-                let worker_spec = spec.clone();
-                let max_batch = config.max_batch;
-                let thread = std::thread::spawn(move || {
-                    shard_worker(worker_spec, max_batch, inner, cmd_rx, res_tx)
-                });
+            .map(|shard_idx| {
+                let (cmd_tx, res_rx, thread) =
+                    spawn_shard_worker(&spec, config, inner, shard_idx, 0, &faults);
                 ShardHandle {
                     commands: Some(cmd_tx),
                     results: res_rx,
                     thread: Some(thread),
                     locals: Vec::new(),
                     counters: ServeCounters::default(),
+                    stream_meta: Vec::new(),
+                    ring: CheckpointRing::new(config.checkpoint_ring),
+                    replay: VecDeque::new(),
+                    pending: VecDeque::new(),
+                    sent: 0,
+                    acked: 0,
+                    generation: 0,
                 }
             })
             .collect();
@@ -339,6 +465,11 @@ impl<S: FrameSource> ShardedRuntime<S> {
             ticks: 0,
             in_flight: 0,
             config,
+            spec,
+            inner_threads: inner,
+            faults,
+            recovery: RecoveryStats::default(),
+            rejected: Vec::new(),
         }
     }
 
@@ -346,14 +477,37 @@ impl<S: FrameSource> ShardedRuntime<S> {
     /// for the runtime's lifetime) and has that worker fork a session seeded
     /// with `frame_seed` and attach its continuous-adaptation loop — exactly
     /// as [`MultiStreamRuntime::add_stream`] would. Returns the stream's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tick has already been pushed: the stream set must be
+    /// fixed before serving starts, because recovery replays recorded tick
+    /// inputs whose per-stream plan alignment assumes a stable set.
     pub fn add_stream(&mut self, source: S, frame_seed: u64, adapt: AdaptConfig) -> StreamId {
+        assert_eq!(
+            self.ticks + self.in_flight,
+            0,
+            "add_stream: register every stream before the first tick"
+        );
         let id = self.sources.len();
         let shard = id % self.shards.len();
         let local = self.shards[shard].locals.len();
         self.sources.push(source);
         self.assignment.push((shard, local));
+        self.rejected.push(0);
         self.shards[shard].locals.push(id);
-        self.shards[shard].send(ToShard::AddStream { frame_seed, adapt });
+        self.shards[shard].stream_meta.push((frame_seed, adapt));
+        let sent = self.shards[shard]
+            .commands
+            .as_ref()
+            .expect("command sender live until drop")
+            .send(ToShard::AddStream { frame_seed, adapt })
+            .is_ok();
+        if !sent {
+            // A worker dead this early respawns via the genesis path, which
+            // re-registers every stream recorded in `stream_meta`.
+            self.recover_shard(shard);
+        }
         id
     }
 
@@ -393,8 +547,35 @@ impl<S: FrameSource> ShardedRuntime<S> {
             agg.max_batch_seen = agg.max_batch_seen.max(shard.counters.max_batch_seen);
             agg.token_updates += shard.counters.token_updates;
             agg.node_replacements += shard.counters.node_replacements;
+            agg.rejected += shard.counters.rejected;
         }
+        // Front-end rejections (invalid frames never shipped to a worker).
+        agg.rejected += self.rejected.iter().sum::<usize>();
         agg
+    }
+
+    /// What recovery has done so far: respawn count, replay window sizes,
+    /// checkpoint-vs-genesis split, and the wall time spent recovering. The
+    /// deterministic fields are bit-identical across backends for a given
+    /// fault plan.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Frames rejected at the ingest boundary for one stream (malformed
+    /// concepts, non-finite or out-of-range weights — see
+    /// [`akg_data::Frame::validate`]). Rejected frames are counted, never
+    /// silently dropped: the exact-accounting identity in the load harness
+    /// includes this term.
+    pub fn rejected_frames(&self, id: StreamId) -> usize {
+        self.rejected[id]
+    }
+
+    /// The newest retained checkpoint per shard (`None` until a shard's
+    /// first `checkpoint_interval`-th tick reply lands). Exposed so the
+    /// bench harness can measure checkpoint size without re-capturing.
+    pub fn latest_checkpoints(&self) -> Vec<Option<&ShardCheckpoint>> {
+        self.shards.iter().map(|shard| shard.ring.latest()).collect()
     }
 
     /// One scheduler round: pulls one frame per stream from its source,
@@ -481,42 +662,90 @@ impl<S: FrameSource> ShardedRuntime<S> {
             per_shard_frames[shard].append(batch);
             per_shard_plans[shard].push(plans[id]);
         }
-        for ((shard, frames), plans) in
-            self.shards.iter().zip(per_shard_frames).zip(per_shard_plans)
+        for (idx, (frames, plans)) in per_shard_frames.into_iter().zip(per_shard_plans).enumerate()
         {
-            shard.send(ToShard::Tick { frames, plans });
+            self.send_tick(idx, frames, plans);
         }
         self.in_flight += 1;
         self.drain_tick()
     }
 
-    /// Pulls one frame per stream and ships each shard its tick message
-    /// (default plans: one frame in, score, adapt).
+    /// Pulls one frame per stream, validates it at the ingest boundary
+    /// (applying any planned corruption first), and ships each shard its
+    /// tick message. Valid frames get the default plan (one frame in,
+    /// score, adapt); a rejected frame is counted, never shipped, and its
+    /// stream is planned `ingest: 0` — the worker still scores the existing
+    /// window and runs adaptation bookkeeping, exactly as the single-node
+    /// runtime treats a rejected frame.
     fn push_tick(&mut self) {
         assert!(!self.sources.is_empty(), "tick: no streams registered");
-        let mut per_shard: Vec<Vec<(Frame, bool)>> =
+        // 0-based index of the tick being pushed (drained + in flight).
+        let tick_coord = (self.ticks + self.in_flight) as u64;
+        let mut per_shard_frames: Vec<Vec<(Frame, bool)>> =
+            self.shards.iter().map(|shard| Vec::with_capacity(shard.locals.len())).collect();
+        let mut per_shard_plans: Vec<Vec<StreamPlan>> =
             self.shards.iter().map(|shard| Vec::with_capacity(shard.locals.len())).collect();
         // Iterate streams in id order; within a shard this is exactly the
         // local registration order the worker's slots use.
         for (id, source) in self.sources.iter_mut().enumerate() {
-            per_shard[self.assignment[id].0].push(source.next_frame());
+            let (mut frame, label) = source.next_frame();
+            if let Some(kind) = self.faults.corruption(tick_coord, id as u64) {
+                corrupt_frame(&mut frame, kind);
+            }
+            let shard = self.assignment[id].0;
+            if frame.validate().is_ok() {
+                per_shard_frames[shard].push((frame, label));
+                per_shard_plans[shard].push(StreamPlan::default());
+            } else {
+                self.rejected[id] += 1;
+                per_shard_plans[shard].push(StreamPlan { ingest: 0, score: true, adapt: true });
+            }
         }
-        for (shard, frames) in self.shards.iter().zip(per_shard) {
-            let plans = vec![StreamPlan::default(); frames.len()];
-            shard.send(ToShard::Tick { frames, plans });
+        for (idx, (frames, plans)) in per_shard_frames.into_iter().zip(per_shard_plans).enumerate()
+        {
+            self.send_tick(idx, frames, plans);
         }
         self.in_flight += 1;
     }
 
+    /// Records one shard's tick inputs in its replay buffer, then ships
+    /// them; a send that fails (worker died) triggers recovery, which
+    /// replays the buffer — including the record just pushed.
+    fn send_tick(&mut self, idx: usize, frames: Vec<(Frame, bool)>, plans: Vec<StreamPlan>) {
+        let delivered = {
+            let shard = &mut self.shards[idx];
+            shard.sent += 1;
+            shard.replay.push_back(TickRecord { seq: shard.sent, frames, plans });
+            let rec = shard.replay.back().expect("record just pushed");
+            let msg = ToShard::Tick { frames: rec.frames.clone(), plans: rec.plans.clone() };
+            shard.commands.as_ref().expect("command sender live until drop").send(msg).is_ok()
+        };
+        if !delivered {
+            self.recover_shard(idx);
+        }
+    }
+
     /// Receives one processed tick from every shard and reassembles the
     /// per-stream score vector (`None` = that stream's plan skipped
-    /// scoring).
+    /// scoring). A disconnected result queue means the worker died:
+    /// recovery regenerates the missing replies (they land in `pending`)
+    /// and the drain proceeds as if nothing happened.
     fn drain_tick(&mut self) -> Vec<Option<f32>> {
         debug_assert!(self.in_flight > 0, "drain_tick without a pushed tick");
         let mut scores = vec![None; self.assignment.len()];
-        for shard in &mut self.shards {
-            match shard.recv() {
-                FromShard::Tick { scores: shard_scores, counters } => {
+        for idx in 0..self.shards.len() {
+            let msg = loop {
+                if let Some(msg) = self.shards[idx].pending.pop_front() {
+                    break msg;
+                }
+                match self.shards[idx].results.recv() {
+                    Ok(msg) => break msg,
+                    Err(spsc::RecvError) => self.recover_shard(idx),
+                }
+            };
+            match msg {
+                FromShard::Tick { scores: shard_scores, counters, checkpoint } => {
+                    let shard = &mut self.shards[idx];
                     assert_eq!(
                         shard_scores.len(),
                         shard.locals.len(),
@@ -526,6 +755,10 @@ impl<S: FrameSource> ShardedRuntime<S> {
                         scores[shard.locals[local]] = score;
                     }
                     shard.counters = counters;
+                    shard.acked += 1;
+                    if let Some(cp) = checkpoint {
+                        shard.absorb_checkpoint(*cp);
+                    }
                 }
                 FromShard::Snapshot(_) => unreachable!("snapshot reply during tick drain"),
             }
@@ -535,19 +768,158 @@ impl<S: FrameSource> ShardedRuntime<S> {
         scores
     }
 
+    /// Supervises one dead shard back to life: respawn, restore, replay —
+    /// retrying (bounded) if the fresh generation dies during replay.
+    fn recover_shard(&mut self, idx: usize) {
+        let started = std::time::Instant::now();
+        let mut attempts = 0usize;
+        let (replayed_ticks, replayed_frames, from_checkpoint) = loop {
+            attempts += 1;
+            assert!(
+                attempts <= MAX_RECOVERY_ATTEMPTS,
+                "shard {idx}: still dying after {MAX_RECOVERY_ATTEMPTS} respawns — \
+                 the fault plan kills every generation"
+            );
+            if let Some(outcome) = self.try_recover(idx) {
+                break outcome;
+            }
+        };
+        self.recovery.recoveries += 1;
+        self.recovery.replayed_ticks += replayed_ticks;
+        self.recovery.replayed_frames += replayed_frames;
+        self.recovery.max_replay_ticks = self.recovery.max_replay_ticks.max(replayed_ticks);
+        if from_checkpoint {
+            self.recovery.from_checkpoint += 1;
+        }
+        self.recovery.recovery_wall_nanos += started.elapsed().as_nanos() as u64;
+    }
+
+    /// One recovery attempt. Returns `Some((replayed_ticks, replayed_frames,
+    /// from_checkpoint))` on success, `None` if the respawned worker died
+    /// again mid-recovery (the caller retries with the next generation).
+    fn try_recover(&mut self, idx: usize) -> Option<(usize, usize, bool)> {
+        let spec = self.spec.clone();
+        let config = self.config;
+        let inner = self.inner_threads;
+        let faults = self.faults.clone();
+        let shard = &mut self.shards[idx];
+        // Tear down the dead generation. Dropping the sender lets a worker
+        // that is somehow still draining exit; join reaps the thread (a
+        // panicked join is expected — that's how injected panics die).
+        shard.commands = None;
+        if let Some(thread) = shard.thread.take() {
+            let _ = thread.join();
+        }
+        // Replies stranded in the dead generation's queue (or stashed by an
+        // earlier recovery) are regenerated below, bit-identically.
+        shard.pending.clear();
+        shard.generation += 1;
+        let (cmd_tx, res_rx, thread) =
+            spawn_shard_worker(&spec, config, inner, idx, shard.generation, &faults);
+        shard.commands = Some(cmd_tx);
+        shard.results = res_rx;
+        shard.thread = Some(thread);
+        let tx = shard.commands.as_ref().expect("sender just installed");
+        // Restore: newest checkpoint if one landed, else genesis
+        // re-registration of every stream.
+        let (base_tick, from_checkpoint) = match shard.ring.latest() {
+            Some(cp) => {
+                if tx.send(ToShard::Restore(Box::new(cp.clone()))).is_err() {
+                    return None;
+                }
+                (cp.tick, true)
+            }
+            None => {
+                for &(frame_seed, adapt) in &shard.stream_meta {
+                    if tx.send(ToShard::AddStream { frame_seed, adapt }).is_err() {
+                        return None;
+                    }
+                }
+                (0, false)
+            }
+        };
+        debug_assert!(
+            shard.replay.front().map_or(shard.sent == base_tick, |rec| rec.seq == base_tick + 1),
+            "replay buffer must start right after the restore point"
+        );
+        // Replay every recorded tick, harvesting replies as we go so the
+        // result queue never fills: at most queue_depth sends are ever
+        // outstanding, and the channels hold queue_depth + 1.
+        let mut replies: Vec<FromShard> = Vec::with_capacity(shard.replay.len());
+        let mut outstanding = 0usize;
+        let mut replayed_frames = 0usize;
+        for rec in &shard.replay {
+            while outstanding >= config.queue_depth {
+                match shard.results.recv() {
+                    Ok(msg) => {
+                        replies.push(msg);
+                        outstanding -= 1;
+                    }
+                    Err(spsc::RecvError) => return None,
+                }
+            }
+            replayed_frames += rec.frames.len();
+            let msg = ToShard::Tick { frames: rec.frames.clone(), plans: rec.plans.clone() };
+            if tx.send(msg).is_err() {
+                return None;
+            }
+            outstanding += 1;
+        }
+        while outstanding > 0 {
+            match shard.results.recv() {
+                Ok(msg) => {
+                    replies.push(msg);
+                    outstanding -= 1;
+                }
+                Err(spsc::RecvError) => return None,
+            }
+        }
+        let replayed_ticks = shard.replay.len();
+        // The first (acked − base_tick) replies re-execute ticks the caller
+        // already consumed: absorb their counters and checkpoints, discard
+        // their scores (determinism makes them byte-copies of what the dead
+        // worker already delivered). The rest are still owed to drain_tick.
+        let discard = shard.acked - base_tick;
+        for (i, msg) in replies.into_iter().enumerate() {
+            if i < discard {
+                match msg {
+                    FromShard::Tick { counters, checkpoint, .. } => {
+                        shard.counters = counters;
+                        if let Some(cp) = checkpoint {
+                            shard.absorb_checkpoint(*cp);
+                        }
+                    }
+                    FromShard::Snapshot(_) => unreachable!("snapshot reply during replay"),
+                }
+            } else {
+                shard.pending.push_back(msg);
+            }
+        }
+        Some((replayed_ticks, replayed_frames, from_checkpoint))
+    }
+
     /// Point-in-time state of every shard (workspace counters plus each
     /// stream's adapted table, event counts, and session workspace), taken
     /// on the worker threads. Only callable between ticks — `tick` and `run`
     /// always drain fully, so this never interleaves with tick replies.
     pub fn shard_snapshots(&mut self) -> Vec<ShardSnapshot> {
         debug_assert_eq!(self.in_flight, 0, "snapshot with ticks in flight");
-        self.shards
-            .iter()
-            .map(|shard| {
-                shard.send(ToShard::Query);
-                match shard.recv() {
-                    FromShard::Snapshot(snap) => snap,
-                    FromShard::Tick { .. } => unreachable!("tick reply during snapshot"),
+        (0..self.shards.len())
+            .map(|idx| loop {
+                let sent = self.shards[idx]
+                    .commands
+                    .as_ref()
+                    .expect("command sender live until drop")
+                    .send(ToShard::Query)
+                    .is_ok();
+                if !sent {
+                    self.recover_shard(idx);
+                    continue;
+                }
+                match self.shards[idx].results.recv() {
+                    Ok(FromShard::Snapshot(snap)) => break snap,
+                    Ok(FromShard::Tick { .. }) => unreachable!("tick reply during snapshot"),
+                    Err(spsc::RecvError) => self.recover_shard(idx),
                 }
             })
             .collect()
@@ -582,32 +954,105 @@ impl<S: FrameSource> Drop for ShardedRuntime<S> {
     }
 }
 
-/// The worker body: builds this shard's engine replica (under the inner
-/// thread cap), then serves its streams through a private
-/// [`MultiStreamRuntime`] fed by the command queue until the front-end
-/// disconnects.
-fn shard_worker(
+/// Everything a worker thread is configured with, bundled for spawning.
+struct WorkerSetup {
     spec: EngineSpec,
     max_batch: usize,
     inner_threads: usize,
+    /// This worker's shard index (fault-plan coordinate).
+    shard_idx: usize,
+    /// 0 at startup, +1 per respawn — fault plans are generation-aware.
+    generation: usize,
+    checkpoint_interval: usize,
+    faults: FaultPlan,
+}
+
+/// Spawns one shard worker (generation-tagged) and returns its queue
+/// endpoints and join handle. Used at construction and by recovery.
+fn spawn_shard_worker(
+    spec: &EngineSpec,
+    config: ShardedConfig,
+    inner_threads: usize,
+    shard_idx: usize,
+    generation: usize,
+    faults: &FaultPlan,
+) -> (spsc::Sender<ToShard>, spsc::Receiver<FromShard>, JoinHandle<()>) {
+    // queue_depth ticks may be in flight, plus one slot of slack so a
+    // control message never waits on a full tick pipeline.
+    let (cmd_tx, cmd_rx) = spsc::channel::<ToShard>(config.queue_depth + 1);
+    let (res_tx, res_rx) = spsc::channel::<FromShard>(config.queue_depth + 1);
+    let setup = WorkerSetup {
+        spec: spec.clone(),
+        max_batch: config.max_batch,
+        inner_threads,
+        shard_idx,
+        generation,
+        checkpoint_interval: config.checkpoint_interval,
+        faults: faults.clone(),
+    };
+    let thread = std::thread::spawn(move || shard_worker(setup, cmd_rx, res_tx));
+    (cmd_tx, res_rx, thread)
+}
+
+/// The worker body: builds this shard's engine replica (under the inner
+/// thread cap), then serves its streams through a private
+/// [`MultiStreamRuntime`] fed by the command queue until the front-end
+/// disconnects. Injected faults fire *before* a tick is processed, so a
+/// killed worker loses that tick and everything queued behind it — all of
+/// which the supervisor's replay buffer still holds.
+fn shard_worker(
+    setup: WorkerSetup,
     commands: spsc::Receiver<ToShard>,
     results: spsc::Sender<FromShard>,
 ) {
     // Cap this thread's kernel pool *before* the engine build so even
     // build-time matmuls obey the shards × threads rule.
-    akg_tensor::par::set_thread_cap(inner_threads);
-    let engine = spec.build();
-    let mut rt: MultiStreamRuntime<TickFeed> =
-        MultiStreamRuntime::new(engine, RuntimeConfig { max_batch, batched: true });
+    akg_tensor::par::set_thread_cap(setup.inner_threads);
+    let engine = setup.spec.build();
+    let mut rt: MultiStreamRuntime<TickFeed> = MultiStreamRuntime::new(
+        engine,
+        RuntimeConfig { max_batch: setup.max_batch, batched: true },
+    );
     let mut feeds: Vec<FeedQueue> = Vec::new();
-    while let Some(msg) = commands.recv() {
+    // Worker-local 1-based tick counter; survives recovery because Restore
+    // rewinds it to the checkpoint tick and replay re-advances it.
+    let mut tick_no = 0usize;
+    while let Ok(msg) = commands.recv() {
         match msg {
             ToShard::AddStream { frame_seed, adapt } => {
                 let feed = Rc::new(RefCell::new(VecDeque::new()));
                 feeds.push(Rc::clone(&feed));
                 rt.add_stream(TickFeed(feed), frame_seed, adapt);
             }
+            ToShard::Restore(cp) => {
+                assert_eq!(rt.stream_count(), 0, "Restore into a non-empty worker");
+                for stream_cp in &cp.streams {
+                    let feed = Rc::new(RefCell::new(VecDeque::new()));
+                    feeds.push(Rc::clone(&feed));
+                    let local =
+                        rt.add_stream(TickFeed(feed), stream_cp.frame_seed, stream_cp.adapt);
+                    rt.restore_stream_state(local, stream_cp)
+                        .expect("in-memory checkpoint restores cleanly");
+                }
+                rt.restore_counters(cp.counters);
+                tick_no = cp.tick;
+            }
             ToShard::Tick { frames, plans } => {
+                tick_no += 1;
+                match setup.faults.worker_crash(setup.shard_idx, tick_no, setup.generation) {
+                    Some(CrashStyle::Exit) => return,
+                    Some(CrashStyle::Panic) => {
+                        panic!("injected worker panic (deterministic fault)")
+                    }
+                    None => {}
+                }
+                if let Some(millis) =
+                    setup.faults.stall_millis(setup.shard_idx, tick_no, setup.generation)
+                {
+                    // A stall is not a failure: the bounded queues apply
+                    // backpressure and no output bit changes.
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
                 assert_eq!(plans.len(), feeds.len(), "tick plans do not match shard streams");
                 let mut frames = frames.into_iter();
                 for (feed, plan) in feeds.iter().zip(&plans) {
@@ -620,24 +1065,32 @@ fn shard_worker(
                 // A shard with no streams still acknowledges the round so
                 // the drain barrier stays uniform.
                 let scores = if feeds.is_empty() { Vec::new() } else { rt.tick_with_plan(&plans) };
-                if results.send(FromShard::Tick { scores, counters: rt.counters() }).is_err() {
+                let checkpoint = if tick_no.is_multiple_of(setup.checkpoint_interval)
+                    && !feeds.is_empty()
+                {
+                    let streams =
+                        (0..rt.stream_count()).map(|local| rt.checkpoint_stream(local)).collect();
+                    Some(Box::new(ShardCheckpoint {
+                        tick: tick_no,
+                        counters: rt.counters(),
+                        streams,
+                    }))
+                } else {
+                    None
+                };
+                let reply = FromShard::Tick { scores, counters: rt.counters(), checkpoint };
+                if results.send(reply).is_err() {
                     return; // front-end gone
                 }
             }
             ToShard::Query => {
                 let streams = (0..rt.stream_count())
                     .map(|local| {
-                        let events = rt.adapt_events(local);
+                        let (token_updates, replacements) = rt.stream_event_totals(local);
                         StreamSnapshot {
                             table: rt.session(local).table.param().to_vec(),
-                            replacements: events
-                                .iter()
-                                .filter(|e| matches!(e, AdaptEvent::NodeReplaced { .. }))
-                                .count(),
-                            token_updates: events
-                                .iter()
-                                .filter(|e| matches!(e, AdaptEvent::TokenUpdate { .. }))
-                                .count(),
+                            replacements,
+                            token_updates,
                             workspace: rt.session(local).workspace_stats(),
                         }
                     })
@@ -706,7 +1159,13 @@ mod tests {
     fn counters_aggregate_across_shards() {
         let mut rt = ShardedRuntime::new(
             spec(),
-            ShardedConfig { shards: 2, max_batch: 2, queue_depth: 2, inner_threads: Some(1) },
+            ShardedConfig {
+                shards: 2,
+                max_batch: 2,
+                queue_depth: 2,
+                inner_threads: Some(1),
+                ..ShardedConfig::default()
+            },
         );
         for i in 0..5usize {
             rt.add_stream(counting_source(i), i as u64, AdaptConfig::default());
@@ -758,5 +1217,69 @@ mod tests {
         let shard_snaps = rt.shard_snapshots();
         assert_eq!(shard_snaps.len(), 2);
         assert_eq!(shard_snaps.iter().map(|s| s.streams.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "register every stream before the first tick")]
+    fn add_stream_after_first_tick_is_rejected() {
+        let mut rt = ShardedRuntime::new(spec(), ShardedConfig::with_shards(1));
+        rt.add_stream(counting_source(0), 0, AdaptConfig::default());
+        let _ = rt.tick();
+        rt.add_stream(counting_source(1), 1, AdaptConfig::default());
+    }
+
+    #[test]
+    fn dropping_with_dead_worker_during_unwind_does_not_abort() {
+        // Regression shape for the drop path: the caller panics while a
+        // worker has *also* panicked with a tick in flight. Drop must join
+        // the dead thread without propagating its panic — a double panic
+        // here would abort the process and no assertion could ever run.
+        let caller = std::panic::catch_unwind(|| {
+            let mut rt = ShardedRuntime::with_faults(
+                spec(),
+                ShardedConfig { shards: 1, inner_threads: Some(1), ..ShardedConfig::default() },
+                FaultPlan::panic_at(0, 1),
+            );
+            for i in 0..2usize {
+                rt.add_stream(counting_source(i), i as u64, AdaptConfig::default());
+            }
+            // Push without draining so the worker's injected panic happens
+            // while the tick is still in flight, then unwind the caller.
+            rt.push_tick();
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            panic!("caller unwinds with a dead worker and an undrained tick");
+        });
+        // The caller's own panic surfaced; the process survived the drop.
+        assert!(caller.is_err());
+    }
+
+    #[test]
+    fn supervisor_restarts_worker_mid_run_pipelining() {
+        // Kill a worker while run() has queue_depth ticks in flight: the
+        // supervisor must recover mid-pipeline and the output must match a
+        // fault-free run bit for bit.
+        let config = ShardedConfig {
+            shards: 2,
+            queue_depth: 3,
+            checkpoint_interval: 4,
+            inner_threads: Some(1),
+            ..ShardedConfig::default()
+        };
+        let run = |faults: FaultPlan| {
+            let mut rt = ShardedRuntime::with_faults(spec(), config, faults);
+            for i in 0..4usize {
+                rt.add_stream(counting_source(i), i as u64, AdaptConfig::default());
+            }
+            let scores = rt.run(12);
+            (scores, rt.counters(), rt.recovery_stats())
+        };
+        let (clean_scores, clean_counters, clean_recovery) = run(FaultPlan::none());
+        assert_eq!(clean_recovery.recoveries, 0);
+        let (scores, counters, recovery) = run(FaultPlan::crash_at(1, 6));
+        assert_eq!(recovery.recoveries, 1, "the injected crash must trigger recovery");
+        assert_eq!(recovery.from_checkpoint, 1, "a checkpoint landed at tick 4 < crash tick 6");
+        assert!(recovery.max_replay_ticks >= 2, "ticks 5.. must replay");
+        assert_eq!(scores, clean_scores, "recovered scores diverged from the fault-free run");
+        assert_eq!(counters, clean_counters, "recovered counters diverged");
     }
 }

@@ -380,6 +380,11 @@ pub struct LoadCounters {
     pub overflow_dropped: usize,
     /// Frames still waiting in ingest queues after the last tick.
     pub queued: usize,
+    /// Frames rejected at ingest admission because they failed validation
+    /// (non-finite or out-of-range concept weights) — a terminal state, so
+    /// corrupt sensor frames are accounted for, never silently dropped and
+    /// never allowed to poison a session's adapted table.
+    pub rejected: usize,
     /// Deepest any stream's queue ever got (post-arrival, pre-shed).
     pub max_queue_depth: usize,
     /// Ticks spent at each ladder rung, indexed by [`DegradeLevel::index`].
@@ -399,6 +404,7 @@ impl LoadCounters {
                 + self.shed
                 + self.overflow_dropped
                 + self.queued
+                + self.rejected
     }
 
     /// Frames that left the queue through serving (scored or coalesced).
@@ -424,6 +430,8 @@ pub struct StreamLoadStats {
     pub shed: usize,
     /// Tail-dropped on a full queue.
     pub overflow_dropped: usize,
+    /// Rejected at ingest admission (failed [`akg_data::Frame::validate`]).
+    pub rejected: usize,
 }
 
 /// One tick's degrade decision record — the compact log the determinism
@@ -552,13 +560,16 @@ mod tests {
             coalesced: 25,
             shed: 10,
             overflow_dropped: 2,
-            queued: 3,
+            queued: 2,
+            rejected: 1,
             ..LoadCounters::default()
         };
         assert!(c.balanced());
         assert_eq!(c.drained(), 85);
-        let broken = LoadCounters { queued: 4, ..c };
+        let broken = LoadCounters { queued: 3, ..c };
         assert!(!broken.balanced());
+        let broken = LoadCounters { rejected: 0, ..c };
+        assert!(!broken.balanced(), "rejected frames must be part of the identity");
     }
 
     #[test]

@@ -18,11 +18,20 @@
 //! that runs ahead of a slow shard blocks on [`Sender::send`] instead of
 //! growing an unbounded backlog (the edge-deployment memory discipline).
 //!
-//! ## Shutdown
+//! ## Shutdown and failure
 //!
-//! Dropping the [`Sender`] lets the receiver drain what was queued and then
-//! observe disconnection (`recv() == None`). Dropping the [`Receiver`] makes
-//! further sends fail fast, handing the unsent message back.
+//! Disconnection is a **typed, recoverable condition**, never a panic: a
+//! dropped (or crashed) peer surfaces as [`SendError`] / [`RecvError`] /
+//! [`TryRecvError::Disconnected`], which is exactly the signal the sharded
+//! runtime's supervisor keys worker-death recovery off. Dropping the
+//! [`Sender`] lets the receiver drain what was queued and then observe
+//! disconnection; dropping the [`Receiver`] makes further sends fail fast,
+//! handing the unsent message back. A peer that dies *panicking* mid-send
+//! or mid-recv poisons nothing observable either: every lock acquisition
+//! recovers the mutex via [`std::sync::PoisonError::into_inner`] (the
+//! protected state is always consistent — each critical section is a
+//! single queue operation), so the survivor sees a clean disconnect
+//! instead of a poisoned-mutex panic.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -55,9 +64,53 @@ pub struct Receiver<T> {
 }
 
 /// Error returned by [`Sender::send`] when the receiver is gone; carries the
-/// unsent message back to the caller.
+/// unsent message back to the caller so nothing is silently lost.
 #[derive(Debug, PartialEq, Eq)]
-pub struct Disconnected<T>(pub T);
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spsc send failed: receiver disconnected")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`]: the sender is gone **and** every
+/// queued message has been drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spsc recv failed: sender disconnected and queue drained")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`], distinguishing "nothing queued
+/// right now" from "the peer is gone for good" — the distinction the
+/// supervisor's non-blocking drain needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is empty but the sender is still alive.
+    Empty,
+    /// The sender is gone and the queue is drained; no message will ever
+    /// arrive.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "spsc try_recv: queue empty"),
+            TryRecvError::Disconnected => write!(f, "spsc try_recv: sender disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
 
 /// Creates a bounded SPSC channel holding at most `capacity` queued
 /// messages.
@@ -70,13 +123,15 @@ pub struct Disconnected<T>(pub T);
 /// # Examples
 ///
 /// ```
+/// use akg_runtime::spsc::RecvError;
+///
 /// let (tx, rx) = akg_runtime::spsc::channel(2);
 /// tx.send(1).unwrap();
 /// tx.send(2).unwrap();
 /// drop(tx);
-/// assert_eq!(rx.recv(), Some(1));
-/// assert_eq!(rx.recv(), Some(2));
-/// assert_eq!(rx.recv(), None); // sender gone, queue drained
+/// assert_eq!(rx.recv(), Ok(1));
+/// assert_eq!(rx.recv(), Ok(2));
+/// assert_eq!(rx.recv(), Err(RecvError)); // sender gone, queue drained
 /// ```
 pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     assert!(capacity > 0, "spsc::channel: capacity must be positive");
@@ -95,13 +150,16 @@ pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 
 impl<T> Sender<T> {
     /// Enqueues a message, blocking while the channel is at capacity.
-    /// Returns the message back inside [`Disconnected`] if the receiver has
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back inside [`SendError`] if the receiver has
     /// been dropped (immediately, or while waiting for space).
-    pub fn send(&self, value: T) -> Result<(), Disconnected<T>> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if !state.receiver_alive {
-                return Err(Disconnected(value));
+                return Err(SendError(value));
             }
             if state.queue.len() < self.shared.capacity {
                 state.queue.push_back(value);
@@ -126,18 +184,22 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Receiver<T> {
     /// Dequeues the next message, blocking while the channel is empty.
-    /// Returns `None` once the sender has been dropped **and** every queued
-    /// message has been drained.
-    pub fn recv(&self) -> Option<T> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the sender has been dropped **and** every
+    /// queued message has been drained — the recoverable worker-death
+    /// signal the sharded supervisor acts on.
+    pub fn recv(&self) -> Result<T, RecvError> {
         let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(value) = state.queue.pop_front() {
                 drop(state);
                 self.shared.not_full.notify_one();
-                return Some(value);
+                return Ok(value);
             }
             if !state.sender_alive {
-                return None;
+                return Err(RecvError);
             }
             state = self
                 .shared
@@ -147,17 +209,24 @@ impl<T> Receiver<T> {
         }
     }
 
-    /// Dequeues the next message if one is queued; never blocks. `None`
-    /// means "empty right now or disconnected" — callers that must
-    /// distinguish should use [`Receiver::recv`].
-    pub fn try_recv(&self) -> Option<T> {
+    /// Dequeues the next message if one is queued; never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued but the sender is
+    /// alive; [`TryRecvError::Disconnected`] when the sender is gone and the
+    /// queue is drained.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let value = state.queue.pop_front();
-        drop(state);
-        if value.is_some() {
-            self.shared.not_full.notify_one();
+        match state.queue.pop_front() {
+            Some(value) => {
+                drop(state);
+                self.shared.not_full.notify_one();
+                Ok(value)
+            }
+            None if state.sender_alive => Err(TryRecvError::Empty),
+            None => Err(TryRecvError::Disconnected),
         }
-        value
     }
 }
 
@@ -193,7 +262,7 @@ mod tests {
             tx.send(i).unwrap();
         }
         for i in 0..4 {
-            assert_eq!(rx.recv(), Some(i));
+            assert_eq!(rx.recv(), Ok(i));
         }
     }
 
@@ -213,7 +282,7 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(got, vec![0, 1, 2, 3]);
-        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), Err(RecvError));
     }
 
     #[test]
@@ -221,16 +290,16 @@ mod tests {
         let (tx, rx) = channel(3);
         tx.send("a").unwrap();
         drop(tx);
-        assert_eq!(rx.recv(), Some("a"));
-        assert_eq!(rx.recv(), None);
-        assert_eq!(rx.recv(), None, "disconnect must be sticky");
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.recv(), Err(RecvError), "disconnect must be sticky");
     }
 
     #[test]
     fn send_fails_fast_when_receiver_gone() {
         let (tx, rx) = channel(1);
         drop(rx);
-        assert_eq!(tx.send(7), Err(Disconnected(7)));
+        assert_eq!(tx.send(7), Err(SendError(7)));
     }
 
     #[test]
@@ -241,16 +310,33 @@ mod tests {
         // give the producer time to block on the full queue, then drop
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(rx);
-        assert_eq!(producer.join().unwrap(), Err(Disconnected(2)));
+        assert_eq!(producer.join().unwrap(), Err(SendError(2)));
     }
 
     #[test]
-    fn try_recv_never_blocks() {
+    fn try_recv_never_blocks_and_types_the_reason() {
         let (tx, rx) = channel(2);
-        assert_eq!(rx.try_recv(), None);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         tx.send(5).unwrap();
-        assert_eq!(rx.try_recv(), Some(5));
-        assert_eq!(rx.try_recv(), None);
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn panicking_sender_surfaces_as_clean_disconnect() {
+        // A worker that dies *panicking* must surface to the survivor as a
+        // typed disconnect, not a poisoned-mutex panic — the property the
+        // sharded supervisor's death detection rests on.
+        let (tx, rx) = channel::<u32>(2);
+        let worker = std::thread::spawn(move || {
+            tx.send(41).unwrap();
+            panic!("injected worker death");
+        });
+        assert!(worker.join().is_err(), "worker should have panicked");
+        assert_eq!(rx.recv(), Ok(41), "queued message lost to a panicking sender");
+        assert_eq!(rx.recv(), Err(RecvError), "panic did not surface as disconnect");
     }
 
     #[test]
@@ -264,7 +350,7 @@ mod tests {
                 }
             });
             let mut next = 0usize;
-            while let Some(v) = rx.recv() {
+            while let Ok(v) = rx.recv() {
                 assert_eq!(v, next, "capacity {capacity}: out of order or duplicated");
                 next += 1;
             }

@@ -183,7 +183,7 @@ fn run_sharded(
     let spec = EngineSpec::new(&[AnomalyClass::Stealing], system_cfg(backend, precision));
     let mut rt = ShardedRuntime::new(
         spec,
-        ShardedConfig { shards, max_batch: 16, queue_depth: 2, inner_threads: None },
+        ShardedConfig { shards, max_batch: 16, queue_depth: 2, ..ShardedConfig::default() },
     );
     for s in 0..n_streams {
         let source =

@@ -42,7 +42,13 @@ fn serve(
     let spec = EngineSpec::new(&[AnomalyClass::Stealing], SystemConfig::default());
     let mut rt = ShardedRuntime::new(
         spec,
-        ShardedConfig { shards, max_batch, queue_depth, inner_threads: Some(1) },
+        ShardedConfig {
+            shards,
+            max_batch,
+            queue_depth,
+            inner_threads: Some(1),
+            ..ShardedConfig::default()
+        },
     );
     for s in 0..streams {
         let id = rt.add_stream(counted_source(s), s as u64, AdaptConfig::default());

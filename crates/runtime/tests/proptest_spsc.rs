@@ -6,7 +6,7 @@
 //! runtime's memory discipline rests on), and clean close-while-blocked
 //! semantics in both directions.
 
-use akg_runtime::spsc::{self, Disconnected};
+use akg_runtime::spsc::{self, RecvError, SendError, TryRecvError};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -30,12 +30,12 @@ fn sender_at_capacity_does_not_run_ahead() {
     // The producer must be parked at capacity, not buffering ahead.
     std::thread::sleep(Duration::from_millis(30));
     assert_eq!(sent.load(Ordering::SeqCst), 2, "send returned while the queue was full");
-    assert_eq!(rx.recv(), Some(0));
-    assert_eq!(rx.recv(), Some(1));
-    assert_eq!(rx.recv(), Some(2));
-    assert_eq!(rx.recv(), Some(3));
+    assert_eq!(rx.recv(), Ok(0));
+    assert_eq!(rx.recv(), Ok(1));
+    assert_eq!(rx.recv(), Ok(2));
+    assert_eq!(rx.recv(), Ok(3));
     producer.join().unwrap();
-    assert_eq!(rx.recv(), None);
+    assert_eq!(rx.recv(), Err(RecvError));
 }
 
 #[test]
@@ -45,7 +45,7 @@ fn receiver_blocked_on_empty_wakes_on_send() {
     // Let the consumer park on the empty queue before the send arrives.
     std::thread::sleep(Duration::from_millis(30));
     tx.send(99).unwrap();
-    assert_eq!(consumer.join().unwrap(), Some(99));
+    assert_eq!(consumer.join().unwrap(), Ok(99));
 }
 
 #[test]
@@ -54,7 +54,11 @@ fn receiver_blocked_on_empty_wakes_on_sender_drop() {
     let consumer = std::thread::spawn(move || rx.recv());
     std::thread::sleep(Duration::from_millis(30));
     drop(tx);
-    assert_eq!(consumer.join().unwrap(), None, "close-while-blocked must yield disconnect");
+    assert_eq!(
+        consumer.join().unwrap(),
+        Err(RecvError),
+        "close-while-blocked must yield a typed disconnect"
+    );
 }
 
 #[test]
@@ -66,7 +70,7 @@ fn sender_blocked_at_capacity_wakes_on_receiver_drop() {
     drop(rx);
     assert_eq!(
         producer.join().unwrap(),
-        Err(Disconnected(2)),
+        Err(SendError(2)),
         "close-while-blocked must hand the unsent message back"
     );
 }
@@ -108,8 +112,11 @@ fn run_interleaving(capacity: usize, total: usize, consumer_bursts: &[(usize, us
                 // Drain through the non-blocking path, spinning on empty.
                 loop {
                     match rx.try_recv() {
-                        Some(v) => break v,
-                        None => std::thread::yield_now(),
+                        Ok(v) => break v,
+                        Err(TryRecvError::Empty) => std::thread::yield_now(),
+                        Err(TryRecvError::Disconnected) => {
+                            panic!("sender disconnected with messages outstanding")
+                        }
                     }
                 }
             } else {
@@ -120,7 +127,7 @@ fn run_interleaving(capacity: usize, total: usize, consumer_bursts: &[(usize, us
         }
     }
     // Drain whatever the schedule left over, then observe disconnect.
-    while let Some(value) = rx.recv() {
+    while let Ok(value) = rx.recv() {
         assert_eq!(value, next);
         next += 1;
     }
@@ -153,18 +160,18 @@ proptest! {
             loop {
                 match tx.send(i) {
                     Ok(()) => i += 1,
-                    Err(Disconnected(v)) => return (i, v),
+                    Err(SendError(v)) => return (i, v),
                 }
             }
         });
         let mut got = 0usize;
         for _ in 0..accepted {
             match rx.recv() {
-                Some(v) => {
+                Ok(v) => {
                     prop_assert_eq!(v, got);
                     got += 1;
                 }
-                None => break,
+                Err(RecvError) => break,
             }
         }
         drop(rx);
