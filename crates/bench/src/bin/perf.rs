@@ -5,8 +5,9 @@
 //! `docs/PERFORMANCE.md` for how to read them).
 //!
 //! Usage: `perf [--smoke] [--threads N] [--backend B] [--precision P]
-//! [--streams N] [--shards N] [--alloc-stats] [--load PATTERN]
-//! [--faults] [--slo-out PATH] [--out PATH] [--serve-out PATH]`
+//! [--streams N] [--shards N] [--sessions N] [--alloc-stats]
+//! [--load PATTERN] [--faults] [--slo-out PATH] [--out PATH]
+//! [--serve-out PATH]`
 //!
 //! - `--smoke`: tiny sizes and iteration counts (seconds, for CI) instead of
 //!   the full measurement sizes. Smoke output is for validating the harness
@@ -56,6 +57,16 @@
 //!   term covers corrupted frames) and at least one recovery must actually
 //!   fire. Either failure exits non-zero — the CI regression gate for
 //!   fault-tolerant serving.
+//! - `--sessions N`: run the session-tier cell — register `N` lazy sessions
+//!   over one shared engine in a [`SessionTier`] with a small resident cap,
+//!   then serve a rotating active window so cold starts, evictions, and
+//!   rehydrations all fire. Records the schema v8 `sessions` object of
+//!   `BENCH_serve.json`: bytes/session for the copy-on-write overlay vs a
+//!   dense fork, per-session checkpoint size, tier counters, and
+//!   resume-latency (rehydration) percentiles. Two hard gates run: every
+//!   rehydration must validate (zero `rehydration_failures`) and the
+//!   overlay must actually be smaller than the dense fork. Either failure
+//!   exits non-zero — the CI regression gate for bounded-RAM serving.
 //! - `--slo-out PATH`: also dump the raw non-zero histogram buckets
 //!   (wait-ticks and wall-clock nanoseconds) of every latency cell to
 //!   `PATH` — the full-distribution record behind the percentile summary.
@@ -72,7 +83,8 @@ use akg_kg::AnomalyClass;
 use akg_runtime::{
     ArrivalPattern, ChaosConfig, EngineSpec, FaultPlan, LatencySummary, LoadConfig, LoadCounters,
     LoadedRuntime, MultiStreamRuntime, OwnedShardedRuntime, OwnedStreamRuntime, RecoveryStats,
-    RuntimeConfig, ScriptedFault, ShardedConfig, ShardedRuntime,
+    RuntimeConfig, ScriptedFault, SessionTier, ShardedConfig, ShardedRuntime, TierConfig,
+    TierCounters,
 };
 use akg_tensor::backend::{cpu_features, effective_backend, set_backend, Backend};
 use akg_tensor::nn::Module;
@@ -383,6 +395,34 @@ struct SloReport {
     cells: Vec<SloCellDump>,
 }
 
+/// The `--sessions` cell: RAM and resume-latency economics of serving far
+/// more registered sessions than fit resident, via the copy-on-write
+/// session tier (schema v8).
+#[derive(Debug, Serialize)]
+struct SessionsReport {
+    /// Sessions registered in the tier (lazy — most never materialize).
+    registered: usize,
+    /// Resident working-set cap the tier was run at.
+    max_resident: usize,
+    /// Frames served through the rotating active window.
+    frames_served: usize,
+    /// Private heap bytes of a dense-fork session of the same engine — the
+    /// pre-overlay per-session cost this PR replaces.
+    dense_bytes_per_session: usize,
+    /// Mean private heap bytes per resident overlay session after serving.
+    overlay_bytes_per_session: f64,
+    /// `dense_bytes_per_session / overlay_bytes_per_session` — the headline
+    /// RAM reduction (gated ≥ 10× in CI via the `sessions` schema check).
+    bytes_shrink: f64,
+    /// Mean serialized checkpoint size of the sessions the tier spooled —
+    /// the adapted-row delta, not the full table.
+    checkpoint_bytes_per_session: f64,
+    /// Tier lifetime counters; `rehydration_failures` must be zero.
+    counters: TierCounters,
+    /// Wall-clock spool-read → validate → restore latency per rehydration.
+    resume_latency_ns: LatencySummary,
+}
+
 /// The `BENCH_serve.json` document.
 #[derive(Debug, Serialize)]
 struct ServeReport {
@@ -424,6 +464,9 @@ struct ServeReport {
     /// The fault-injection recovery cell (`--faults` only; `null`
     /// otherwise) — schema v7.
     recovery: Option<RecoveryReport>,
+    /// The session-tier cell (`--sessions` only; `null` otherwise) —
+    /// schema v8.
+    sessions: Option<SessionsReport>,
 }
 
 fn serve_runtime(
@@ -766,7 +809,7 @@ fn bench_serving(
     let single_per_frame = points.first().map(|p| p.per_frame_frames_per_sec).unwrap_or(f64::NAN);
     let largest_batched = points.last().map(|p| p.batched_frames_per_sec).unwrap_or(f64::NAN);
     let report = ServeReport {
-        schema_version: 7,
+        schema_version: 8,
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads: effective_threads(),
         backend: backend_name(),
@@ -780,8 +823,80 @@ fn bench_serving(
         batched_aggregate_vs_single_per_frame: largest_batched / single_per_frame.max(1e-9),
         alloc: None,
         recovery: None,
+        sessions: None,
     };
     (report, dumps)
+}
+
+/// The session-tier cell: registers `registered` lazy sessions over one
+/// shared engine, then serves a rotating active window twice as wide as the
+/// resident cap — first pass cold-starts and evicts, second pass rehydrates
+/// from the spool — plus the highest-numbered session, so the registry's
+/// full width is exercised. Every measurement is per-session economics, not
+/// throughput: the tier's serve path is the same `observe_stream` the other
+/// cells time.
+fn bench_sessions(
+    smoke: bool,
+    registered: usize,
+    parallelism: Parallelism,
+    backend: Backend,
+    precision: Precision,
+) -> SessionsReport {
+    let config = SystemConfig { parallelism, backend, precision, ..SystemConfig::default() };
+    let engine = Engine::build(&[AnomalyClass::Stealing], &config);
+    let dense_bytes_per_session = engine.new_session_dense(0x5EED).state_bytes();
+    let max_resident = if smoke { 16 } else { 64 };
+    let mut cfg = TierConfig::bounded(max_resident);
+    cfg.spool_dir = cfg.spool_dir.join("bench");
+    let mut tier = SessionTier::new(engine, cfg);
+    for s in 0..registered {
+        let adapt = AdaptConfig { seed: s as u64, ..AdaptConfig::default() };
+        tier.register(0x5EED ^ s as u64, adapt);
+    }
+    let ds = Arc::new(SyntheticUcfCrime::generate(
+        DatasetConfig::scaled(if smoke { 0.004 } else { 0.02 })
+            .with_classes(&[AnomalyClass::Stealing, AnomalyClass::Robbery])
+            .with_seed(7),
+    ));
+    let mut source = AdaptationStream::owned(Arc::clone(&ds), AnomalyClass::Stealing, 0.3, 900);
+    let active = (2 * max_resident).min(registered);
+    let mut frames_served = 0usize;
+    let mut serve = |tier: &mut SessionTier, id: usize, source: &mut AdaptationStream| {
+        let (frame, _) = source.next_frame();
+        tier.serve_frame(id, &frame).expect("tier serve");
+        frames_served += 1;
+    };
+    for pass in 0..2 {
+        let frames_each = if pass == 0 { 2 } else { 1 };
+        for id in 0..active {
+            for _ in 0..frames_each {
+                serve(&mut tier, id, &mut source);
+            }
+        }
+    }
+    // touch the far end of the registry: a lazy slot at index N-1 must be
+    // servable without anything below it ever materializing
+    serve(&mut tier, registered - 1, &mut source);
+
+    // per-session economics of what the run left behind
+    let overlay_bytes_per_session =
+        tier.resident_bytes() as f64 / tier.resident_count().max(1) as f64;
+    let spooled: Vec<usize> = (0..active).filter_map(|id| tier.checkpoint_bytes(id)).collect();
+    let checkpoint_bytes_per_session =
+        spooled.iter().sum::<usize>() as f64 / spooled.len().max(1) as f64;
+    let report = SessionsReport {
+        registered,
+        max_resident,
+        frames_served,
+        dense_bytes_per_session,
+        overlay_bytes_per_session,
+        bytes_shrink: dense_bytes_per_session as f64 / overlay_bytes_per_session.max(1.0),
+        checkpoint_bytes_per_session,
+        counters: tier.counters(),
+        resume_latency_ns: LatencySummary::of(tier.resume_latency()),
+    };
+    tier.clear_spool();
+    report
 }
 
 /// Measures steady-state serving allocations through the counting
@@ -1077,6 +1192,7 @@ fn main() {
         flag_value(&args, "--streams").and_then(|v| v.parse::<usize>().ok()).unwrap_or(16);
     let max_shards =
         flag_value(&args, "--shards").and_then(|v| v.parse::<usize>().ok()).unwrap_or(4);
+    let sessions_count = flag_value(&args, "--sessions").and_then(|v| v.parse::<usize>().ok());
     let slo_out = flag_value(&args, "--slo-out");
     let patterns: Vec<ArrivalPattern> = match flag_value(&args, "--load") {
         Some(name) => match ArrivalPattern::preset(&name) {
@@ -1319,6 +1435,47 @@ fn main() {
         );
         serve.recovery = Some(r);
     }
+    let mut sessions_gate_failed = false;
+    if let Some(n) = sessions_count {
+        if n == 0 {
+            eprintln!("perf: --sessions needs a positive count");
+            std::process::exit(2);
+        }
+        let s = bench_sessions(smoke, n, parallelism, backend, precision);
+        println!(
+            "  sessions: {} registered @ cap {} | overlay {:.0} B vs dense {} B ({:.1}x \
+             smaller) | checkpoint ~{:.0} B | {} cold, {} evicted, {} rehydrated ({} failed) | \
+             resume p50/p99 = {:.0}/{:.0} us",
+            s.registered,
+            s.max_resident,
+            s.overlay_bytes_per_session,
+            s.dense_bytes_per_session,
+            s.bytes_shrink,
+            s.checkpoint_bytes_per_session,
+            s.counters.cold_starts,
+            s.counters.evictions,
+            s.counters.rehydrations,
+            s.counters.rehydration_failures,
+            s.resume_latency_ns.p50 as f64 / 1e3,
+            s.resume_latency_ns.p99 as f64 / 1e3,
+        );
+        if s.counters.rehydration_failures > 0 {
+            eprintln!(
+                "perf: SESSION TIER REGRESSION — {} rehydration(s) failed validation",
+                s.counters.rehydration_failures
+            );
+            sessions_gate_failed = true;
+        }
+        if s.overlay_bytes_per_session >= s.dense_bytes_per_session as f64 {
+            eprintln!(
+                "perf: SESSION TIER REGRESSION — overlay session ({:.0} B) is not smaller \
+                 than a dense fork ({} B)",
+                s.overlay_bytes_per_session, s.dense_bytes_per_session
+            );
+            sessions_gate_failed = true;
+        }
+        serve.sessions = Some(s);
+    }
     let mut over_budget = false;
     if alloc_stats {
         let a = measure_alloc_stats(smoke, parallelism, backend, precision);
@@ -1343,7 +1500,7 @@ fn main() {
     let json = serde_json::to_string(&serve).expect("serialize serve report");
     std::fs::write(&serve_out, json).expect("write serve report");
     println!("perf: wrote {serve_out}");
-    if over_budget || q8_gate_failed {
+    if over_budget || q8_gate_failed || sessions_gate_failed {
         std::process::exit(1);
     }
 }

@@ -167,7 +167,6 @@ pub struct ContinuousAdapter {
     tracker: MeanShiftTracker,
     /// Recent frame embeddings, oldest first (capacity `n_window`).
     buffer: VecDeque<Vec<f32>>,
-    optimizer: Sgd,
     drift: HashMap<(usize, NodeId), DriftState>,
     rng: StdRng,
     replacements: usize,
@@ -199,12 +198,6 @@ impl ContinuousAdapter {
     pub fn attach(engine: &Engine, session: &mut Session, cfg: AdaptConfig) -> Self {
         assert!(cfg.interval > 0, "AdaptConfig::interval must be positive");
         engine.set_adaptation_mode(session, true);
-        // Plain SGD, deliberately: scale-free optimizers (Adam family) move
-        // noise coordinates exactly as fast as signal coordinates, so
-        // contaminated pseudo-labels would drift the tokens as strongly as
-        // true anomaly signal. With SGD the update magnitude is proportional
-        // to gradient consistency and selection noise self-cancels.
-        let optimizer = Sgd::new(vec![session.table.param()], cfg.lr);
         let tracker = if cfg.anchored_reference {
             MeanShiftTracker::anchored(cfg.n_window)
         } else {
@@ -213,7 +206,6 @@ impl ContinuousAdapter {
         let mut adapter = ContinuousAdapter {
             tracker,
             buffer: VecDeque::with_capacity(cfg.n_window),
-            optimizer,
             drift: HashMap::new(),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xADA7),
             replacements: 0,
@@ -457,6 +449,20 @@ impl ContinuousAdapter {
         // positive selections otherwise inflate normal scores in lockstep.
         let normals: Vec<usize> = order.iter().rev().copied().take(2 * anomalies.len()).collect();
 
+        // Train against a transient dense scratch fork of the session table:
+        // overlay and dense sessions share one update path (so their results
+        // are bit-identical by construction — clip_grad_norm sees the same
+        // full-capacity gradient layout either way), and overlays never need
+        // a parameter tensor of their own. Plain SGD, deliberately:
+        // scale-free optimizers (Adam family) move noise coordinates exactly
+        // as fast as signal coordinates, so contaminated pseudo-labels would
+        // drift the tokens as strongly as true anomaly signal. With SGD the
+        // update magnitude is proportional to gradient consistency and
+        // selection noise self-cancels. Momentum is zero, so a fresh
+        // optimizer per trigger carries no lost state.
+        let scratch = session.table.fork();
+        let mut optimizer = Sgd::new(vec![scratch.param()], self.cfg.lr);
+
         let mut logit_rows: Vec<Tensor> = Vec::with_capacity(2 * k);
         let mut targets: Vec<usize> = Vec::with_capacity(2 * k);
         let mut windows: Vec<Vec<Vec<f32>>> = Vec::with_capacity(2 * k);
@@ -480,7 +486,7 @@ impl ContinuousAdapter {
             } else {
                 0
             };
-            logit_rows.push(engine.window_logits(session, &window));
+            logit_rows.push(engine.window_logits_with_table(session, &scratch, &window));
             targets.push(target);
             windows.push(window);
         }
@@ -495,8 +501,10 @@ impl ContinuousAdapter {
             let logits = if epoch == 0 {
                 Tensor::concat_rows(&logit_rows)
             } else {
-                let rows: Vec<Tensor> =
-                    windows.iter().map(|w| engine.window_logits(session, w)).collect();
+                let rows: Vec<Tensor> = windows
+                    .iter()
+                    .map(|w| engine.window_logits_with_table(session, &scratch, w))
+                    .collect();
                 Tensor::concat_rows(&rows)
             };
             let loss = decision_loss_smoothed(
@@ -506,12 +514,15 @@ impl ContinuousAdapter {
                 model_cfg.lambda_spa,
                 model_cfg.lambda_smt,
             );
-            self.optimizer.zero_grad();
+            optimizer.zero_grad();
             loss.backward();
-            session.table.param().clip_grad_norm(self.cfg.max_grad_norm);
-            self.optimizer.step();
+            scratch.param().clip_grad_norm(self.cfg.max_grad_norm);
+            optimizer.step();
             last_loss = loss.item();
         }
+        // Fold the trained rows back: dense sessions copy the matrix,
+        // overlays materialize exactly the rows whose bits changed.
+        session.table.absorb_scratch(&scratch);
         last_loss
     }
 

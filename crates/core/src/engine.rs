@@ -26,6 +26,75 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A copy-on-write vector: shared (an `Arc` into the engine's immutable
+/// template) until first mutable access, at which point it silently
+/// materializes a private owned copy. `Deref`/`DerefMut` make it a drop-in
+/// replacement for `Vec` at every existing call site — reads never copy,
+/// and `session.kgs[i].kg = …`-style writes trigger the materialization.
+#[derive(Debug, Clone)]
+pub struct CowVec<T: Clone> {
+    repr: CowRepr<T>,
+}
+
+#[derive(Debug, Clone)]
+enum CowRepr<T> {
+    Shared(Arc<Vec<T>>),
+    Owned(Vec<T>),
+}
+
+impl<T: Clone> CowVec<T> {
+    /// A shared view of the given template (zero-copy).
+    pub fn shared(data: Arc<Vec<T>>) -> Self {
+        CowVec { repr: CowRepr::Shared(data) }
+    }
+
+    /// A privately owned vector (the dense-fork form).
+    pub fn owned(data: Vec<T>) -> Self {
+        CowVec { repr: CowRepr::Owned(data) }
+    }
+
+    /// Whether the contents are still the shared template (no private copy
+    /// has been materialized). Checkpoints use this to skip serializing
+    /// state the engine can reconstruct.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.repr, CowRepr::Shared(_))
+    }
+}
+
+impl<T: Clone> Deref for CowVec<T> {
+    type Target = Vec<T>;
+
+    fn deref(&self) -> &Vec<T> {
+        match &self.repr {
+            CowRepr::Shared(arc) => arc,
+            CowRepr::Owned(v) => v,
+        }
+    }
+}
+
+impl<T: Clone> DerefMut for CowVec<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        if let CowRepr::Shared(arc) = &self.repr {
+            self.repr = CowRepr::Owned(arc.as_ref().clone());
+        }
+        match &mut self.repr {
+            CowRepr::Owned(v) => v,
+            CowRepr::Shared(_) => unreachable!("CowVec materialized above"),
+        }
+    }
+}
+
+impl<'a, T: Clone> IntoIterator for &'a CowVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
 
 /// The shareable, immutable-after-build half of a deployed system.
 ///
@@ -45,30 +114,41 @@ pub struct Engine {
     /// The trained token-embedding table — the *template* every session
     /// forks its private adaptive copy from.
     pub table: TokenTable,
-    /// Tokenized mission KGs (session templates).
-    pub kgs: Vec<TokenizedKg>,
+    /// Tokenized mission KGs (session templates), `Arc`'d so overlay
+    /// sessions can share them without copying.
+    pub kgs: Arc<Vec<TokenizedKg>>,
     /// Execution layouts matching [`Engine::kgs`].
-    pub layouts: Vec<KgLayout>,
+    pub layouts: Arc<Vec<KgLayout>>,
     /// The GNN + temporal + head decision model (shared by all sessions).
     pub model: DecisionModel,
+    /// Flat snapshot of [`Engine::table`]'s weights, shared by every overlay
+    /// session as its copy-on-write base. Valid for the engine's lifetime:
+    /// the template table is frozen during training and never written after
+    /// build (test-enforced by `adaptation_never_touches_engine_template`).
+    table_base: Arc<Vec<f32>>,
     seed: u64,
 }
 
 /// Per-stream serving state: everything continuous adaptation mutates.
 ///
-/// Sessions are cheap relative to the engine (a token-table fork plus small
-/// KG copies) and fully isolated from each other — the "session-local
-/// token-table delta" design: rather than diffing against the shared table,
-/// each session owns a complete fork, which makes per-stream adaptation
-/// trivially race-free and bit-identical to a single-tenant deployment.
+/// Sessions are cheap relative to the engine and fully isolated from each
+/// other — the "session-local token-table delta" design made literal: the
+/// default session holds a *sparse copy-on-write overlay* over the engine's
+/// table (adapted rows only) and shares the engine's KGs/layouts until the
+/// first structural edit, so an unadapted session is a few hundred bytes,
+/// not a full model copy. [`Engine::new_session_dense`] still hands out the
+/// fully private dense fork (single-tenant training systems use it), and the
+/// two forms are bit-identical in behaviour — the overlay ≡ dense contract
+/// is enforced in `tests/overlay_equivalence.rs`.
 #[derive(Debug)]
 pub struct Session {
-    /// The stream's private, trainable token-table fork.
+    /// The stream's private adaptive token table (overlay or dense fork).
     pub table: TokenTable,
-    /// The stream's private KG copies (structural adaptation edits these).
-    pub kgs: Vec<TokenizedKg>,
+    /// The stream's KG copies — shared with the engine until structural
+    /// adaptation first edits them.
+    pub kgs: CowVec<TokenizedKg>,
     /// Execution layouts matching [`Session::kgs`].
-    pub layouts: Vec<KgLayout>,
+    pub layouts: CowVec<KgLayout>,
     /// The stream's frame-embedding noise generator. Per-stream, so scoring
     /// one stream never perturbs another stream's embedding sequence.
     pub frame_rng: StdRng,
@@ -96,6 +176,54 @@ impl Session {
     pub fn workspace_stats(&self) -> WorkspaceStats {
         self.workspace.borrow().stats()
     }
+
+    /// Estimated resident heap bytes this session *privately* owns: the
+    /// table fork or overlay rows, plus KG/layout copies when materialized
+    /// (shared templates count as pointer-sized). The session-tier bench
+    /// reports this as bytes/session; it deliberately excludes the engine's
+    /// shared artifacts and the transient workspace pools.
+    pub fn state_bytes(&self) -> usize {
+        let mut bytes = self.table.state_bytes();
+        if self.kgs.is_shared() {
+            bytes += std::mem::size_of::<Arc<Vec<TokenizedKg>>>();
+        } else {
+            for tkg in self.kgs.iter() {
+                bytes += tokenized_kg_bytes(tkg);
+            }
+        }
+        if self.layouts.is_shared() {
+            bytes += std::mem::size_of::<Arc<Vec<KgLayout>>>();
+        } else {
+            for layout in self.layouts.iter() {
+                bytes += layout_bytes(layout);
+            }
+        }
+        bytes
+    }
+}
+
+/// Estimated heap bytes of one tokenized KG copy (graph + token map +
+/// mission embedding).
+fn tokenized_kg_bytes(tkg: &TokenizedKg) -> usize {
+    let node_bytes = tkg.kg.node_count() * (std::mem::size_of::<akg_kg::KgNode>() + 16);
+    let edge_bytes = tkg.kg.edge_count() * std::mem::size_of::<(akg_kg::NodeId, akg_kg::NodeId)>();
+    let token_bytes: usize = tkg
+        .node_tokens
+        .values()
+        .map(|t| t.len() * std::mem::size_of::<usize>() + 2 * std::mem::size_of::<usize>())
+        .sum();
+    node_bytes + edge_bytes + token_bytes + tkg.mission_embedding.len() * 4
+}
+
+/// Estimated heap bytes of one execution layout copy.
+fn layout_bytes(layout: &KgLayout) -> usize {
+    let mut bytes = layout.rows.len() * std::mem::size_of::<akg_kg::NodeId>()
+        + layout.row_of.len() * 3 * std::mem::size_of::<usize>();
+    for level in &layout.levels {
+        bytes += (level.srcs.len() + level.dsts.len()) * std::mem::size_of::<usize>()
+            + (level.inv_counts.len() + level.keep_mask.len()) * 4;
+    }
+    bytes
 }
 
 impl Engine {
@@ -150,14 +278,16 @@ impl Engine {
         // model-related, so adaptation stays f32 automatically.
         model.set_precision(config.precision);
 
+        let table_base = Arc::new(table.to_dense_vec());
         Engine {
             missions: missions.to_vec(),
             tokenizer,
             space,
             table,
-            kgs,
-            layouts,
+            kgs: Arc::new(kgs),
+            layouts: Arc::new(layouts),
             model,
+            table_base,
             seed: config.seed,
         }
     }
@@ -184,17 +314,41 @@ impl Engine {
         self.model.config()
     }
 
-    /// Creates a fresh per-stream session: a fork of the trained token
-    /// table, private copies of the tokenized KGs and layouts, and a
-    /// frame-embedding RNG seeded with `frame_seed`.
+    /// Creates a fresh per-stream session in the default *overlay* form: a
+    /// sparse copy-on-write table over the engine's shared base, shared
+    /// KG/layout templates (copied only on first structural edit), and a
+    /// frame-embedding RNG seeded with `frame_seed`. Behaviour is
+    /// bit-identical to [`Engine::new_session_dense`]; the resident
+    /// footprint is proportional to what adaptation actually touched.
     pub fn new_session(&self, frame_seed: u64) -> Session {
         Session {
-            table: self.table.fork(),
-            kgs: self.kgs.clone(),
-            layouts: self.layouts.clone(),
+            table: self.table.fork_overlay(&self.table_base),
+            kgs: CowVec::shared(Arc::clone(&self.kgs)),
+            layouts: CowVec::shared(Arc::clone(&self.layouts)),
             frame_rng: StdRng::seed_from_u64(frame_seed),
             workspace: RefCell::new(Workspace::new()),
         }
+    }
+
+    /// Creates a session holding fully private *dense* copies: a trainable
+    /// token-table fork plus owned KG/layout vectors. Single-tenant systems
+    /// ([`crate::pipeline::MissionSystem`]) use this — initial training
+    /// differentiates through the session table, which only the dense form
+    /// supports — and the overlay equivalence suite uses it as the oracle.
+    pub fn new_session_dense(&self, frame_seed: u64) -> Session {
+        Session {
+            table: self.table.fork(),
+            kgs: CowVec::owned(self.kgs.as_ref().clone()),
+            layouts: CowVec::owned(self.layouts.as_ref().clone()),
+            frame_rng: StdRng::seed_from_u64(frame_seed),
+            workspace: RefCell::new(Workspace::new()),
+        }
+    }
+
+    /// The shared overlay base (the engine table's flat weight snapshot).
+    /// Session-tier rehydration forks fresh overlays against it.
+    pub fn table_base(&self) -> &Arc<Vec<f32>> {
+        &self.table_base
     }
 
     /// Encodes a frame into the joint space through the session's private
@@ -250,11 +404,24 @@ impl Engine {
     /// Differentiable logits for one window (training and adaptation run
     /// through this; gradients reach the session's table fork).
     pub fn window_logits(&self, session: &Session, window: &[Vec<f32>]) -> akg_tensor::Tensor {
+        self.window_logits_with_table(session, &session.table, window)
+    }
+
+    /// [`Engine::window_logits`] against an explicit table — adaptation
+    /// trains a transient dense scratch fork through this (the session's own
+    /// table may be a non-differentiable overlay), then absorbs the trained
+    /// rows back.
+    pub fn window_logits_with_table(
+        &self,
+        session: &Session,
+        table: &TokenTable,
+        window: &[Vec<f32>],
+    ) -> akg_tensor::Tensor {
         let kgs: Vec<&TokenizedKg> = session.kgs.iter().collect();
         let layouts: Vec<&KgLayout> = session.layouts.iter().collect();
         let embeddings: Vec<akg_tensor::Tensor> = window
             .iter()
-            .map(|f| self.model.reasoning_embedding(&kgs, &layouts, &session.table, f))
+            .map(|f| self.model.reasoning_embedding(&kgs, &layouts, table, f))
             .collect();
         let temporal = self.model.temporal_embedding(&embeddings);
         self.model.logits(&temporal)
@@ -381,13 +548,40 @@ mod tests {
     #[test]
     fn sessions_are_isolated_forks() {
         let engine = engine();
-        let a = engine.new_session(1);
+        let mut a = engine.new_session(1);
         let b = engine.new_session(2);
-        let before_b = b.table.param().to_vec();
+        let before_b = b.table.to_dense_vec();
         let before_engine = engine.table.param().to_vec();
-        a.table.param().update_data(|d| d.iter_mut().for_each(|v| *v += 1.0));
-        assert_eq!(b.table.param().to_vec(), before_b, "session B saw session A's update");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let row = a.table.allocate_random_row(&mut rng).unwrap();
+        assert!(a.table.row_data(row).iter().any(|v| *v != 0.0));
+        assert_eq!(b.table.to_dense_vec(), before_b, "session B saw session A's update");
         assert_eq!(engine.table.param().to_vec(), before_engine, "engine table mutated");
+    }
+
+    #[test]
+    fn overlay_sessions_share_until_first_edit() {
+        let engine = engine();
+        let mut s = engine.new_session(3);
+        assert!(s.table.is_overlay());
+        assert!(s.kgs.is_shared());
+        assert!(s.layouts.is_shared());
+        let shared_bytes = s.state_bytes();
+        let dense_bytes = engine.new_session_dense(3).state_bytes();
+        assert!(
+            shared_bytes * 10 <= dense_bytes,
+            "overlay session ({shared_bytes} B) not >=10x smaller than dense ({dense_bytes} B)"
+        );
+        // Structural edit materializes a private copy; the engine template
+        // stays untouched.
+        let engine_nodes = engine.kgs[0].kg.node_count();
+        let id = s.kgs[0].kg.node_ids_at_level(1)[0];
+        let _ = s.kgs[0].kg.prune_node(id);
+        s.rebuild_layout(0);
+        assert!(!s.kgs.is_shared());
+        assert!(!s.layouts.is_shared());
+        assert_eq!(engine.kgs[0].kg.node_count(), engine_nodes, "engine template mutated");
+        assert!(s.kgs[0].kg.node_count() < engine_nodes);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod train;
 
 pub use adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
 pub use config::{ModelConfig, TrainConfig};
-pub use engine::{Engine, Session};
+pub use engine::{CowVec, Engine, Session};
 pub use experiment::{
     run_retrieval_drift, run_trend_shift, RetrievalDriftParams, RetrievalDriftResult,
     TrendShiftCurve, TrendShiftParams, TrendShiftResult,

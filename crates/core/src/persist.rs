@@ -12,13 +12,14 @@
 //! image is fixed and only learned state moves.
 
 use crate::adapt::{AdaptConfig, AdaptSnapshot, ContinuousAdapter};
-use crate::engine::{Engine, Session};
+use crate::engine::{CowVec, Engine, Session};
 use crate::pipeline::MissionSystem;
 use akg_kg::{KnowledgeGraph, NodeId};
 use akg_tensor::nn::Module;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Live per-session serving state: what distinguishes a mid-stream
 /// deployment from a freshly loaded one.
@@ -198,14 +199,31 @@ pub fn load_state_json(sys: &mut MissionSystem, json: &str) -> Result<(), String
 /// so serialized checkpoints are byte-deterministic.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SessionCheckpoint {
-    /// KG structures, one JSON document per mission.
+    /// Whether the session's KGs/layouts were still the engine's shared
+    /// templates at capture (no structural adaptation yet). When true, the
+    /// three per-KG arrays are left empty and restore re-points the session
+    /// at the engine's templates — the engine reconstructs them
+    /// deterministically, so serializing them would be redundant bytes.
+    pub kgs_shared: bool,
+    /// KG structures, one JSON document per mission (empty when
+    /// `kgs_shared`).
     pub kgs: Vec<String>,
-    /// Node-token assignments per KG, sorted by node id.
+    /// Node-token assignments per KG, sorted by node id (empty when
+    /// `kgs_shared`).
     pub node_tokens: Vec<Vec<(usize, Vec<usize>)>>,
-    /// Per-KG mission embeddings.
+    /// Per-KG mission embeddings (empty when `kgs_shared`).
     pub mission_embeddings: Vec<Vec<f32>>,
-    /// The session's adaptive token-table fork.
+    /// Whether the capture came from an overlay table (adapted-row delta)
+    /// rather than a dense fork (full matrix).
+    pub table_overlay: bool,
+    /// The session's full dense table (dense sessions only; empty for
+    /// overlays).
     pub token_table: Vec<f32>,
+    /// The overlay's adapted rows, sorted by row index (overlay sessions
+    /// only; empty for dense). This is what collapses a checkpoint from the
+    /// full-table hundreds of KB to a delta proportional to the rows
+    /// adaptation actually touched.
+    pub table_delta: Vec<(usize, Vec<f32>)>,
     /// The token table's spare-row cursor.
     pub next_spare: usize,
     /// Frame-embedding RNG state (xoshiro256++ words).
@@ -215,22 +233,43 @@ pub struct SessionCheckpoint {
 }
 
 /// Captures a live session and its adaptation loop into a
-/// [`SessionCheckpoint`].
+/// [`SessionCheckpoint`]. Overlay sessions capture only their adapted-row
+/// delta (and skip KG bodies entirely while they still share the engine's
+/// templates); dense sessions capture the full state as before.
 pub fn checkpoint_session(session: &Session, adapter: &ContinuousAdapter) -> SessionCheckpoint {
+    let kgs_shared = session.kgs.is_shared() && session.layouts.is_shared();
+    let (kgs, node_tokens, mission_embeddings) = if kgs_shared {
+        (Vec::new(), Vec::new(), Vec::new())
+    } else {
+        (
+            session.kgs.iter().map(|t| t.kg.to_json().expect("KG serializes")).collect(),
+            session
+                .kgs
+                .iter()
+                .map(|t| {
+                    let mut rows: Vec<(usize, Vec<usize>)> =
+                        t.node_tokens.iter().map(|(id, rows)| (id.0, rows.clone())).collect();
+                    rows.sort_unstable_by_key(|(id, _)| *id);
+                    rows
+                })
+                .collect(),
+            session.kgs.iter().map(|t| t.mission_embedding.clone()).collect(),
+        )
+    };
+    let table_overlay = session.table.is_overlay();
+    let (token_table, table_delta) = if table_overlay {
+        (Vec::new(), session.table.overlay_delta())
+    } else {
+        (session.table.param().to_vec(), Vec::new())
+    };
     SessionCheckpoint {
-        kgs: session.kgs.iter().map(|t| t.kg.to_json().expect("KG serializes")).collect(),
-        node_tokens: session
-            .kgs
-            .iter()
-            .map(|t| {
-                let mut rows: Vec<(usize, Vec<usize>)> =
-                    t.node_tokens.iter().map(|(id, rows)| (id.0, rows.clone())).collect();
-                rows.sort_unstable_by_key(|(id, _)| *id);
-                rows
-            })
-            .collect(),
-        mission_embeddings: session.kgs.iter().map(|t| t.mission_embedding.clone()).collect(),
-        token_table: session.table.param().to_vec(),
+        kgs_shared,
+        kgs,
+        node_tokens,
+        mission_embeddings,
+        table_overlay,
+        token_table,
+        table_delta,
         next_spare: session.table.next_spare(),
         frame_rng: session.frame_rng.export_state().to_vec(),
         adapter: adapter.snapshot(),
@@ -253,21 +292,63 @@ pub fn restore_session(
     cfg: AdaptConfig,
     cp: &SessionCheckpoint,
 ) -> Result<ContinuousAdapter, String> {
-    if cp.kgs.len() != session.kgs.len() {
-        return Err(format!(
-            "checkpoint KG count mismatch: {} vs session {}",
-            cp.kgs.len(),
-            session.kgs.len()
-        ));
+    if cp.kgs_shared {
+        if !cp.kgs.is_empty() || !cp.node_tokens.is_empty() || !cp.mission_embeddings.is_empty() {
+            return Err("shared-KG checkpoint carries KG bodies".to_string());
+        }
+    } else {
+        if cp.kgs.len() != session.kgs.len() {
+            return Err(format!(
+                "checkpoint KG count mismatch: {} vs session {}",
+                cp.kgs.len(),
+                session.kgs.len()
+            ));
+        }
+        if cp.node_tokens.len() != cp.kgs.len() || cp.mission_embeddings.len() != cp.kgs.len() {
+            return Err("checkpoint per-KG arrays disagree in length".to_string());
+        }
     }
-    if cp.node_tokens.len() != cp.kgs.len() || cp.mission_embeddings.len() != cp.kgs.len() {
-        return Err("checkpoint per-KG arrays disagree in length".to_string());
+    let (capacity, dim) = (session.table.capacity(), session.table.dim());
+    if cp.table_overlay {
+        if !session.table.is_overlay() {
+            return Err("overlay checkpoint cannot restore into a dense session".to_string());
+        }
+        if !cp.token_table.is_empty() {
+            return Err("overlay checkpoint carries a dense table".to_string());
+        }
+        let mut prev: Option<usize> = None;
+        for (r, v) in &cp.table_delta {
+            if *r >= capacity {
+                return Err(format!("checkpoint delta row {r} out of bounds ({capacity})"));
+            }
+            if v.len() != dim {
+                return Err(format!("checkpoint delta row {r} has {} values, want {dim}", v.len()));
+            }
+            if prev.is_some_and(|p| p >= *r) {
+                return Err("checkpoint delta rows must be sorted and unique".to_string());
+            }
+            prev = Some(*r);
+        }
+    } else {
+        if session.table.is_overlay() {
+            return Err("dense checkpoint cannot restore into an overlay session".to_string());
+        }
+        if !cp.table_delta.is_empty() {
+            return Err("dense checkpoint carries an overlay delta".to_string());
+        }
+        if capacity * dim != cp.token_table.len() {
+            return Err(format!(
+                "checkpoint token table size mismatch: {} vs session {}",
+                cp.token_table.len(),
+                capacity * dim
+            ));
+        }
     }
-    if session.table.param().numel() != cp.token_table.len() {
+    if !(session.table.vocab_len()..=capacity).contains(&cp.next_spare) {
         return Err(format!(
-            "checkpoint token table size mismatch: {} vs session {}",
-            cp.token_table.len(),
-            session.table.param().numel()
+            "checkpoint spare cursor {} outside [{}, {capacity}]",
+            cp.next_spare,
+            session.table.vocab_len()
         ));
     }
     let frame_rng: [u64; 4] = cp
@@ -298,14 +379,26 @@ pub fn restore_session(
     }
 
     // all checks passed; apply
-    for (i, kg) in kgs.into_iter().enumerate() {
-        session.kgs[i].kg = kg;
-        session.kgs[i].node_tokens =
-            cp.node_tokens[i].iter().map(|(id, rows)| (NodeId(*id), rows.clone())).collect();
-        session.kgs[i].mission_embedding = cp.mission_embeddings[i].clone();
-        session.rebuild_layout(i);
+    if cp.kgs_shared {
+        // The engine's templates ARE the checkpointed state — re-point the
+        // session at them (dropping any private copies a previous restore
+        // may have left behind).
+        session.kgs = CowVec::shared(Arc::clone(&engine.kgs));
+        session.layouts = CowVec::shared(Arc::clone(&engine.layouts));
+    } else {
+        for (i, kg) in kgs.into_iter().enumerate() {
+            session.kgs[i].kg = kg;
+            session.kgs[i].node_tokens =
+                cp.node_tokens[i].iter().map(|(id, rows)| (NodeId(*id), rows.clone())).collect();
+            session.kgs[i].mission_embedding = cp.mission_embeddings[i].clone();
+            session.rebuild_layout(i);
+        }
     }
-    session.table.param().set_data(&cp.token_table);
+    if cp.table_overlay {
+        session.table.apply_overlay_delta(&cp.table_delta);
+    } else {
+        session.table.param().set_data(&cp.token_table);
+    }
     session.table.restore_spare_cursor(cp.next_spare);
     session.frame_rng = StdRng::restore_state(frame_rng);
     Ok(ContinuousAdapter::restore(engine, session, cfg, &cp.adapter))

@@ -84,10 +84,12 @@ impl Default for SystemConfig {
 impl MissionSystem {
     /// Builds the system for the given missions: an [`Engine::build`] plus
     /// one session seeded exactly as the pre-split monolith seeded its frame
-    /// RNG, so single-tenant behaviour is unchanged.
+    /// RNG, so single-tenant behaviour is unchanged. The session is a
+    /// *dense* fork — initial decision-model training differentiates through
+    /// the session's table, which only the dense form supports.
     pub fn build(missions: &[AnomalyClass], config: &SystemConfig) -> Self {
         let engine = Engine::build(missions, config);
-        let session = engine.new_session(config.seed ^ 0xF0F0);
+        let session = engine.new_session_dense(config.seed ^ 0xF0F0);
         MissionSystem { engine, session }
     }
 

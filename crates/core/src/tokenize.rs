@@ -5,6 +5,15 @@
 //! adaptation phase updates; spare rows are pre-allocated so freshly created
 //! nodes can receive a random token embedding without reallocating (which
 //! would invalidate optimizer state).
+//!
+//! A table comes in two storage flavours behind one type: **dense** (a full
+//! trainable [`Embedding`] — the engine template, single-tenant systems, and
+//! the transient adaptation scratch) and **overlay** (a sparse copy-on-write
+//! map of adapted rows over a shared `Arc`'d base — the per-session form,
+//! whose resident size is proportional to the rows adaptation actually
+//! touched, not the vocabulary). Every read path resolves base-or-overlay per
+//! row with arithmetic bit-identical to the dense path, which is what lets
+//! the overlay ≡ dense-fork equivalence contract hold bit-for-bit.
 
 use akg_embed::{BpeTokenizer, JointSpace};
 use akg_kg::{KnowledgeGraph, NodeId, NodeKind};
@@ -12,15 +21,29 @@ use akg_tensor::nn::{Embedding, Module};
 use akg_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Backing storage of a [`TokenTable`].
+#[derive(Debug)]
+enum Storage {
+    /// Full-capacity trainable embedding.
+    Dense(Embedding),
+    /// Sparse copy-on-write overlay: rows materialize into `rows` on first
+    /// write; everything else reads through to the shared immutable `base`.
+    /// A `BTreeMap` keeps iteration (and therefore serialized deltas)
+    /// deterministic.
+    Overlay { base: Arc<Vec<f32>>, rows: BTreeMap<usize, Vec<f32>> },
+}
 
 /// The trainable token-embedding table: BPE vocabulary rows initialized from
 /// the joint space, plus spare rows for adaptation-created nodes.
 #[derive(Debug)]
 pub struct TokenTable {
-    emb: Embedding,
+    storage: Storage,
     vocab_len: usize,
     capacity: usize,
+    dim: usize,
     next_spare: usize,
 }
 
@@ -34,24 +57,49 @@ impl TokenTable {
         weights.extend(std::iter::repeat_n(0.0, spare_rows * dim));
         let capacity = vocab.len() + spare_rows;
         TokenTable {
-            emb: Embedding::from_weights(weights, capacity, dim),
+            storage: Storage::Dense(Embedding::from_weights(weights, capacity, dim)),
             vocab_len: vocab.len(),
             capacity,
+            dim,
             next_spare: vocab.len(),
         }
     }
 
-    /// Deep-copies the table into an independent twin: fresh tensor storage
-    /// (no shared autograd state with `self`), same weights, same spare-row
-    /// cursor. This is how a serving session obtains its private adaptive
-    /// copy of an engine's trained table — per-stream token updates then
-    /// touch only the fork.
+    /// Deep-copies the table into an independent *dense* twin: fresh tensor
+    /// storage (no shared autograd state with `self`), same resolved weights,
+    /// same spare-row cursor. Works from either storage flavour — forking an
+    /// overlay densifies it. This is also how adaptation obtains its
+    /// transient trainable scratch.
     pub fn fork(&self) -> TokenTable {
-        let weights = self.emb.weight().to_vec();
+        let weights = self.to_dense_vec();
         TokenTable {
-            emb: Embedding::from_weights(weights, self.capacity, self.dim()),
+            storage: Storage::Dense(Embedding::from_weights(weights, self.capacity, self.dim)),
             vocab_len: self.vocab_len,
             capacity: self.capacity,
+            dim: self.dim,
+            next_spare: self.next_spare,
+        }
+    }
+
+    /// A sparse copy-on-write fork over `base` (a flat `[capacity * dim]`
+    /// snapshot of this table's resolved weights, shared across sessions).
+    /// Starts with zero materialized rows, so its resident footprint is a
+    /// cursor and an empty map until adaptation first writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not match this table's `capacity * dim`.
+    pub fn fork_overlay(&self, base: &Arc<Vec<f32>>) -> TokenTable {
+        assert_eq!(
+            base.len(),
+            self.capacity * self.dim,
+            "fork_overlay: base length must be capacity * dim"
+        );
+        TokenTable {
+            storage: Storage::Overlay { base: Arc::clone(base), rows: BTreeMap::new() },
+            vocab_len: self.vocab_len,
+            capacity: self.capacity,
+            dim: self.dim,
             next_spare: self.next_spare,
         }
     }
@@ -105,26 +153,40 @@ impl TokenTable {
     /// of bounds.
     pub fn node_embedding_mean_into(&self, rows: &[usize], out: &mut [f32]) {
         assert!(!rows.is_empty(), "node_embedding_mean: empty row list");
-        let dim = self.dim();
+        let dim = self.dim;
         assert_eq!(out.len(), dim, "node_embedding_mean_into: out must be [dim]");
-        self.emb.weight().with_data(|w| {
-            out.fill(0.0);
-            for &r in rows {
-                let row = &w[r * dim..(r + 1) * dim];
-                for (o, v) in out.iter_mut().zip(row) {
-                    *o += v;
+        let inv = 1.0 / rows.len() as f32;
+        match &self.storage {
+            Storage::Dense(emb) => emb.weight().with_data(|w| {
+                out.fill(0.0);
+                for &r in rows {
+                    let row = &w[r * dim..(r + 1) * dim];
+                    for (o, v) in out.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                for o in out.iter_mut() {
+                    *o *= inv;
+                }
+            }),
+            Storage::Overlay { base, rows: adapted } => {
+                out.fill(0.0);
+                for &r in rows {
+                    let row = resolve_row(base, adapted, dim, r);
+                    for (o, v) in out.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                for o in out.iter_mut() {
+                    *o *= inv;
                 }
             }
-            let inv = 1.0 / rows.len() as f32;
-            for o in out.iter_mut() {
-                *o *= inv;
-            }
-        });
+        }
     }
 
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
-        self.emb.dim()
+        self.dim
     }
 
     /// Rows belonging to the base BPE vocabulary.
@@ -150,28 +212,56 @@ impl TokenTable {
         }
         let row = self.next_spare;
         self.next_spare += 1;
-        let dim = self.dim();
+        let dim = self.dim;
         let scale = 1.0 / (dim as f32).sqrt();
         let noise: Vec<f32> = (0..dim).map(|_| rng.gen_range(-scale..scale)).collect();
-        self.emb.weight().update_data(|data| {
-            data[row * dim..(row + 1) * dim].copy_from_slice(&noise);
-        });
+        match &mut self.storage {
+            Storage::Dense(emb) => emb.weight().update_data(|data| {
+                data[row * dim..(row + 1) * dim].copy_from_slice(&noise);
+            }),
+            Storage::Overlay { rows, .. } => {
+                rows.insert(row, noise);
+            }
+        }
         Ok(row)
     }
 
     /// Differentiable mean embedding of the given rows, shape `[1, dim]`.
+    ///
+    /// On an overlay table the result is a *constant* tensor (gradients never
+    /// flow into an overlay — adaptation trains against a dense scratch fork
+    /// and absorbs the result), built with the same summed-in-order,
+    /// reciprocal-scaled arithmetic so forward values stay bit-identical to
+    /// the dense path.
     pub fn node_embedding(&self, rows: &[usize]) -> Tensor {
-        self.emb.mean_of(rows)
+        match &self.storage {
+            Storage::Dense(emb) => emb.mean_of(rows),
+            Storage::Overlay { .. } => {
+                Tensor::from_vec(self.node_embedding_mean(rows), &[1, self.dim])
+            }
+        }
     }
 
     /// Non-differentiable snapshot of a node's mean embedding.
     pub fn node_embedding_data(&self, rows: &[usize]) -> Vec<f32> {
-        let dim = self.dim();
-        let w = self.emb.weight().to_vec();
+        let dim = self.dim;
         let mut out = vec![0.0f32; dim];
-        for &r in rows {
-            for c in 0..dim {
-                out[c] += w[r * dim + c];
+        match &self.storage {
+            Storage::Dense(emb) => {
+                let w = emb.weight().to_vec();
+                for &r in rows {
+                    for c in 0..dim {
+                        out[c] += w[r * dim + c];
+                    }
+                }
+            }
+            Storage::Overlay { base, rows: adapted } => {
+                for &r in rows {
+                    let row = resolve_row(base, adapted, dim, r);
+                    for c in 0..dim {
+                        out[c] += row[c];
+                    }
+                }
             }
         }
         for v in &mut out {
@@ -182,20 +272,171 @@ impl TokenTable {
 
     /// A raw row of the table.
     pub fn row_data(&self, row: usize) -> Vec<f32> {
-        let dim = self.dim();
-        let w = self.emb.weight().to_vec();
-        w[row * dim..(row + 1) * dim].to_vec()
+        let dim = self.dim;
+        match &self.storage {
+            Storage::Dense(emb) => {
+                let w = emb.weight().to_vec();
+                w[row * dim..(row + 1) * dim].to_vec()
+            }
+            Storage::Overlay { base, rows } => resolve_row(base, rows, dim, row).to_vec(),
+        }
     }
 
     /// The single trainable parameter (the table itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an overlay table — overlays have no parameter tensor; fork
+    /// a dense scratch with [`TokenTable::fork`] to train against.
     pub fn param(&self) -> Tensor {
-        self.emb.weight().clone()
+        match &self.storage {
+            Storage::Dense(emb) => emb.weight().clone(),
+            Storage::Overlay { .. } => {
+                panic!("TokenTable::param: overlay tables have no parameter tensor")
+            }
+        }
     }
 
     /// Freezes/unfreezes the table (frozen during initial decision-model
-    /// training, the *only* unfrozen parameter during adaptation).
+    /// training, the *only* unfrozen parameter during adaptation). No-op on
+    /// an overlay table, which is never differentiated.
     pub fn set_frozen(&self, frozen: bool) {
-        self.emb.set_frozen(frozen);
+        match &self.storage {
+            Storage::Dense(emb) => emb.set_frozen(frozen),
+            Storage::Overlay { .. } => {}
+        }
+    }
+
+    /// Total row capacity (vocabulary plus spare region).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether this table is a sparse copy-on-write overlay.
+    pub fn is_overlay(&self) -> bool {
+        matches!(self.storage, Storage::Overlay { .. })
+    }
+
+    /// Number of rows materialized in the overlay (0 for dense tables).
+    pub fn overlay_rows(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(_) => 0,
+            Storage::Overlay { rows, .. } => rows.len(),
+        }
+    }
+
+    /// The fully resolved weights, flat `[capacity * dim]`, regardless of
+    /// storage flavour. The engine uses this to snapshot its trained template
+    /// as the shared overlay base; persistence uses it to densify.
+    pub fn to_dense_vec(&self) -> Vec<f32> {
+        match &self.storage {
+            Storage::Dense(emb) => emb.weight().to_vec(),
+            Storage::Overlay { base, rows } => {
+                let mut out = base.as_ref().clone();
+                let dim = self.dim;
+                for (r, row) in rows {
+                    out[r * dim..(r + 1) * dim].copy_from_slice(row);
+                }
+                out
+            }
+        }
+    }
+
+    /// Folds a trained dense `scratch` fork back into this table. Dense
+    /// tables copy the whole weight matrix; overlays materialize exactly the
+    /// rows whose bits differ from the base (and refresh rows already
+    /// materialized), so an absorbed overlay resolves bit-identically to the
+    /// scratch while staying sparse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` is not dense or its geometry differs.
+    pub fn absorb_scratch(&mut self, scratch: &TokenTable) {
+        assert!(!scratch.is_overlay(), "absorb_scratch: scratch must be dense");
+        assert_eq!(scratch.capacity, self.capacity, "absorb_scratch: capacity mismatch");
+        assert_eq!(scratch.dim, self.dim, "absorb_scratch: dim mismatch");
+        let values = scratch.to_dense_vec();
+        let dim = self.dim;
+        match &mut self.storage {
+            Storage::Dense(emb) => emb.weight().set_data(&values),
+            Storage::Overlay { base, rows } => {
+                for r in 0..self.capacity {
+                    let fresh = &values[r * dim..(r + 1) * dim];
+                    if let Some(existing) = rows.get_mut(&r) {
+                        existing.copy_from_slice(fresh);
+                    } else {
+                        let b = &base[r * dim..(r + 1) * dim];
+                        if fresh.iter().zip(b).any(|(f, b)| f.to_bits() != b.to_bits()) {
+                            rows.insert(r, fresh.to_vec());
+                        }
+                    }
+                }
+            }
+        }
+        self.next_spare = scratch.next_spare;
+    }
+
+    /// The overlay's materialized rows as a sorted `(row, values)` delta —
+    /// the compact checkpoint form. Empty for dense tables.
+    pub fn overlay_delta(&self) -> Vec<(usize, Vec<f32>)> {
+        match &self.storage {
+            Storage::Dense(_) => Vec::new(),
+            Storage::Overlay { rows, .. } => rows.iter().map(|(r, v)| (*r, v.clone())).collect(),
+        }
+    }
+
+    /// Replaces the overlay's materialized rows wholesale from a checkpoint
+    /// delta (the inverse of [`TokenTable::overlay_delta`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dense table, or if a delta row is out of bounds or not
+    /// `dim` long — callers validate deltas before applying.
+    pub fn apply_overlay_delta(&mut self, delta: &[(usize, Vec<f32>)]) {
+        let (capacity, dim) = (self.capacity, self.dim);
+        match &mut self.storage {
+            Storage::Dense(_) => {
+                panic!("apply_overlay_delta: table is dense")
+            }
+            Storage::Overlay { rows, .. } => {
+                rows.clear();
+                for (r, v) in delta {
+                    assert!(*r < capacity, "apply_overlay_delta: row {r} out of bounds");
+                    assert_eq!(v.len(), dim, "apply_overlay_delta: row {r} has wrong dim");
+                    rows.insert(*r, v.clone());
+                }
+            }
+        }
+    }
+
+    /// Resident heap bytes attributable to this table. Dense tables own the
+    /// full weight matrix; overlays own only the materialized rows (plus a
+    /// small per-entry map overhead) — the shared base is counted once at the
+    /// engine, not per session.
+    pub fn state_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(_) => self.capacity * self.dim * std::mem::size_of::<f32>(),
+            Storage::Overlay { rows, .. } => {
+                let per_row = self.dim * std::mem::size_of::<f32>()
+                    + std::mem::size_of::<usize>()
+                    + std::mem::size_of::<Vec<f32>>();
+                rows.len() * per_row
+            }
+        }
+    }
+}
+
+/// Resolves a row against an overlay: the materialized copy if present,
+/// otherwise the shared base slice.
+fn resolve_row<'a>(
+    base: &'a [f32],
+    rows: &'a BTreeMap<usize, Vec<f32>>,
+    dim: usize,
+    r: usize,
+) -> &'a [f32] {
+    match rows.get(&r) {
+        Some(v) => v,
+        None => &base[r * dim..(r + 1) * dim],
     }
 }
 
@@ -334,5 +575,69 @@ mod tests {
         table.set_frozen(true);
         table.node_embedding(&[0]).sum_all().backward();
         assert!(table.param().grad().is_none());
+    }
+
+    #[test]
+    fn overlay_reads_are_bit_identical_to_dense() {
+        let (tok, space, _) = fixture();
+        let table = TokenTable::new(&tok, &space, 4);
+        let base = Arc::new(table.to_dense_vec());
+        let overlay = table.fork_overlay(&base);
+        assert!(overlay.is_overlay());
+        assert_eq!(overlay.overlay_rows(), 0);
+        let rows = vec![1, 3, 5];
+        let mut dense_out = vec![0.0f32; table.dim()];
+        let mut overlay_out = vec![0.0f32; table.dim()];
+        table.node_embedding_mean_into(&rows, &mut dense_out);
+        overlay.node_embedding_mean_into(&rows, &mut overlay_out);
+        assert_eq!(
+            dense_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            overlay_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(table.node_embedding_data(&rows), overlay.node_embedding_data(&rows));
+        assert_eq!(table.node_embedding(&rows).to_vec(), overlay.node_embedding(&rows).to_vec());
+        assert_eq!(table.row_data(2), overlay.row_data(2));
+        assert_eq!(table.to_dense_vec(), overlay.to_dense_vec());
+    }
+
+    #[test]
+    fn overlay_allocation_matches_dense_and_stays_sparse() {
+        let (tok, space, _) = fixture();
+        let mut dense = TokenTable::new(&tok, &space, 2);
+        let base = Arc::new(dense.to_dense_vec());
+        let mut overlay = dense.fork_overlay(&base);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let rd = dense.allocate_random_row(&mut rng_a).unwrap();
+        let ro = overlay.allocate_random_row(&mut rng_b).unwrap();
+        assert_eq!(rd, ro);
+        assert_eq!(dense.row_data(rd), overlay.row_data(ro));
+        assert_eq!(overlay.overlay_rows(), 1);
+        assert_eq!(dense.next_spare(), overlay.next_spare());
+        assert!(overlay.state_bytes() < dense.state_bytes());
+    }
+
+    #[test]
+    fn absorb_scratch_materializes_only_changed_rows() {
+        let (tok, space, _) = fixture();
+        let dense = TokenTable::new(&tok, &space, 2);
+        let base = Arc::new(dense.to_dense_vec());
+        let mut overlay = dense.fork_overlay(&base);
+        let scratch = overlay.fork();
+        let dim = scratch.dim();
+        scratch.param().update_data(|d| {
+            for v in &mut d[3 * dim..4 * dim] {
+                *v += 1.0;
+            }
+        });
+        overlay.absorb_scratch(&scratch);
+        assert_eq!(overlay.overlay_rows(), 1);
+        assert_eq!(overlay.to_dense_vec(), scratch.to_dense_vec());
+        let delta = overlay.overlay_delta();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].0, 3);
+        let mut restored = dense.fork_overlay(&base);
+        restored.apply_overlay_delta(&delta);
+        assert_eq!(restored.to_dense_vec(), overlay.to_dense_vec());
     }
 }

@@ -19,15 +19,20 @@
 //!
 //! Per-stream KG adaptation must not leak across streams. Of the two
 //! admissible designs — (a) session-local token-table deltas, (b) a
-//! serialized shared-write step — this runtime implements **(a)**: every
-//! session owns a complete fork of the engine's trained token table and
-//! private copies of the tokenized KGs, made at attach time. A stream's
-//! pseudo-anomaly backprops and prune/create restructurings touch only its
-//! own fork; the engine's artifacts are never written after build. There is
-//! no shared mutable state between streams at all, so scheduling order
-//! cannot change results, and batched serving is **bit-identical** to
-//! running every stream alone through the legacy single-stream path
-//! (`tests/equivalence.rs` proves this at batch sizes 1, 4, and 16).
+//! serialized shared-write step — this runtime implements **(a)**, made
+//! literal since the copy-on-write refactor: every session holds a sparse
+//! overlay of adapted rows over the engine's immutable trained table and
+//! shares the engine's tokenized KGs until its first structural edit. A
+//! stream's pseudo-anomaly updates and prune/create restructurings
+//! materialize and touch only its own rows/copies; the engine's artifacts
+//! are never written after build. There is no shared *mutable* state between
+//! streams at all, so scheduling order cannot change results, and batched
+//! serving is **bit-identical** to running every stream alone through the
+//! legacy single-stream path (`tests/equivalence.rs` proves this at batch
+//! sizes 1, 4, and 16; `tests/overlay_equivalence.rs` in `akg-core` proves
+//! overlay ≡ dense fork). For serving more *registered* sessions than fit in
+//! RAM, the [`tier`] module bounds residency with LRU eviction to a disk
+//! spool.
 //!
 //! ## Quick start
 //!
@@ -67,6 +72,7 @@ pub mod load;
 pub mod shard;
 pub mod slo;
 pub mod spsc;
+pub mod tier;
 
 pub use checkpoint::{CheckpointRing, RecoveryStats, ShardCheckpoint, StreamCheckpoint};
 pub use fault::{corrupt_frame, ChaosConfig, CorruptionKind, CrashStyle, FaultPlan, ScriptedFault};
@@ -78,6 +84,7 @@ pub use slo::{
     DegradeLevel, DegradePolicy, LatencyHistogram, LatencySummary, LoadCounters, StreamLoadStats,
     TickDecision,
 };
+pub use tier::{SessionTier, TierConfig, TierCounters};
 
 use akg_core::adapt::{AdaptConfig, AdaptEvent, ContinuousAdapter};
 use akg_core::engine::{Engine, Session};

@@ -469,7 +469,7 @@ impl<S: FrameSource> LoadedRuntime<S> {
                 .map(|id| {
                     let events = rt.adapt_events(id);
                     StreamSnapshot {
-                        table: rt.session(id).table.param().to_vec(),
+                        table: rt.session(id).table.to_dense_vec(),
                         replacements: events
                             .iter()
                             .filter(|e| matches!(e, AdaptEvent::NodeReplaced { .. }))

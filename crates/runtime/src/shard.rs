@@ -1088,7 +1088,7 @@ fn shard_worker(
                     .map(|local| {
                         let (token_updates, replacements) = rt.stream_event_totals(local);
                         StreamSnapshot {
-                            table: rt.session(local).table.param().to_vec(),
+                            table: rt.session(local).table.to_dense_vec(),
                             replacements,
                             token_updates,
                             workspace: rt.session(local).workspace_stats(),

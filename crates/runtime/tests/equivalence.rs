@@ -91,7 +91,7 @@ fn run_standalone(
         let (frame, _) = source.next_frame();
         scores.push(adapter.observe(&mut sys, &frame));
     }
-    (scores, sys.session.table.param().to_vec(), adapter.replacements())
+    (scores, sys.session.table.to_dense_vec(), adapter.replacements())
 }
 
 struct RuntimeOutcome {
@@ -125,7 +125,7 @@ fn run_runtime(
             scores[s].push(score);
         }
     }
-    let tables = (0..n_streams).map(|s| rt.session(s).table.param().to_vec()).collect();
+    let tables = (0..n_streams).map(|s| rt.session(s).table.to_dense_vec()).collect();
     let replacements = (0..n_streams)
         .map(|s| {
             rt.adapt_events(s)

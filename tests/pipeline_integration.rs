@@ -49,11 +49,11 @@ fn generated_kg_remains_valid_through_adaptation() {
         adapter.observe(&mut sys, &frame);
     }
     // whatever structural changes happened, every KG invariant must hold
-    for tkg in &sys.session.kgs {
+    for tkg in sys.session.kgs.iter() {
         assert!(tkg.kg.validate().is_empty(), "{:?}", tkg.kg.validate());
     }
     // and every live reasoning node must still have token rows
-    for tkg in &sys.session.kgs {
+    for tkg in sys.session.kgs.iter() {
         for node in tkg.kg.nodes() {
             if node.kind == akg_kg::NodeKind::Reasoning {
                 assert!(tkg.tokens_of(node.id).is_some(), "node {} lost tokens", node.id);
